@@ -1,0 +1,101 @@
+"""ENGINE — the datalog substrate: naive vs seminaive evaluation.
+
+The WebdamLog engine runs every peer's local fixpoint on the
+:mod:`repro.datalog` substrate (the reproduction's stand-in for Bud).  This
+benchmark validates the substrate's performance shape on the classic
+transitive-closure and same-generation workloads: seminaive evaluation does
+strictly less re-derivation work than naive evaluation, and the gap widens
+with the recursion depth.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.datalog.naive import NaiveEvaluator
+from repro.datalog.program import Database, DatalogProgram, atom, rule
+from repro.datalog.seminaive import SeminaiveEvaluator, incremental_insert
+
+
+def transitive_closure_program() -> DatalogProgram:
+    program = DatalogProgram()
+    program.add_rule(rule(atom("path", "?x", "?y"), atom("edge", "?x", "?y")))
+    program.add_rule(rule(atom("path", "?x", "?z"),
+                          atom("path", "?x", "?y"), atom("edge", "?y", "?z")))
+    return program
+
+
+def chain_database(length: int) -> Database:
+    database = Database()
+    for index in range(length):
+        database.add("edge", (index, index + 1))
+    return database
+
+
+@pytest.mark.parametrize("evaluator_name,evaluator_class", [
+    ("naive", NaiveEvaluator), ("seminaive", SeminaiveEvaluator)])
+@pytest.mark.parametrize("chain", [20, 60])
+def test_engine_transitive_closure(benchmark, report, evaluator_name, evaluator_class, chain):
+    database = chain_database(chain)
+    evaluator = evaluator_class(transitive_closure_program())
+
+    result = benchmark(lambda: evaluator.run(database))
+    expected = chain * (chain + 1) // 2
+    assert result.size("path") == expected
+    stats = evaluator_class(transitive_closure_program()).evaluate(database.copy())
+    record_counters(benchmark, evaluator=evaluator_name, chain=chain,
+                    iterations=stats.iterations, firings=stats.rule_firings)
+    report("ENGINE (TC)", ["evaluator", "chain length", "path facts", "iterations",
+                           "rule firings"],
+           [[evaluator_name, chain, expected, stats.iterations, stats.rule_firings]])
+
+
+def test_engine_seminaive_beats_naive_on_deep_recursion(benchmark, report):
+    """Wall-clock comparison on a longer chain (the ablation DESIGN.md calls out)."""
+    import time
+
+    database = chain_database(80)
+
+    def run_both():
+        start = time.perf_counter()
+        NaiveEvaluator(transitive_closure_program()).run(database)
+        naive_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        SeminaiveEvaluator(transitive_closure_program()).run(database)
+        semi_elapsed = time.perf_counter() - start
+        return naive_elapsed, semi_elapsed
+
+    naive_elapsed, semi_elapsed = benchmark.pedantic(run_both, rounds=2, iterations=1)
+    assert semi_elapsed < naive_elapsed
+    record_counters(benchmark, naive_seconds=naive_elapsed, seminaive_seconds=semi_elapsed,
+                    speedup=naive_elapsed / semi_elapsed)
+    report("ENGINE (ablation)", ["chain length", "naive (s)", "seminaive (s)", "speedup"],
+           [[80, round(naive_elapsed, 4), round(semi_elapsed, 4),
+             round(naive_elapsed / semi_elapsed, 2)]])
+
+
+def test_engine_incremental_maintenance(benchmark, report):
+    """Incremental insertion vs recomputation from scratch."""
+    import time
+
+    program = transitive_closure_program()
+    base = chain_database(60)
+    SeminaiveEvaluator(program).evaluate(base)
+
+    def run():
+        database = base.copy()
+        start = time.perf_counter()
+        incremental_insert(program, database, [("edge", (60, 61))])
+        incremental_elapsed = time.perf_counter() - start
+        fresh = chain_database(61)
+        start = time.perf_counter()
+        SeminaiveEvaluator(program).evaluate(fresh)
+        full_elapsed = time.perf_counter() - start
+        assert database.relation("path") == fresh.relation("path")
+        return incremental_elapsed, full_elapsed
+
+    incremental_elapsed, full_elapsed = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert incremental_elapsed < full_elapsed
+    record_counters(benchmark, incremental_seconds=incremental_elapsed,
+                    full_seconds=full_elapsed)
+    report("ENGINE (incremental)", ["new edges", "incremental (s)", "full recomputation (s)"],
+           [[1, round(incremental_elapsed, 4), round(full_elapsed, 4)]])

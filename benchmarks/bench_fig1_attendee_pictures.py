@@ -1,0 +1,78 @@
+"""FIG1 — the *Attendee pictures* frame (Figure 1).
+
+The frame is filled by the delegation rule::
+
+    attendeePictures@Jules($id, $name, $owner, $data) :-
+        selectedAttendee@Jules($attendee),
+        pictures@$attendee($id, $name, $owner, $data)
+
+The benchmark measures, for a growing number of pictures per attendee and of
+selected attendees, how long the system takes to converge and how many
+messages/delegations the delegation-based evaluation needs.  The qualitative
+shape to reproduce: one delegation per (viewer, selected attendee) pair,
+messages proportional to the number of *matching* pictures, and a view that
+equals exactly the union of the selected attendees' pictures.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+
+
+def run_attendee_pictures(pictures_per_attendee: int, attendees: int):
+    names = [f"peer{i}" for i in range(attendees)]
+    scenario = build_demo_scenario(attendees=names,
+                                   pictures_per_attendee=pictures_per_attendee,
+                                   with_facebook=False, publish_to_sigmod=False)
+    viewer = scenario.app(names[0])
+    for other in names[1:]:
+        viewer.select_attendee(other)
+    summary = scenario.run(max_rounds=80)
+    return scenario, viewer, summary
+
+
+@pytest.mark.parametrize("pictures_per_attendee", [2, 8, 32])
+def test_fig1_view_size_sweep(benchmark, report, pictures_per_attendee):
+    """Sweep the number of pictures per attendee with 3 peers (Jules + 2 selected)."""
+
+    def run():
+        return run_attendee_pictures(pictures_per_attendee, attendees=3)
+
+    scenario, viewer, summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    stats = scenario.system.network.stats
+    expected = 2 * pictures_per_attendee
+    assert len(viewer.attendee_pictures()) == expected
+    record_counters(benchmark, rounds=summary.round_count,
+                    messages=stats.messages_sent, payload=stats.payload_items,
+                    view_size=expected)
+    report("FIG1", ["pictures/attendee", "view size", "rounds", "messages", "payload items"],
+           [[pictures_per_attendee, expected, summary.round_count,
+             stats.messages_sent, stats.payload_items]])
+
+
+@pytest.mark.parametrize("attendees", [2, 4, 8])
+def test_fig1_selected_attendees_sweep(benchmark, report, attendees):
+    """Sweep the number of selected attendees with 4 pictures each."""
+
+    def run():
+        return run_attendee_pictures(4, attendees=attendees)
+
+    scenario, viewer, summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    totals = scenario.system.totals()
+    # One delegation per selected attendee *per Wepic rule whose body reaches
+    # that attendee* (attendeePictures, attendeeRatings and the transfer rule):
+    # the paper's key qualitative claim is that delegations grow with the
+    # selection, not with the data.
+    assert totals["installed_delegations"] == 3 * (attendees - 1)
+    picture_delegations = sum(
+        1 for name in scenario.attendees()
+        for d in scenario.app(name).peer.installed_delegations()
+        if d.rule.head.relation_constant() == "attendeePictures"
+    )
+    assert picture_delegations == attendees - 1
+    record_counters(benchmark, delegations=totals["installed_delegations"],
+                    rounds=summary.round_count)
+    report("FIG1", ["selected attendees", "attendeePictures delegations", "view size", "rounds"],
+           [[attendees - 1, picture_delegations,
+             len(viewer.attendee_pictures()), summary.round_count]])

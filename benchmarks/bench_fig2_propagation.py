@@ -1,0 +1,63 @@
+"""FIG2 — propagation across the Figure-2 topology.
+
+"We will then show that a photo uploaded by Émilien into his local relation
+pictures@Émilien is instantly published to pictures@sigmod, and then
+propagated to pictures@SigmodFB."
+
+The benchmark uploads N authorised pictures at Émilien and measures how many
+rounds and messages it takes for all of them to reach (a) the sigmod peer and
+(b) the simulated Facebook group, reproducing the Émilien → sigmod → SigmodFB
+pipeline of Figure 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+
+
+def run_propagation(uploads: int):
+    scenario = build_demo_scenario(pictures_per_attendee=0)
+    emilien = scenario.app("Emilien")
+    scenario.run()
+    scenario.system.network.reset_stats()
+    for index in range(uploads):
+        picture = emilien.upload_picture(picture_id=1000 + index)
+        emilien.authorize_facebook(picture)
+    summary = scenario.run(max_rounds=100)
+    return scenario, summary
+
+
+@pytest.mark.parametrize("uploads", [1, 5, 20])
+def test_fig2_upload_propagation(benchmark, report, uploads):
+    scenario, summary = benchmark.pedantic(lambda: run_propagation(uploads),
+                                           rounds=3, iterations=1)
+    stats = scenario.system.network.stats
+    at_sigmod = len(scenario.sigmod_pictures())
+    in_group = len(scenario.facebook.photos_in_group("sigmod"))
+    # Every authorised upload reaches both hops of the pipeline.
+    assert at_sigmod == uploads
+    assert in_group == uploads
+    record_counters(benchmark, rounds=summary.round_count, messages=stats.messages_sent,
+                    at_sigmod=at_sigmod, in_group=in_group)
+    report("FIG2",
+           ["uploads", "at sigmod", "in SigmodFB group", "rounds", "messages", "payload items"],
+           [[uploads, at_sigmod, in_group, summary.round_count,
+             stats.messages_sent, stats.payload_items]])
+
+
+def test_fig2_rounds_independent_of_upload_count(benchmark, report):
+    """The pipeline depth (Émilien → sigmod → SigmodFB) fixes the round count,
+    not the number of pictures: uploading 1 or 20 pictures converges in the
+    same number of rounds (messages batch per stage)."""
+
+    def run():
+        _scenario_1, summary_1 = run_propagation(1)
+        _scenario_20, summary_20 = run_propagation(20)
+        return summary_1.round_count, summary_20.round_count
+
+    rounds_1, rounds_20 = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert rounds_20 <= rounds_1 + 1
+    record_counters(benchmark, rounds_one=rounds_1, rounds_twenty=rounds_20)
+    report("FIG2", ["uploads", "rounds to full propagation"],
+           [[1, rounds_1], [20, rounds_20]])

@@ -1,0 +1,78 @@
+"""FIG3 / SCEN-DELEG — control of delegation.
+
+Figure 3 shows a pending delegation ("Julia is sending a rule to Jules")
+waiting for explicit approval.  The benchmark measures the delegation
+controller under a stream of D delegations from trusted and untrusted
+delegators: trusted ones install immediately, untrusted ones queue, and
+approving them installs the rules.  The qualitative shape to reproduce: the
+pending queue holds exactly the untrusted delegations, nothing from an
+untrusted peer executes before approval, and approval latency is the explicit
+user action (one extra round), not a hidden system cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.acl.delegation_control import DelegationController
+from repro.acl.trust import TrustStore
+from repro.core.engine import WebdamLogEngine
+from repro.core.parser import parse_rule
+from repro.wepic.scenario import build_demo_scenario
+
+
+@pytest.mark.parametrize("delegations", [10, 100, 500])
+def test_fig3_pending_queue_throughput(benchmark, report, delegations):
+    """Submit D delegations (half trusted, half untrusted), then approve the queue."""
+
+    def run():
+        engine = WebdamLogEngine("Jules")
+        controller = DelegationController(
+            engine, trust=TrustStore("Jules", trusted=["sigmod"]))
+        for index in range(delegations):
+            delegator = "sigmod" if index % 2 == 0 else f"guest{index}"
+            rule = parse_rule(
+                f"out{index}@{delegator}($x) :- pictures@Jules($x, $n)",
+                author=delegator)
+            controller.submit(delegator, f"deleg-{index}", rule)
+        pending_before = len(controller.pending())
+        controller.approve_all()
+        engine.run_stage()
+        return controller, pending_before, engine
+
+    controller, pending_before, engine = benchmark(run)
+    counts = controller.counts()
+    assert pending_before == delegations // 2
+    assert counts["auto-accepted"] == delegations - delegations // 2
+    assert counts["approved"] == delegations // 2
+    assert len(engine.installed_delegations()) == delegations
+    record_counters(benchmark, pending=pending_before, installed=delegations)
+    report("FIG3", ["delegations", "auto-accepted (trusted)", "queued (untrusted)",
+                    "installed after approval"],
+           [[delegations, counts["auto-accepted"], pending_before,
+             len(engine.installed_delegations())]])
+
+
+def test_fig3_scenario_pending_vs_approved(benchmark, report):
+    """The end-to-end Figure-3 interaction on the demo scenario."""
+
+    def run():
+        scenario = build_demo_scenario(pictures_per_attendee=1, control_delegation=True)
+        jules = scenario.app("Jules")
+        emilien = scenario.app("Emilien")
+        jules.select_attendee("Emilien")
+        scenario.run()
+        rounds_blocked = scenario.system.current_round
+        pending = len(emilien.pending_delegations())
+        view_before = len(jules.attendee_pictures())
+        emilien.peer.approve_all_delegations("Jules")
+        scenario.run()
+        return pending, view_before, len(jules.attendee_pictures()), rounds_blocked
+
+    pending, view_before, view_after, rounds = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert pending >= 1
+    assert view_before == 0
+    assert view_after == 1
+    record_counters(benchmark, pending=pending, view_after=view_after)
+    report("FIG3 (scenario)", ["pending at Émilien", "view before approval",
+                               "view after approval", "rounds while blocked"],
+           [[pending, view_before, view_after, rounds]])

@@ -1,0 +1,60 @@
+"""SCALE-PEERS — behaviour as the number of peers grows.
+
+The paper claims a "highly decentralized" design; this benchmark checks how
+rounds, messages and per-peer payload evolve as the number of attendee peers
+grows, with every peer selecting every other peer (the worst case for the
+delegation fabric).  The qualitative shape: messages grow with the number of
+*selected pairs* (quadratically here by construction), while the number of
+rounds to convergence stays flat — convergence depth depends on the pipeline
+length, not on the peer count.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+
+
+def run_scale(peers: int, pictures_per_attendee: int = 2):
+    names = [f"peer{i}" for i in range(peers)]
+    scenario = build_demo_scenario(attendees=names,
+                                   pictures_per_attendee=pictures_per_attendee,
+                                   with_facebook=False, publish_to_sigmod=False)
+    for name in names:
+        app = scenario.app(name)
+        for other in names:
+            if other != name:
+                app.select_attendee(other)
+    summary = scenario.run(max_rounds=120)
+    return scenario, summary
+
+
+@pytest.mark.parametrize("peers", [2, 4, 8, 16])
+def test_scale_peers_all_to_all(benchmark, report, peers):
+    scenario, summary = benchmark.pedantic(lambda: run_scale(peers), rounds=2, iterations=1)
+    stats = scenario.system.network.stats
+    totals = scenario.system.totals()
+    expected_view = (peers - 1) * 2
+    for name in scenario.attendees():
+        assert len(scenario.app(name).attendee_pictures()) == expected_view
+    record_counters(benchmark, peers=peers, rounds=summary.round_count,
+                    messages=stats.messages_sent,
+                    delegations=totals["installed_delegations"])
+    report("SCALE-PEERS",
+           ["peers", "rounds", "messages", "payload items", "delegations installed",
+            "view size per peer"],
+           [[peers, summary.round_count, stats.messages_sent, stats.payload_items,
+             totals["installed_delegations"], expected_view]])
+
+
+def test_scale_rounds_flat_in_peer_count(benchmark, report):
+    """Convergence depth is independent of the number of peers."""
+
+    def run():
+        return [run_scale(p)[1].round_count for p in (2, 8)]
+
+    rounds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(rounds[0] - rounds[1]) <= 1
+    record_counters(benchmark, rounds_2=rounds[0], rounds_8=rounds[1])
+    report("SCALE-PEERS (depth)", ["peers", "rounds"],
+           [[2, rounds[0]], [8, rounds[1]]])

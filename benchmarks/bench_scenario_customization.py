@@ -1,0 +1,81 @@
+"""SCEN-CUST — "Customizing rules".
+
+Replacing the attendee-pictures rule with the rating-filtered variant
+(``rate@$owner($id, 5)``) changes the contents of the *Attendee pictures*
+frame.  The benchmark measures (a) the cost of the rule swap itself — the
+delegations that must be retracted and re-installed (the delegation re-issue
+ablation called out in DESIGN.md) — and (b) that the filtered view size
+matches the number of 5-rated pictures.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+
+
+def build_rated_scenario(pictures_per_attendee: int, five_star_every: int = 3):
+    scenario = build_demo_scenario(attendees=("Emilien", "Jules"),
+                                   pictures_per_attendee=pictures_per_attendee,
+                                   with_facebook=False, publish_to_sigmod=False)
+    jules = scenario.app("Jules")
+    emilien = scenario.app("Emilien")
+    five_starred = 0
+    for index, picture in enumerate(emilien.local_pictures()):
+        rating = 5 if index % five_star_every == 0 else 3
+        if rating == 5:
+            five_starred += 1
+        emilien.rate_picture(picture.picture_id, rating)
+    jules.select_attendee("Emilien")
+    scenario.run(max_rounds=60)
+    return scenario, jules, emilien, five_starred
+
+
+@pytest.mark.parametrize("pictures", [6, 24])
+def test_scen_cust_rating_filter(benchmark, report, pictures):
+    def run():
+        scenario, jules, _emilien, five_starred = build_rated_scenario(pictures)
+        unfiltered = len(jules.attendee_pictures())
+        messages_before = scenario.system.network.stats.messages_sent
+        jules.restrict_to_rating(5)
+        scenario.run(max_rounds=60)
+        swap_messages = scenario.system.network.stats.messages_sent - messages_before
+        filtered = len(jules.attendee_pictures())
+        return unfiltered, filtered, five_starred, swap_messages
+
+    unfiltered, filtered, five_starred, swap_messages = benchmark.pedantic(
+        run, rounds=2, iterations=1)
+    assert unfiltered == pictures
+    assert filtered == five_starred
+    record_counters(benchmark, unfiltered=unfiltered, filtered=filtered,
+                    swap_messages=swap_messages)
+    report("SCEN-CUST", ["pictures", "view before filter", "5-star pictures",
+                         "view after filter", "messages for the rule swap"],
+           [[pictures, unfiltered, five_starred, filtered, swap_messages]])
+
+
+def test_scen_cust_rule_swap_churn(benchmark, report):
+    """Delegation churn of repeatedly customising and resetting the rule."""
+
+    def run():
+        scenario, jules, emilien, _ = build_rated_scenario(8)
+        installs = retracts = 0
+        for _round in range(3):
+            jules.restrict_to_rating(5)
+            scenario.run(max_rounds=40)
+            jules.reset_attendee_pictures_rule()
+            scenario.run(max_rounds=40)
+        stats = scenario.system.network.stats
+        installs = stats.by_kind.get("DelegationInstallMessage", 0)
+        retracts = stats.by_kind.get("DelegationRetractMessage", 0)
+        return installs, retracts, len(jules.attendee_pictures())
+
+    installs, retracts, final_view = benchmark.pedantic(run, rounds=2, iterations=1)
+    # Each swap retracts the old delegation and installs the new one.
+    assert installs >= 6
+    assert retracts >= 6
+    assert final_view == 8
+    record_counters(benchmark, installs=installs, retracts=retracts)
+    report("SCEN-CUST (churn)", ["rule swaps", "delegation installs", "delegation retracts",
+                                 "final view size"],
+           [[6, installs, retracts, final_view]])

@@ -1,0 +1,67 @@
+"""SCEN-FB — "Interaction via Facebook".
+
+The sigmod peer publishes to the SigmodFB group exactly the pictures whose
+owners authorised Facebook publication, and retrieves the group's comments
+and tags back.  The benchmark sweeps the authorisation fraction p and checks
+that the number of photos ending up in the group tracks p, while
+unauthorised pictures never leave the sigmod peer.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+from repro.workloads.generator import WorkloadConfig, generate_workload, load_workload
+
+
+def run_facebook_scenario(authorization_fraction: float, pictures_per_attendee: int = 4):
+    config = WorkloadConfig(attendees=3, pictures_per_attendee=pictures_per_attendee,
+                            ratings_per_attendee=0, comments_per_attendee=0,
+                            tags_per_attendee=0, selection_fraction=0.0,
+                            facebook_authorization_fraction=authorization_fraction,
+                            seed=17)
+    workload = generate_workload(config)
+    scenario = build_demo_scenario(attendees=workload.attendees, pictures_per_attendee=0)
+    load_workload(scenario, workload, apply_selections=False)
+    summary = scenario.run(max_rounds=100)
+    authorized = sum(len(ids) for ids in workload.facebook_authorizations.values())
+    return scenario, workload, summary, authorized
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+def test_scen_fb_authorization_sweep(benchmark, report, fraction):
+    scenario, workload, summary, authorized = benchmark.pedantic(
+        lambda: run_facebook_scenario(fraction), rounds=2, iterations=1)
+    in_group = len(scenario.facebook.photos_in_group("sigmod"))
+    at_sigmod = len(scenario.sigmod_pictures())
+    # Exactly the authorised pictures reach the group; everything reaches sigmod.
+    assert in_group == authorized
+    assert at_sigmod == workload.total_pictures()
+    record_counters(benchmark, authorized=authorized, in_group=in_group,
+                    rounds=summary.round_count)
+    report("SCEN-FB", ["authorization fraction", "total pictures", "authorized",
+                       "in SigmodFB group", "at sigmod", "rounds"],
+           [[fraction, workload.total_pictures(), authorized, in_group, at_sigmod,
+             summary.round_count]])
+
+
+def test_scen_fb_comments_flow_back(benchmark, report):
+    """Comments and tags added on Facebook are retrieved by the sigmod peer."""
+
+    def run():
+        scenario, _workload, _summary, _authorized = run_facebook_scenario(1.0, 2)
+        photos = scenario.facebook.photos_in_group("sigmod")
+        for photo in photos:
+            scenario.facebook.add_comment(photo.photo_id, "Julia", "nice")
+            scenario.facebook.add_tag(photo.photo_id, "Serge")
+        scenario.run(max_rounds=60)
+        return scenario, len(photos)
+
+    scenario, photo_count = benchmark.pedantic(run, rounds=2, iterations=1)
+    comments = len(scenario.sigmod_peer.query("comments"))
+    tags = len(scenario.sigmod_peer.query("tags"))
+    assert comments == photo_count
+    assert tags == photo_count
+    record_counters(benchmark, photos=photo_count, comments=comments, tags=tags)
+    report("SCEN-FB (retrieval)", ["group photos", "comments at sigmod", "tags at sigmod"],
+           [[photo_count, comments, tags]])

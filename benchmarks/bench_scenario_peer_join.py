@@ -1,0 +1,40 @@
+"""SCEN-WEB — "Interaction via the Web": audience peers join at run time.
+
+Audience members launch their own autonomous Wepic peers, subscribe to the
+sigmod peer, upload pictures and use the delegation-based view.  The
+benchmark sweeps the number of joining peers and reports rounds/messages for
+the whole cohort to become first-class participants.
+"""
+
+import pytest
+
+from benchmarks.conftest import record_counters
+from repro.wepic.scenario import build_demo_scenario
+
+
+def run_join(joiners: int):
+    scenario = build_demo_scenario(pictures_per_attendee=1)
+    scenario.run()
+    scenario.system.network.reset_stats()
+    guests = [scenario.add_attendee(f"Guest{i}", pictures=1) for i in range(joiners)]
+    for guest in guests:
+        guest.select_attendee("Emilien")
+    summary = scenario.run(max_rounds=120)
+    return scenario, guests, summary
+
+
+@pytest.mark.parametrize("joiners", [1, 4, 8])
+def test_scen_web_peer_join(benchmark, report, joiners):
+    scenario, guests, summary = benchmark.pedantic(lambda: run_join(joiners),
+                                                   rounds=2, iterations=1)
+    stats = scenario.system.network.stats
+    registered = {f.values[0] for f in scenario.sigmod_peer.query("attendees")}
+    # Every guest is registered at sigmod and sees Émilien's picture.
+    assert all(f"Guest{i}" in registered for i in range(joiners))
+    assert all(len(guest.attendee_pictures()) == 1 for guest in guests)
+    record_counters(benchmark, joiners=joiners, rounds=summary.round_count,
+                    messages=stats.messages_sent)
+    report("SCEN-WEB", ["joining peers", "total peers", "rounds", "messages",
+                        "guests with working view"],
+           [[joiners, len(scenario.system.peers), summary.round_count,
+             stats.messages_sent, sum(1 for g in guests if g.attendee_pictures())]])

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints, in addition to the pytest-benchmark timing table, a
+plain-text table whose rows reproduce the qualitative content of the
+corresponding figure or demonstration scenario of the paper (see DESIGN.md's
+per-experiment index and EXPERIMENTS.md for the recorded outputs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_counters(benchmark, **counters) -> None:
+    """Attach counters to the pytest-benchmark record (shown with --benchmark-verbose)."""
+    for key, value in counters.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a results table after the benchmark, prefixed by the experiment id."""
+    from repro.bench.reporting import format_table
+
+    def _report(experiment_id, headers, rows):
+        text = format_table(headers, rows, title=f"\n[{experiment_id}]")
+        print(text)
+        return text
+
+    return _report

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: two WebdamLog peers and one delegation.
+
+This is the paper's running example reduced to its essence: Jules selects
+Émilien as an interesting attendee, and a single WebdamLog rule — using
+*delegation* — gathers Émilien's pictures into Jules' ``attendeePictures``
+view without ever centralising the data.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import WebdamLogSystem
+
+
+def main() -> None:
+    system = WebdamLogSystem()
+    jules = system.add_peer("Jules")
+    emilien = system.add_peer("Emilien")
+
+    # Jules' program: one declaration block and the delegation rule from the paper.
+    jules.load_program("""
+    collection extensional persistent selectedAttendee@Jules(attendee);
+    collection intensional attendeePictures@Jules(id, name, owner, data);
+
+    fact selectedAttendee@Jules("Emilien");
+
+    rule attendeePictures@Jules($id, $name, $owner, $data) :-
+        selectedAttendee@Jules($attendee),
+        pictures@$attendee($id, $name, $owner, $data);
+    """)
+
+    # Émilien's program: just his local pictures.
+    emilien.load_program("""
+    collection extensional persistent pictures@Emilien(id, name, owner, data);
+    fact pictures@Emilien(1, "sea.jpg",  "Emilien", "100110");
+    fact pictures@Emilien(2, "boat.jpg", "Emilien", "111000");
+    """)
+
+    # Run the network of peers until nothing moves any more.
+    summary = system.run_until_quiescent()
+    print(f"converged in {summary.round_count} rounds, "
+          f"{system.network.stats.messages_sent} messages exchanged\n")
+
+    print("Rule installed at Émilien by delegation:")
+    for delegation in emilien.installed_delegations():
+        print(f"  [from {delegation.delegator}] {delegation.rule}")
+
+    print("\nattendeePictures@Jules:")
+    for fact in jules.query("attendeePictures"):
+        print(f"  {fact}")
+
+    # Deselecting Émilien retracts the delegation and empties the view.
+    jules.delete_fact('selectedAttendee@Jules("Emilien")')
+    system.run_until_quiescent()
+    print("\nafter deselecting Émilien:")
+    print(f"  attendeePictures@Jules = {jules.query('attendeePictures')}")
+    print(f"  delegations at Émilien = {len(emilien.installed_delegations())}")
+
+
+if __name__ == "__main__":
+    main()

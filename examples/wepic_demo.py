@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The full Wepic demonstration of the paper (Figure 2 topology).
+
+Walks through the demo script of Section 4:
+
+1. three peers (Émilien, Jules, the sigmod cloud peer) plus the SigmodFB
+   Facebook-group wrapper;
+2. interaction via Facebook — an authorised upload propagates
+   Émilien → sigmod → SigmodFB, and comments flow back;
+3. customising rules — Jules keeps only the pictures rated 5;
+4. control of delegation — Émilien installs a rule at Jules' peer only after
+   Jules approves it;
+5. interaction via the Web — an audience member launches their own peer.
+
+Run with::
+
+    python examples/wepic_demo.py
+"""
+
+from repro.wepic import build_demo_scenario
+
+
+def main() -> None:
+    scenario = build_demo_scenario(pictures_per_attendee=3, control_delegation=True)
+    jules = scenario.app("Jules")
+    emilien = scenario.app("Emilien")
+
+    # ---------------------------------------------------------------- #
+    print("=== Setup: three peers + the SigmodFB group (Figure 2) ===")
+    scenario.run()
+    print(f"peers: {', '.join(scenario.system.peer_names())}")
+    print(f"pictures at the sigmod peer: {len(scenario.sigmod_pictures())}")
+
+    # ---------------------------------------------------------------- #
+    print("\n=== Interaction via Facebook ===")
+    picture = emilien.upload_picture(name="keynote.jpg", picture_id=100)
+    emilien.authorize_facebook(picture)
+    scenario.run()
+    group_photos = scenario.facebook.photos_in_group("sigmod")
+    print(f"photos in the SigmodFB group: {[p.name for p in group_photos]}")
+    photo = group_photos[0]
+    scenario.facebook.add_comment(photo.photo_id, "Julia", "great keynote!")
+    scenario.run()
+    comments = scenario.sigmod_peer.query("comments")
+    print(f"comments retrieved back to sigmod: {[f.values[2] for f in comments]}")
+
+    # ---------------------------------------------------------------- #
+    print("\n=== Viewing attendee pictures (Figure 1) and customising rules ===")
+    pictures = emilien.local_pictures()
+    emilien.rate_picture(pictures[0].picture_id, 5)
+    emilien.rate_picture(pictures[1].picture_id, 3)
+    jules.select_attendee("Emilien")
+    scenario.run()
+    # With control of delegation on, Émilien must first accept Jules' delegations.
+    emilien.peer.approve_all_delegations("Jules")
+    scenario.run()
+    print(f"attendee pictures at Jules: {[p.name for p in jules.attendee_pictures()]}")
+    jules.restrict_to_rating(5)
+    scenario.run()
+    emilien.peer.approve_all_delegations("Jules")
+    scenario.run()
+    print(f"after the rating-5 filter:  {[p.name for p in jules.attendee_pictures()]}")
+
+    # ---------------------------------------------------------------- #
+    print("\n=== Control of delegation (Figure 3) ===")
+    emilien.add_rule("julesPictures@Emilien($n) :- pictures@Jules($i, $n, $o, $d)")
+    scenario.run()
+    pending = jules.pending_delegations()
+    print("pending at Jules:", [p.describe() for p in pending])
+    for p in pending:
+        jules.approve_delegation(p.delegation_id)
+    scenario.run()
+    print(f"Émilien now sees {len(emilien.peer.query('julesPictures'))} of Jules' pictures")
+
+    # ---------------------------------------------------------------- #
+    print("\n=== Interaction via the Web: a guest peer joins ===")
+    guest = scenario.add_attendee("Guest", pictures=1)
+    guest.select_attendee("Emilien")
+    scenario.run()
+    emilien.peer.approve_all_delegations("Guest")
+    scenario.run()
+    print(f"the guest sees {len(guest.attendee_pictures())} of Émilien's pictures")
+
+    # ---------------------------------------------------------------- #
+    print("\n=== Final screen of Jules (headless UI) ===")
+    print(scenario.ui("Jules").render())
+
+    totals = scenario.system.totals()
+    print("\nsystem totals:", totals)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Access control for WebdamLog.
+
+Two layers are reproduced:
+
+* **Control of delegation** (demonstrated in the paper): each delegation sent
+  by an *untrusted* peer is held in a pending queue until the receiving user
+  explicitly accepts it through the interface
+  (:class:`~repro.acl.delegation_control.DelegationController`).  By default
+  all peers except ``sigmod`` are untrusted, exactly as in the demo.
+* The **access-control model under investigation** sketched in Section 2 of
+  the paper: discretionary grants on stored relations, default policies for
+  derived relations (views) computed from the provenance of their base
+  relations, and explicit declassification overrides
+  (:mod:`repro.acl.policies`).
+"""
+
+from repro.acl.trust import TrustStore
+from repro.acl.delegation_control import (
+    DelegationController,
+    DelegationDecision,
+    PendingDelegation,
+)
+from repro.acl.policies import (
+    AccessControlPolicy,
+    Grant,
+    Privilege,
+    ViewPolicy,
+)
+
+__all__ = [
+    "TrustStore",
+    "DelegationController",
+    "DelegationDecision",
+    "PendingDelegation",
+    "AccessControlPolicy",
+    "Grant",
+    "Privilege",
+    "ViewPolicy",
+]

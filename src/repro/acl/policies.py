@@ -1,0 +1,196 @@
+"""The access-control model sketched in Section 2 of the paper.
+
+The model ("under active investigation" in 2013) combines:
+
+* **discretionary** control — owners grant privileges on the stored
+  relations they own (:class:`Grant`, :meth:`AccessControlPolicy.grant`);
+* **mandatory** / derived control — for a derived relation (a view), the
+  default policy is computed from the provenance of its base relations: a
+  peer may read a derived fact only if it may read *every* base relation in
+  that fact's lineage (:class:`ViewPolicy`);
+* **declassification** — the owner of a view may override the derived policy
+  and grant access anyway (:meth:`AccessControlPolicy.declassify`).
+
+The model subsumes SQL-style view-based access control: granting ``READ`` on
+a view without declassification still requires access to the underlying base
+relations, while declassifying the view makes it behave like a SQL view owned
+by a definer with sufficient rights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.errors import AccessControlError
+from repro.core.facts import Fact
+from repro.provenance.graph import ProvenanceGraph
+
+
+class Privilege(enum.Enum):
+    """Privileges that can be granted on a relation."""
+
+    READ = "read"
+    WRITE = "write"
+    GRANT = "grant"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Grant:
+    """A discretionary grant: ``grantee`` may exercise ``privilege`` on ``relation``."""
+
+    relation: str
+    grantee: str
+    privilege: Privilege
+    grantor: str
+
+    def __str__(self) -> str:
+        return f"{self.grantor} grants {self.privilege} on {self.relation} to {self.grantee}"
+
+
+#: Wildcard grantee meaning "every peer".
+PUBLIC = "*"
+
+
+class AccessControlPolicy:
+    """Discretionary grants plus view declassification for one peer's relations.
+
+    The policy object belongs to ``owner``; the owner implicitly holds every
+    privilege on every relation located at itself.
+    """
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._grants: Set[Grant] = set()
+        self._declassified: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # discretionary grants
+    # ------------------------------------------------------------------ #
+
+    def grant(self, relation: str, grantee: str, privilege: Privilege,
+              grantor: Optional[str] = None) -> Grant:
+        """Grant a privilege on ``relation`` (qualified ``name@peer``) to ``grantee``.
+
+        Only the owner, or a peer holding the ``GRANT`` privilege on the
+        relation, may grant.
+        """
+        grantor = grantor or self.owner
+        if grantor != self.owner and not self._holds(relation, grantor, Privilege.GRANT):
+            raise AccessControlError(
+                f"{grantor} may not grant on {relation}: no GRANT privilege"
+            )
+        created = Grant(relation=relation, grantee=grantee, privilege=privilege,
+                        grantor=grantor)
+        self._grants.add(created)
+        return created
+
+    def revoke(self, relation: str, grantee: str,
+               privilege: Optional[Privilege] = None) -> int:
+        """Revoke grants; returns how many grant entries were removed."""
+        to_remove = {
+            g for g in self._grants
+            if g.relation == relation and g.grantee == grantee
+            and (privilege is None or g.privilege == privilege)
+        }
+        self._grants -= to_remove
+        return len(to_remove)
+
+    def grants(self) -> Tuple[Grant, ...]:
+        """Every grant issued so far, in a deterministic order."""
+        return tuple(sorted(self._grants, key=lambda g: (g.relation, g.grantee,
+                                                         g.privilege.value)))
+
+    def _holds(self, relation: str, peer: str, privilege: Privilege) -> bool:
+        if peer == self.owner:
+            return True
+        for grant in self._grants:
+            if grant.relation == relation and grant.privilege == privilege \
+                    and grant.grantee in (peer, PUBLIC):
+                return True
+        return False
+
+    def can_read(self, relation: str, peer: str) -> bool:
+        """``True`` when ``peer`` holds ``READ`` on ``relation``."""
+        return self._holds(relation, peer, Privilege.READ)
+
+    def can_write(self, relation: str, peer: str) -> bool:
+        """``True`` when ``peer`` holds ``WRITE`` on ``relation``."""
+        return self._holds(relation, peer, Privilege.WRITE)
+
+    # ------------------------------------------------------------------ #
+    # view policies derived from provenance
+    # ------------------------------------------------------------------ #
+
+    def declassify(self, view_relation: str, grantee: str = PUBLIC) -> None:
+        """Override the provenance-derived policy of ``view_relation`` for ``grantee``."""
+        self._declassified.setdefault(view_relation, set()).add(grantee)
+
+    def is_declassified(self, view_relation: str, peer: str) -> bool:
+        """``True`` when ``peer`` benefits from a declassification of the view."""
+        grantees = self._declassified.get(view_relation, set())
+        return PUBLIC in grantees or peer in grantees
+
+    def can_read_fact(self, fact: Fact, peer: str,
+                      provenance: Optional[ProvenanceGraph] = None) -> bool:
+        """Decide whether ``peer`` may read a (possibly derived) fact.
+
+        * For a base fact, the discretionary policy of its relation applies.
+        * For a derived fact, the default policy requires ``peer`` to be able
+          to read **every** base relation in the fact's lineage, unless the
+          view has been declassified for ``peer`` (in which case a ``READ``
+          grant on the view itself, or ownership, suffices).
+        """
+        relation = fact.qualified_relation
+        if provenance is None or not provenance.is_derived(fact):
+            return self.can_read(relation, peer)
+        if self.is_declassified(relation, peer):
+            return peer == self.owner or self.can_read(relation, peer)
+        base_relations = provenance.base_relations(fact)
+        return all(self.can_read(base, peer) for base in base_relations)
+
+    def readable_facts(self, facts: Iterable[Fact], peer: str,
+                       provenance: Optional[ProvenanceGraph] = None) -> Tuple[Fact, ...]:
+        """Filter ``facts`` down to those ``peer`` may read."""
+        return tuple(f for f in facts if self.can_read_fact(f, peer, provenance))
+
+
+@dataclass
+class ViewPolicy:
+    """The effective read policy of one derived relation (view).
+
+    ``base_relations`` is the set of base relations the view draws from; the
+    effective reader set is the intersection of the readers of every base
+    relation, plus any declassification grantees.
+    """
+
+    view_relation: str
+    base_relations: FrozenSet[str]
+    declassified_for: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def derive(cls, view_relation: str, provenance: ProvenanceGraph,
+               facts: Iterable[Fact],
+               declassified_for: Iterable[str] = ()) -> "ViewPolicy":
+        """Compute the default policy of a view from the provenance of its facts."""
+        bases: Set[str] = set()
+        for fact in facts:
+            bases |= set(provenance.base_relations(fact))
+        return cls(view_relation=view_relation, base_relations=frozenset(bases),
+                   declassified_for=frozenset(declassified_for))
+
+    def readers(self, policy: AccessControlPolicy,
+                candidate_peers: Iterable[str]) -> Tuple[str, ...]:
+        """Which of ``candidate_peers`` may read the whole view under ``policy``."""
+        allowed = []
+        for peer in candidate_peers:
+            if peer in self.declassified_for or PUBLIC in self.declassified_for:
+                allowed.append(peer)
+                continue
+            if all(policy.can_read(base, peer) for base in self.base_relations):
+                allowed.append(peer)
+        return tuple(sorted(allowed))

@@ -1,0 +1,25 @@
+"""Measurement and reporting helpers for the benchmark harness.
+
+Every benchmark in ``benchmarks/`` follows the same pattern: build a
+scenario, apply a workload, run the system, and report a table or a series
+whose *shape* reproduces the corresponding figure or demonstration scenario
+of the paper.  This package provides the shared pieces:
+
+* :mod:`repro.bench.harness` — experiment drivers (run a scenario and collect
+  counters, sweep a parameter, time a callable);
+* :mod:`repro.bench.reporting` — plain-text tables and series formatting used
+  both by the benchmarks and by EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentResult, measure_scenario, run_sweep, time_callable
+from repro.bench.reporting import format_table, format_series, print_table
+
+__all__ = [
+    "ExperimentResult",
+    "measure_scenario",
+    "run_sweep",
+    "time_callable",
+    "format_table",
+    "format_series",
+    "print_table",
+]

@@ -1,0 +1,83 @@
+"""Experiment drivers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """Counters collected from one experiment run."""
+
+    label: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        return self.metrics[key]
+
+    def get(self, key: str, default=None):
+        """Dictionary-style access with a default."""
+        return self.metrics.get(key, default)
+
+    def row(self, columns: Sequence[str]) -> Tuple:
+        """The metrics projected onto ``columns`` (prefixed with the label)."""
+        return (self.label,) + tuple(self.metrics.get(column, "") for column in columns)
+
+
+def measure_scenario(scenario, label: str = "scenario",
+                     max_rounds: int = 100) -> ExperimentResult:
+    """Run a scenario to convergence and collect the standard counters.
+
+    The counters are the ones the paper's qualitative claims are about: how
+    many rounds until convergence, how many messages and payload items moved,
+    how many facts were derived and how many delegations were installed.
+    """
+    start = time.perf_counter()
+    summary = scenario.run(max_rounds=max_rounds)
+    elapsed = time.perf_counter() - start
+    totals = scenario.system.totals()
+    stats = scenario.system.network.stats
+    metrics: Dict[str, Any] = {
+        "rounds": summary.round_count,
+        "converged": summary.converged,
+        "messages": stats.messages_sent,
+        "payload_items": stats.payload_items,
+        "derived_facts": totals["derived_facts"],
+        "extensional_facts": totals["extensional_facts"],
+        "installed_delegations": totals["installed_delegations"],
+        "pending_delegations": totals["pending_delegations"],
+        "peers": totals["peers"],
+        "elapsed_seconds": elapsed,
+    }
+    return ExperimentResult(label=label, metrics=metrics)
+
+
+def run_sweep(parameter_values: Iterable, runner: Callable[[Any], ExperimentResult]
+              ) -> List[ExperimentResult]:
+    """Run ``runner`` for every value of a parameter sweep."""
+    return [runner(value) for value in parameter_values]
+
+
+def time_callable(function: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
+    """Wall-clock time of ``function`` (best of ``repeat`` runs) and its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = function()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def compare(baseline: ExperimentResult, candidate: ExperimentResult,
+            metrics: Sequence[str]) -> Dict[str, float]:
+    """Ratios candidate/baseline for the given metrics (0 when the baseline is 0)."""
+    ratios: Dict[str, float] = {}
+    for metric in metrics:
+        base = baseline.get(metric, 0) or 0
+        cand = candidate.get(metric, 0) or 0
+        ratios[metric] = (cand / base) if base else 0.0
+    return ratios

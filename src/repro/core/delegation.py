@@ -1,0 +1,208 @@
+"""Delegation: the distinguishing feature of WebdamLog.
+
+When a rule's body refers to relations that live on a remote peer, the local
+peer evaluates the longest *local prefix* of the body (left to right) and,
+for every satisfying assignment of that prefix, installs the partially
+instantiated *remainder* of the rule at the peer owning the first non-local
+atom.  Example from the paper — the rule at peer ``Jules``::
+
+    attendeePictures@Jules($id, $name, $owner, $data) :-
+        selectedAttendee@Jules($attendee),
+        pictures@$attendee($id, $name, $owner, $data)
+
+together with the fact ``selectedAttendee@Jules("Émilien")`` leads Jules to
+delegate to ``Émilien`` the rule::
+
+    attendeePictures@Jules($id, $name, $owner, $data) :-
+        pictures@Émilien($id, $name, $owner, $data)
+
+Delegations are *provisional*: they remain installed only as long as the
+facts that justified them hold at the delegator.  The engine therefore
+re-computes the set of required delegations at every stage and the
+:class:`DelegationTracker` diffs it against what was previously sent,
+emitting install and retract messages as needed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.errors import DelegationError
+from repro.core.rules import Atom, Rule
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """A rule to be installed at a remote peer.
+
+    Attributes
+    ----------
+    target:
+        Peer at which the rule must be installed.
+    rule:
+        The delegated rule (already partially instantiated).
+    delegator:
+        Peer that sends the delegation.
+    origin_rule_id:
+        Identifier of the rule at the delegator from which this delegation
+        was derived.
+    delegation_id:
+        Stable identifier: a hash of (delegator, target, canonical rule).
+        Re-deriving the same delegation at a later stage yields the same id,
+        which is what allows the tracker to avoid re-sending it.
+    """
+
+    target: str
+    rule: Rule
+    delegator: str
+    origin_rule_id: str
+    delegation_id: str = field(default="")
+
+    def __post_init__(self):
+        if not self.delegation_id:
+            object.__setattr__(self, "delegation_id", self.compute_id())
+
+    def compute_id(self) -> str:
+        """Stable content-based identifier of the delegation."""
+        canonical = repr((self.delegator, self.target, self.origin_rule_id,
+                          self.rule.canonical_key()))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+        return f"deleg-{digest}"
+
+    def __str__(self) -> str:
+        return f"[{self.delegator} -> {self.target}] {self.rule}"
+
+
+@dataclass(frozen=True)
+class InstalledDelegation:
+    """A delegation as seen by the *receiving* peer."""
+
+    delegation_id: str
+    delegator: str
+    rule: Rule
+
+    def __str__(self) -> str:
+        return f"[from {self.delegator}] {self.rule}"
+
+
+@dataclass
+class DelegationDiff:
+    """Difference between the delegations required now and those already sent."""
+
+    to_install: List[Delegation] = field(default_factory=list)
+    to_retract: List[Delegation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.to_install) or bool(self.to_retract)
+
+    def counts(self) -> Tuple[int, int]:
+        """``(installs, retracts)``."""
+        return len(self.to_install), len(self.to_retract)
+
+
+class DelegationTracker:
+    """Tracks, per target peer, which delegations this peer currently has outstanding.
+
+    The engine computes the full set of delegations required by the current
+    stage; :meth:`diff` compares it with the outstanding set and returns what
+    must be newly installed and what must be retracted.  :meth:`commit`
+    records the new outstanding set once the messages have actually been
+    emitted.
+    """
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._outstanding: Dict[str, Delegation] = {}
+
+    def outstanding(self) -> Tuple[Delegation, ...]:
+        """Every delegation currently believed to be installed remotely."""
+        return tuple(self._outstanding.values())
+
+    def outstanding_for(self, target: str) -> Tuple[Delegation, ...]:
+        """Outstanding delegations for one target peer."""
+        return tuple(d for d in self._outstanding.values() if d.target == target)
+
+    def diff(self, required: Iterable[Delegation]) -> DelegationDiff:
+        """Compare ``required`` with the outstanding set."""
+        required_by_id: Dict[str, Delegation] = {}
+        for delegation in required:
+            if delegation.delegator != self.owner:
+                raise DelegationError(
+                    f"peer {self.owner} cannot send a delegation authored by "
+                    f"{delegation.delegator}"
+                )
+            required_by_id[delegation.delegation_id] = delegation
+        diff = DelegationDiff()
+        for delegation_id, delegation in required_by_id.items():
+            if delegation_id not in self._outstanding:
+                diff.to_install.append(delegation)
+        for delegation_id, delegation in self._outstanding.items():
+            if delegation_id not in required_by_id:
+                diff.to_retract.append(delegation)
+        diff.to_install.sort(key=lambda d: d.delegation_id)
+        diff.to_retract.sort(key=lambda d: d.delegation_id)
+        return diff
+
+    def commit(self, diff: DelegationDiff) -> None:
+        """Record that the install/retract messages of ``diff`` have been sent."""
+        for delegation in diff.to_retract:
+            self._outstanding.pop(delegation.delegation_id, None)
+        for delegation in diff.to_install:
+            self._outstanding[delegation.delegation_id] = delegation
+
+    def forget_target(self, target: str) -> List[Delegation]:
+        """Drop every outstanding delegation towards ``target`` (e.g. peer left)."""
+        dropped = [d for d in self._outstanding.values() if d.target == target]
+        for delegation in dropped:
+            self._outstanding.pop(delegation.delegation_id, None)
+        return dropped
+
+
+class DelegationStore:
+    """Delegations installed *at* this peer by remote delegators."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._installed: Dict[str, InstalledDelegation] = {}
+
+    def __len__(self) -> int:
+        return len(self._installed)
+
+    def __contains__(self, delegation_id: str) -> bool:
+        return delegation_id in self._installed
+
+    def install(self, delegation_id: str, delegator: str, rule: Rule) -> InstalledDelegation:
+        """Install (or overwrite) a delegated rule."""
+        installed = InstalledDelegation(delegation_id=delegation_id, delegator=delegator,
+                                        rule=rule)
+        self._installed[delegation_id] = installed
+        return installed
+
+    def retract(self, delegation_id: str) -> Optional[InstalledDelegation]:
+        """Remove a delegated rule; returns it if it was installed."""
+        return self._installed.pop(delegation_id, None)
+
+    def retract_from(self, delegator: str) -> List[InstalledDelegation]:
+        """Remove every delegation received from ``delegator``."""
+        removed = [d for d in self._installed.values() if d.delegator == delegator]
+        for delegation in removed:
+            self._installed.pop(delegation.delegation_id, None)
+        return removed
+
+    def rules(self) -> Tuple[Rule, ...]:
+        """The delegated rules, in a deterministic order."""
+        ordered = sorted(self._installed.values(), key=lambda d: d.delegation_id)
+        return tuple(d.rule for d in ordered)
+
+    def all(self) -> Tuple[InstalledDelegation, ...]:
+        """Every installed delegation, in a deterministic order."""
+        return tuple(sorted(self._installed.values(), key=lambda d: d.delegation_id))
+
+    def by_delegator(self) -> Dict[str, List[InstalledDelegation]]:
+        """Installed delegations grouped by delegator."""
+        grouped: Dict[str, List[InstalledDelegation]] = {}
+        for delegation in self._installed.values():
+            grouped.setdefault(delegation.delegator, []).append(delegation)
+        return grouped

@@ -1,0 +1,406 @@
+"""The WebdamLog per-peer engine.
+
+A computation **stage** of a peer is broken down into the three steps
+described in the paper:
+
+1. the peer loads the inputs received from the remote peers since the
+   previous stage (fact updates and delegations);
+2. the peer runs a fixpoint computation of its program (its own rules plus
+   the rules delegated to it);
+3. the peer sends facts (updates) and rules (delegations) to other peers.
+
+:class:`WebdamLogEngine` implements exactly this loop for one peer.  It is
+transport-agnostic: incoming inputs are pushed through ``receive_*`` methods
+(by the runtime layer, by wrappers, or directly by tests), and the outputs of
+a stage are returned in a :class:`StageResult` for the caller to deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.delegation import Delegation, DelegationDiff
+from repro.core.errors import EvaluationError, SchemaError
+from repro.core.evaluation import RuleEvaluator, RuleOutcome, stratify_local_rules
+from repro.core.facts import Delta, Fact
+from repro.core.parser import ParsedProgram, parse_fact, parse_program, parse_rule
+from repro.core.rules import Rule
+from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
+from repro.core.state import PeerState
+
+
+@dataclass(frozen=True)
+class OutgoingUpdate:
+    """Fact updates addressed to one remote peer."""
+
+    target: str
+    inserted: FrozenSet[Fact] = frozenset()
+    deleted: FrozenSet[Fact] = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted) or bool(self.deleted)
+
+
+@dataclass
+class StageResult:
+    """Everything produced by one computation stage of a peer."""
+
+    peer: str
+    stage: int
+    consumed_inputs: int = 0
+    fixpoint_iterations: int = 0
+    rules_evaluated: int = 0
+    substitutions_explored: int = 0
+    derived_intensional: int = 0
+    derived_changed: bool = False
+    deferred_local_updates: int = 0
+    outgoing_updates: List[OutgoingUpdate] = field(default_factory=list)
+    delegations_to_install: List[Delegation] = field(default_factory=list)
+    delegations_to_retract: List[Delegation] = field(default_factory=list)
+
+    def outgoing_fact_count(self) -> int:
+        """Total number of facts shipped to remote peers this stage."""
+        return sum(len(update) for update in self.outgoing_updates)
+
+    def outgoing_message_count(self) -> int:
+        """Number of messages (updates + delegation installs/retracts) emitted."""
+        return (len(self.outgoing_updates) + len(self.delegations_to_install)
+                + len(self.delegations_to_retract))
+
+    def has_outgoing(self) -> bool:
+        """``True`` when the stage produced anything for other peers."""
+        return bool(self.outgoing_updates or self.delegations_to_install
+                    or self.delegations_to_retract)
+
+    def is_quiescent(self) -> bool:
+        """``True`` when the stage neither consumed inputs nor produced changes.
+
+        A network of peers has converged when every peer reports a quiescent
+        stage and no messages are in flight.
+        """
+        return (self.consumed_inputs == 0
+                and not self.has_outgoing()
+                and not self.derived_changed
+                and self.deferred_local_updates == 0)
+
+
+class WebdamLogEngine:
+    """The WebdamLog engine of a single peer."""
+
+    def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None,
+                 strict_stage_inputs: bool = False):
+        self.peer = peer
+        self.state = PeerState(peer, schemas)
+        # Strict per-stage semantics (facts received for local intensional
+        # relations are visible for exactly one stage, as in the PODS model);
+        # the default keeps them until the sender retracts them, which is the
+        # behaviour the Wepic demo relies on.
+        self.strict_stage_inputs = strict_stage_inputs
+        # Optional provenance tracker (see :mod:`repro.provenance`): when set,
+        # every derivation of the fixpoint is recorded through its ``record``
+        # method, which the access-control view policies build upon.
+        self.provenance = None
+        # Facts addressed to remote peers by the local user (or wrappers),
+        # flushed at the next stage.
+        self._pending_remote_inserts: Dict[str, Set[Fact]] = {}
+        self._pending_remote_deletes: Dict[str, Set[Fact]] = {}
+        # Facts previously shipped to each target as the result of rule
+        # derivations; used to avoid re-sending and to retract view facts.
+        self._sent_remote: Dict[str, Set[Fact]] = {}
+
+    # ------------------------------------------------------------------ #
+    # program loading and direct updates (the "user" API)
+    # ------------------------------------------------------------------ #
+
+    def load_program(self, program: Union[str, ParsedProgram]) -> ParsedProgram:
+        """Load a WebdamLog program (text or already parsed).
+
+        Schema declarations are registered, facts of local relations are
+        inserted, facts of remote relations are queued to be pushed at the
+        next stage, and rules are added to the peer's own program.
+        """
+        if isinstance(program, str):
+            program = parse_program(program, default_peer=self.peer, author=self.peer)
+        for schema in program.schemas:
+            self.state.declare(schema)
+        for fact in program.facts:
+            if fact.peer == self.peer:
+                self.state.insert_fact(fact)
+            else:
+                self.send_fact(fact)
+        for rule in program.rules:
+            self.state.add_rule(rule)
+        return program
+
+    def declare(self, schema: RelationSchema) -> RelationSchema:
+        """Declare a relation schema."""
+        return self.state.declare(schema)
+
+    def add_rule(self, rule: Union[str, Rule]) -> Rule:
+        """Add a rule to the peer's own program (parsed if given as text)."""
+        if isinstance(rule, str):
+            rule = parse_rule(rule, default_peer=self.peer, author=self.peer)
+        return self.state.add_rule(rule)
+
+    def remove_rule(self, rule_id: str) -> Optional[Rule]:
+        """Remove an own rule by identifier."""
+        return self.state.remove_rule(rule_id)
+
+    def replace_rule(self, rule_id: str, new_rule: Union[str, Rule]) -> Rule:
+        """Replace an own rule (the Wepic *customize rules* operation)."""
+        if isinstance(new_rule, str):
+            new_rule = parse_rule(new_rule, default_peer=self.peer, author=self.peer)
+        return self.state.replace_rule(rule_id, new_rule)
+
+    def rules(self) -> Tuple[Rule, ...]:
+        """The peer's own rules."""
+        return tuple(self.state.own_rules)
+
+    def installed_delegations(self):
+        """Delegations installed at this peer by remote delegators."""
+        return self.state.delegations_in.all()
+
+    def insert_fact(self, fact: Union[str, Fact]) -> Delta:
+        """Insert a base fact.  Local facts go to the store, remote facts are queued."""
+        if isinstance(fact, str):
+            fact = parse_fact(fact, default_peer=self.peer)
+        if fact.peer == self.peer:
+            return self.state.insert_fact(fact)
+        self.send_fact(fact)
+        return Delta.insertion([fact])
+
+    def delete_fact(self, fact: Union[str, Fact]) -> Delta:
+        """Delete a base fact.  Local facts are removed, remote deletions are queued."""
+        if isinstance(fact, str):
+            fact = parse_fact(fact, default_peer=self.peer)
+        if fact.peer == self.peer:
+            return self.state.delete_fact(fact)
+        self._pending_remote_deletes.setdefault(fact.peer, set()).add(fact)
+        return Delta.deletion([fact])
+
+    def send_fact(self, fact: Fact) -> None:
+        """Queue a fact addressed to a remote peer (shipped at the next stage)."""
+        if fact.peer == self.peer:
+            raise SchemaError(f"fact {fact} is local; use insert_fact")
+        self._pending_remote_inserts.setdefault(fact.peer, set()).add(fact)
+
+    # ------------------------------------------------------------------ #
+    # transport-facing input methods (step 1 inputs)
+    # ------------------------------------------------------------------ #
+
+    def receive_facts(self, sender: str, inserted: Iterable[Fact] = (),
+                      deleted: Iterable[Fact] = ()) -> None:
+        """Record fact updates received from ``sender`` for the next stage."""
+        for fact in inserted:
+            self.state.pending.inserted_facts.append((sender, fact))
+        for fact in deleted:
+            self.state.pending.deleted_facts.append((sender, fact))
+
+    def receive_delegation(self, sender: str, delegation_id: str, rule: Rule) -> None:
+        """Record a delegation install received from ``sender`` for the next stage."""
+        self.state.pending.delegations_to_install.append((sender, delegation_id, rule))
+
+    def receive_delegation_retraction(self, sender: str, delegation_id: str) -> None:
+        """Record a delegation retraction received from ``sender`` for the next stage."""
+        self.state.pending.delegations_to_retract.append((sender, delegation_id))
+
+    def has_pending_input(self) -> bool:
+        """``True`` when inputs are waiting to be consumed by the next stage."""
+        return (not self.state.pending.is_empty()
+                or bool(self.state.deferred_updates)
+                or bool(self._pending_remote_inserts)
+                or bool(self._pending_remote_deletes))
+
+    # ------------------------------------------------------------------ #
+    # the computation stage
+    # ------------------------------------------------------------------ #
+
+    def run_stage(self) -> StageResult:
+        """Run one three-step computation stage and return its outputs."""
+        self.state.stage_counter += 1
+        result = StageResult(peer=self.peer, stage=self.state.stage_counter)
+        if self.provenance is not None and hasattr(self.provenance, "notify_stage"):
+            self.provenance.notify_stage(self.state.stage_counter)
+
+        previous_derived = self.state.derived.snapshot()
+
+        # ---- step 1: load inputs ------------------------------------- #
+        result.consumed_inputs = self._consume_inputs()
+
+        # ---- step 2: local fixpoint ----------------------------------- #
+        outcome = self._run_fixpoint(result)
+
+        # ---- step 3: emit updates and delegations ---------------------- #
+        self._emit_outputs(outcome, result)
+
+        # End-of-stage housekeeping.
+        if self.strict_stage_inputs:
+            self.state.clear_provided()
+        self.state.store.clear_nonpersistent()
+        self.state.deferred_updates = Delta.insertion(outcome.local_extensional - set(
+            self.state.store.all_facts()
+        ))
+        result.deferred_local_updates = len(self.state.deferred_updates)
+        result.derived_changed = self.state.derived.snapshot() != previous_derived
+        return result
+
+    def run_to_quiescence(self, max_stages: int = 50) -> List[StageResult]:
+        """Run stages until the peer is locally quiescent (single-peer helper).
+
+        Outgoing messages are *not* delivered anywhere; use
+        :class:`repro.runtime.system.WebdamLogSystem` to run a network of
+        peers.  Raises :class:`EvaluationError` if quiescence is not reached
+        within ``max_stages``.
+        """
+        results: List[StageResult] = []
+        for _ in range(max_stages):
+            result = self.run_stage()
+            results.append(result)
+            if result.is_quiescent():
+                return results
+        raise EvaluationError(
+            f"peer {self.peer} did not reach quiescence within {max_stages} stages"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
+        """Facts of ``relation@peer`` currently visible at this peer."""
+        return self.state.query(relation, peer)
+
+    def snapshot(self) -> Dict[str, Tuple[Fact, ...]]:
+        """Snapshot of every non-empty relation visible at this peer."""
+        return self.state.snapshot()
+
+    def counts(self) -> Dict[str, int]:
+        """Size counters of the peer state."""
+        return self.state.counts()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _consume_inputs(self) -> int:
+        consumed = 0
+        pending = self.state.pending
+
+        # Deferred local extensional updates decided by the previous stage.
+        if self.state.deferred_updates:
+            consumed += len(self.state.deferred_updates)
+            self.state.store.apply(self.state.deferred_updates)
+            self.state.deferred_updates = Delta.empty()
+
+        for _sender, fact in pending.inserted_facts:
+            consumed += 1
+            if fact.peer != self.peer:
+                # Mis-routed fact; ignore (the runtime should not let this happen).
+                continue
+            if self.state.is_local_intensional(fact):
+                self.state.add_provided(fact)
+            else:
+                self.state.store.insert(fact)
+        for _sender, fact in pending.deleted_facts:
+            consumed += 1
+            if fact.peer != self.peer:
+                continue
+            if self.state.is_local_intensional(fact):
+                self.state.remove_provided(fact)
+            else:
+                self.state.store.delete(fact)
+        for sender, delegation_id, rule in pending.delegations_to_install:
+            consumed += 1
+            self.state.delegations_in.install(delegation_id, sender, rule)
+        for sender, delegation_id in pending.delegations_to_retract:
+            consumed += 1
+            installed = self.state.delegations_in.retract(delegation_id)
+            if installed is not None and installed.delegator != sender:
+                # Only the original delegator may retract; re-install otherwise.
+                self.state.delegations_in.install(
+                    delegation_id, installed.delegator, installed.rule
+                )
+                consumed -= 1
+        pending.clear()
+        return consumed
+
+    def _run_fixpoint(self, result: StageResult) -> RuleOutcome:
+        # Intensional relations are recomputed from scratch at every stage.
+        for schema in list(self.state.schemas.intensional()):
+            if schema.peer == self.peer:
+                self.state.derived.clear_relation(schema.name, schema.peer)
+        self.state.derived.take_delta()
+
+        evaluator = RuleEvaluator(
+            peer=self.peer,
+            fact_source=self.state.fact_view,
+            kind_resolver=self.state.kind_of,
+            on_derivation=self.provenance.record if self.provenance is not None else None,
+        )
+        total = RuleOutcome()
+        rules = list(self.state.all_rules())
+        strata = stratify_local_rules(self.peer, rules)
+        for stratum in strata:
+            changed = True
+            while changed:
+                changed = False
+                result.fixpoint_iterations += 1
+                outcome = evaluator.evaluate_rules(stratum)
+                result.rules_evaluated += len(stratum)
+                result.substitutions_explored += outcome.substitutions_explored
+                total.merge(outcome)
+                for fact in outcome.local_intensional:
+                    delta = self.state.derived.insert(fact)
+                    if delta:
+                        changed = True
+                        result.derived_intensional += 1
+        return total
+
+    def _emit_outputs(self, outcome: RuleOutcome, result: StageResult) -> None:
+        # -- facts derived for remote peers ------------------------------ #
+        current_by_target: Dict[str, Set[Fact]] = {}
+        for fact in outcome.remote_facts:
+            current_by_target.setdefault(fact.peer, set()).add(fact)
+
+        targets = set(current_by_target) | set(self._sent_remote)
+        derived_updates: Dict[str, Tuple[Set[Fact], Set[Fact]]] = {}
+        for target in targets:
+            current = current_by_target.get(target, set())
+            previous = self._sent_remote.get(target, set())
+            newly_derived = current - previous
+            vanished = previous - current
+            # Facts destined to relations known to be intensional at the
+            # remote peer are view facts: retract them when no longer
+            # derivable.  Unknown or extensional relations are insert-only
+            # updates (the paper's semantics for updates to extensional
+            # relations of other peers).
+            to_delete = {
+                fact for fact in vanished
+                if self.state.kind_of(fact.relation, fact.peer) is RelationKind.INTENSIONAL
+            }
+            if newly_derived or to_delete:
+                derived_updates[target] = (newly_derived, to_delete)
+            self._sent_remote[target] = (previous - to_delete) | current
+
+        # -- user-initiated updates to remote relations ------------------ #
+        user_targets = set(self._pending_remote_inserts) | set(self._pending_remote_deletes)
+        for target in sorted(targets | user_targets):
+            derived_ins, derived_del = derived_updates.get(target, (set(), set()))
+            user_ins = self._pending_remote_inserts.pop(target, set())
+            user_del = self._pending_remote_deletes.pop(target, set())
+            inserted = frozenset(derived_ins | user_ins)
+            deleted = frozenset(derived_del | user_del)
+            if inserted or deleted:
+                result.outgoing_updates.append(
+                    OutgoingUpdate(target=target, inserted=inserted, deleted=deleted)
+                )
+
+        # -- delegations -------------------------------------------------- #
+        diff = self.state.delegation_tracker.diff(outcome.delegations)
+        self.state.delegation_tracker.commit(diff)
+        result.delegations_to_install = list(diff.to_install)
+        result.delegations_to_retract = list(diff.to_retract)

@@ -1,0 +1,270 @@
+"""Left-to-right evaluation of WebdamLog rules at one peer.
+
+The evaluation of a rule at peer ``p`` proceeds literal by literal, left to
+right, maintaining a set of candidate substitutions:
+
+* a body literal located at ``p`` (after applying the current substitution)
+  is matched against the peer's local facts, extending the substitutions;
+* a *negated* local literal filters out substitutions for which a matching
+  fact exists;
+* the first literal located at a *remote* peer stops local evaluation for
+  that substitution: the partially instantiated remainder of the rule becomes
+  a :class:`~repro.core.delegation.Delegation` to that peer.
+
+Substitutions that survive the whole body produce the head fact, which is
+classified as a local intensional derivation, a (deferred) local extensional
+update, or a fact destined for a remote peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.delegation import Delegation
+from repro.core.errors import EvaluationError
+from repro.core.facts import Fact
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind
+from repro.core.terms import Constant, Term, Variable
+from repro.core.unification import Substitution, match_atom_fact
+
+#: Callable giving the evaluator access to local facts:
+#: ``fact_source(relation_name, peer_name)`` returns an iterable of facts.
+FactSource = Callable[[str, str], Iterable[Fact]]
+
+#: Callable classifying a relation: returns a :class:`RelationKind` (or None if unknown).
+KindResolver = Callable[[str, str], Optional[RelationKind]]
+
+
+@dataclass
+class RuleOutcome:
+    """Everything produced by evaluating one rule once."""
+
+    local_intensional: Set[Fact] = field(default_factory=set)
+    local_extensional: Set[Fact] = field(default_factory=set)
+    remote_facts: Set[Fact] = field(default_factory=set)
+    delegations: Set[Delegation] = field(default_factory=set)
+    substitutions_explored: int = 0
+
+    def merge(self, other: "RuleOutcome") -> "RuleOutcome":
+        """Accumulate another outcome into this one."""
+        self.local_intensional |= other.local_intensional
+        self.local_extensional |= other.local_extensional
+        self.remote_facts |= other.remote_facts
+        self.delegations |= other.delegations
+        self.substitutions_explored += other.substitutions_explored
+        return self
+
+    def is_empty(self) -> bool:
+        """``True`` when nothing at all was produced."""
+        return not (self.local_intensional or self.local_extensional
+                    or self.remote_facts or self.delegations)
+
+    def total_derivations(self) -> int:
+        """Number of facts and delegations produced."""
+        return (len(self.local_intensional) + len(self.local_extensional)
+                + len(self.remote_facts) + len(self.delegations))
+
+
+class RuleEvaluator:
+    """Evaluates WebdamLog rules at a single peer.
+
+    Parameters
+    ----------
+    peer:
+        Name of the local peer.
+    fact_source:
+        Access to the local facts (extensional, ephemeral and intensional
+        facts derived so far in the current fixpoint).
+    kind_resolver:
+        Maps ``(relation, peer)`` to a :class:`RelationKind`.  Unknown local
+        relations in head position default to extensional (the engine
+        declares them implicitly), matching the run-time relation discovery
+        described in the paper.
+    allow_delegation:
+        When ``False`` (used to evaluate *delegated* rules whose remainder
+        must not be re-delegated in a loop, or to emulate a purely local
+        engine), a remote body literal simply produces no results instead of
+        a delegation.
+    """
+
+    def __init__(self, peer: str, fact_source: FactSource,
+                 kind_resolver: Optional[KindResolver] = None,
+                 allow_delegation: bool = True,
+                 on_derivation: Optional[Callable[[Fact, Rule, Tuple[Fact, ...]], None]] = None):
+        self.peer = peer
+        self.fact_source = fact_source
+        self.kind_resolver = kind_resolver or (lambda relation, peer_name: None)
+        self.allow_delegation = allow_delegation
+        # Optional provenance hook: called with (derived fact, rule, supporting facts)
+        # for every head emitted locally or for a remote peer.
+        self.on_derivation = on_derivation
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate_rule(self, rule: Rule) -> RuleOutcome:
+        """Evaluate one rule and return everything it produces."""
+        outcome = RuleOutcome()
+        self._evaluate_from(rule, 0, {}, outcome, ())
+        return outcome
+
+    def evaluate_rules(self, rules: Iterable[Rule]) -> RuleOutcome:
+        """Evaluate several rules, merging their outcomes."""
+        outcome = RuleOutcome()
+        for rule in rules:
+            outcome.merge(self.evaluate_rule(rule))
+        return outcome
+
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_from(self, rule: Rule, index: int, substitution: Substitution,
+                       outcome: RuleOutcome, support: Tuple[Fact, ...]) -> None:
+        outcome.substitutions_explored += 1
+        if index == len(rule.body):
+            self._emit_head(rule, substitution, outcome, support)
+            return
+
+        literal = rule.body[index].substitute(substitution)
+        peer_name = self._resolve_peer(literal, rule)
+        relation_name = literal.relation_constant()
+
+        if peer_name != self.peer:
+            # Remote literal: delegate the remainder of the rule.
+            if not self.allow_delegation:
+                return
+            self._emit_delegation(rule, index, substitution, peer_name, outcome)
+            return
+
+        if relation_name is None:
+            raise EvaluationError(
+                f"rule {rule.rule_id}: relation position of literal #{index + 1} "
+                f"({rule.body[index]}) is still a variable after substitution"
+            )
+
+        if literal.negated:
+            if not self._has_match(literal):
+                self._evaluate_from(rule, index + 1, substitution, outcome, support)
+            return
+
+        for fact in self.fact_source(relation_name, peer_name):
+            extended = match_atom_fact(literal.positive(), fact, substitution)
+            if extended is not None:
+                self._evaluate_from(rule, index + 1, extended, outcome, support + (fact,))
+
+    def _resolve_peer(self, literal: Atom, rule: Rule) -> str:
+        peer_name = literal.peer_constant()
+        if peer_name is None:
+            raise EvaluationError(
+                f"rule {rule.rule_id}: peer position of literal {literal} is unbound "
+                "at evaluation time (unsafe rule?)"
+            )
+        return peer_name
+
+    def _has_match(self, literal: Atom) -> bool:
+        relation_name = literal.relation_constant()
+        peer_name = literal.peer_constant()
+        assert relation_name is not None and peer_name is not None
+        positive = literal.positive()
+        for fact in self.fact_source(relation_name, peer_name):
+            if match_atom_fact(positive, fact, {}) is not None:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def _emit_delegation(self, rule: Rule, index: int, substitution: Substitution,
+                         target: str, outcome: RuleOutcome) -> None:
+        head = rule.head.substitute(substitution)
+        remainder = tuple(atom.substitute(substitution) for atom in rule.body[index:])
+        delegated_rule = Rule(
+            head=head,
+            body=remainder,
+            author=self.peer,
+            origin=rule.origin or rule.rule_id,
+            rule_id=f"{rule.rule_id}@{target}",
+        )
+        outcome.delegations.add(
+            Delegation(
+                target=target,
+                rule=delegated_rule,
+                delegator=self.peer,
+                origin_rule_id=rule.origin or rule.rule_id,
+            )
+        )
+
+    def _emit_head(self, rule: Rule, substitution: Substitution,
+                   outcome: RuleOutcome, support: Tuple[Fact, ...]) -> None:
+        head = rule.head.substitute(substitution)
+        if not head.is_ground():
+            raise EvaluationError(
+                f"rule {rule.rule_id}: head {head} is not ground after evaluating the body"
+            )
+        fact = head.to_fact()
+        if self.on_derivation is not None:
+            self.on_derivation(fact, rule, support)
+        if fact.peer != self.peer:
+            outcome.remote_facts.add(fact)
+            return
+        kind = self.kind_resolver(fact.relation, fact.peer)
+        if kind is RelationKind.INTENSIONAL:
+            outcome.local_intensional.add(fact)
+        else:
+            outcome.local_extensional.add(fact)
+
+
+# --------------------------------------------------------------------------- #
+# stratification of a peer's local program
+# --------------------------------------------------------------------------- #
+
+def stratify_local_rules(peer: str, rules: List[Rule]) -> List[List[Rule]]:
+    """Group a peer's rules into strata for negation-safe fixpoint evaluation.
+
+    The predicate dependency graph is built over qualified relation names.
+    Atoms whose relation or peer position is a variable are approximated by a
+    wildcard node that depends on every head (and every head depends on it),
+    which is conservative.  When the resulting graph has a cycle through
+    negation the rules are returned as a single stratum: the engine still
+    evaluates them, but negation-as-failure is then only a best-effort
+    semantics, mirroring the original system where negation was not supported
+    at all.
+    """
+    from repro.datalog.program import DatalogAtom, DatalogProgram, DatalogRule, Var
+    from repro.datalog.stratification import StratificationError, stratify as datalog_stratify
+
+    wildcard = "*any*"
+
+    def predicate_of(atom: Atom) -> str:
+        relation = atom.relation_constant()
+        peer_name = atom.peer_constant()
+        if relation is None or peer_name is None:
+            return wildcard
+        return f"{relation}@{peer_name}"
+
+    program = DatalogProgram()
+    index_of: Dict[int, Rule] = {}
+    for position, rule in enumerate(rules):
+        marker = Var("x")
+        head = DatalogAtom(predicate_of(rule.head), (marker,))
+        body = [DatalogAtom(predicate_of(atom), (marker,), atom.negated) for atom in rule.body]
+        # Keep a positional marker predicate so that each WebdamLog rule maps
+        # to a distinguishable datalog rule even when predicates collide.
+        program.rules.append(DatalogRule(head, tuple(body)))
+        index_of[position] = rule
+
+    try:
+        strata = datalog_stratify(program)
+    except StratificationError:
+        return [list(rules)]
+
+    # Map the datalog strata back onto the original rules, preserving order.
+    rule_to_stratum: Dict[int, int] = {}
+    for stratum_index, stratum_rules in enumerate(strata):
+        for datalog_rule in stratum_rules:
+            for position, original in enumerate(program.rules):
+                if original is datalog_rule:
+                    rule_to_stratum[position] = stratum_index
+    grouped: Dict[int, List[Rule]] = {}
+    for position, rule in index_of.items():
+        grouped.setdefault(rule_to_stratum.get(position, 0), []).append(rule)
+    return [grouped[s] for s in sorted(grouped)]

@@ -1,0 +1,418 @@
+"""Facts, fact stores and deltas.
+
+A WebdamLog *fact* is an expression ``m@p(a1, ..., an)`` where ``m@p`` names
+a relation managed at peer ``p`` and ``a1..an`` are data values.  Facts are
+immutable and hashable so that sets of facts can be manipulated cheaply.
+
+:class:`FactStore` is the per-peer storage layer: one hash-indexed table per
+relation, with support for insertions, deletions, primary-key replacement and
+delta tracking (the engine's seminaive evaluation and the runtime's message
+accounting both consume deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import SchemaError
+from repro.core.schema import RelationKind, RelationName, RelationSchema, SchemaRegistry
+from repro.core.terms import Constant, ConstantValue, Term
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact ``relation@peer(values...)``.
+
+    ``values`` holds plain Python values (not :class:`Constant` wrappers) so
+    that facts are cheap to build from wrappers, workload generators and the
+    storage layer.  Use :meth:`terms` to obtain the :class:`Constant` view
+    needed by unification.
+    """
+
+    relation: str
+    peer: str
+    values: Tuple[ConstantValue, ...]
+
+    def __post_init__(self):
+        if not self.relation or not self.peer:
+            raise SchemaError("fact must name a relation and a peer")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def arity(self) -> int:
+        """Number of values in the fact."""
+        return len(self.values)
+
+    @property
+    def relation_name(self) -> RelationName:
+        """Fully-qualified relation identifier of the fact."""
+        return RelationName(self.relation, self.peer)
+
+    @property
+    def qualified_relation(self) -> str:
+        """The string ``"relation@peer"``."""
+        return f"{self.relation}@{self.peer}"
+
+    def terms(self) -> Tuple[Constant, ...]:
+        """The values of the fact wrapped as :class:`Constant` terms."""
+        return tuple(Constant(v) for v in self.values)
+
+    def at_peer(self, peer: str) -> "Fact":
+        """Return a copy of this fact relocated to ``peer``.
+
+        Used when a rule head names a remote peer: the derived tuple becomes a
+        fact of the remote relation.
+        """
+        return Fact(self.relation, peer, self.values)
+
+    def rename(self, relation: str) -> "Fact":
+        """Return a copy of this fact with a different relation name."""
+        return Fact(relation, self.peer, self.values)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(Constant(v)) for v in self.values)
+        return f"{self.relation}@{self.peer}({rendered})"
+
+    @classmethod
+    def of(cls, qualified: str, *values: ConstantValue) -> "Fact":
+        """Build a fact from a qualified relation name: ``Fact.of("r@p", 1, "x")``."""
+        rel = RelationName.parse(qualified)
+        return cls(rel.name, rel.peer, tuple(values))
+
+
+@dataclass(frozen=True)
+class Delta:
+    """A set of insertions and deletions produced by one operation or one stage."""
+
+    inserted: FrozenSet[Fact] = frozenset()
+    deleted: FrozenSet[Fact] = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted) or bool(self.deleted)
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def merge(self, other: "Delta") -> "Delta":
+        """Combine two deltas; an insert followed by a delete of the same fact cancels out."""
+        inserted = (set(self.inserted) | set(other.inserted)) - set(other.deleted)
+        deleted = (set(self.deleted) | set(other.deleted)) - set(other.inserted)
+        return Delta(frozenset(inserted), frozenset(deleted))
+
+    @classmethod
+    def insertion(cls, facts: Iterable[Fact]) -> "Delta":
+        """Delta consisting only of insertions."""
+        return cls(inserted=frozenset(facts))
+
+    @classmethod
+    def deletion(cls, facts: Iterable[Fact]) -> "Delta":
+        """Delta consisting only of deletions."""
+        return cls(deleted=frozenset(facts))
+
+    @classmethod
+    def empty(cls) -> "Delta":
+        """The empty delta."""
+        return cls()
+
+
+class _RelationTable:
+    """Hash-indexed storage for one relation.
+
+    Tuples are stored in a set; secondary hash indexes on individual columns
+    are built lazily the first time a bound-column lookup is issued, and
+    maintained incrementally afterwards.
+    """
+
+    __slots__ = ("schema", "_tuples", "_indexes")
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+        self._tuples: Set[Tuple[ConstantValue, ...]] = set()
+        self._indexes: Dict[int, Dict[ConstantValue, Set[Tuple[ConstantValue, ...]]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, values: Tuple[ConstantValue, ...]) -> bool:
+        return tuple(values) in self._tuples
+
+    def __iter__(self) -> Iterator[Tuple[ConstantValue, ...]]:
+        return iter(self._tuples)
+
+    def _index_for(self, column: int) -> Dict[ConstantValue, Set[Tuple[ConstantValue, ...]]]:
+        index = self._indexes.get(column)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                index.setdefault(self._index_key(row[column]), set()).add(row)
+            self._indexes[column] = index
+        return index
+
+    @staticmethod
+    def _index_key(value: ConstantValue):
+        # bool is a subclass of int; keep True distinct from 1 in indexes,
+        # matching Constant equality semantics.
+        return (type(value).__name__, value)
+
+    def insert(self, values: Tuple[ConstantValue, ...]) -> Tuple[List[Tuple], List[Tuple]]:
+        """Insert a tuple.  Returns ``(inserted_rows, deleted_rows)``.
+
+        When the schema declares a primary key, an existing tuple with the
+        same key is replaced (last-writer-wins), which yields one deletion.
+        """
+        values = tuple(values)
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"arity mismatch inserting into {self.schema.qualified_name}: "
+                f"expected {self.schema.arity}, got {len(values)}"
+            )
+        if values in self._tuples:
+            return [], []
+        deleted: List[Tuple[ConstantValue, ...]] = []
+        key_idx = self.schema.key_indexes()
+        if key_idx:
+            key_value = tuple(values[i] for i in key_idx)
+            for row in list(self._tuples):
+                if tuple(row[i] for i in key_idx) == key_value:
+                    self._remove(row)
+                    deleted.append(row)
+        self._add(values)
+        return [values], deleted
+
+    def delete(self, values: Tuple[ConstantValue, ...]) -> bool:
+        """Delete a tuple; return ``True`` if it was present."""
+        values = tuple(values)
+        if values not in self._tuples:
+            return False
+        self._remove(values)
+        return True
+
+    def _add(self, values: Tuple[ConstantValue, ...]) -> None:
+        self._tuples.add(values)
+        for column, index in self._indexes.items():
+            index.setdefault(self._index_key(values[column]), set()).add(values)
+
+    def _remove(self, values: Tuple[ConstantValue, ...]) -> None:
+        self._tuples.discard(values)
+        for column, index in self._indexes.items():
+            bucket = index.get(self._index_key(values[column]))
+            if bucket is not None:
+                bucket.discard(values)
+                if not bucket:
+                    del index[self._index_key(values[column])]
+
+    def clear(self) -> List[Tuple[ConstantValue, ...]]:
+        """Remove every tuple; return the removed rows."""
+        removed = list(self._tuples)
+        self._tuples.clear()
+        self._indexes.clear()
+        return removed
+
+    def scan(self, bindings: Optional[Dict[int, ConstantValue]] = None
+             ) -> Iterator[Tuple[ConstantValue, ...]]:
+        """Iterate over tuples matching the given ``{column: value}`` bindings.
+
+        With no bindings this is a full scan.  With bindings, the most
+        selective single-column hash index is used and remaining bindings are
+        checked by filtering.
+        """
+        if not bindings:
+            yield from self._tuples
+            return
+        # Choose the bound column whose index bucket is smallest.
+        best_column = None
+        best_bucket: Optional[Set[Tuple[ConstantValue, ...]]] = None
+        for column, value in bindings.items():
+            bucket = self._index_for(column).get(self._index_key(value), set())
+            if best_bucket is None or len(bucket) < len(best_bucket):
+                best_column, best_bucket = column, bucket
+        assert best_bucket is not None
+        for row in best_bucket:
+            matched = True
+            for column, value in bindings.items():
+                if column == best_column:
+                    continue
+                cell = row[column]
+                if type(cell) is not type(value) or cell != value:
+                    matched = False
+                    break
+            if matched:
+                yield row
+
+
+class FactStore:
+    """Per-peer fact storage: one :class:`_RelationTable` per relation.
+
+    The store tracks a *pending delta* accumulating every change since the
+    last call to :meth:`take_delta`; the engine uses this to compute which
+    updates must be pushed to remote peers and to drive seminaive evaluation.
+    """
+
+    def __init__(self, schemas: Optional[SchemaRegistry] = None, owner: Optional[str] = None):
+        self.schemas = schemas if schemas is not None else SchemaRegistry()
+        self.owner = owner
+        self._tables: Dict[RelationName, _RelationTable] = {}
+        self._pending_inserted: Set[Fact] = set()
+        self._pending_deleted: Set[Fact] = set()
+
+    # ------------------------------------------------------------------ #
+    # table management
+    # ------------------------------------------------------------------ #
+
+    def _table(self, relation: str, peer: str, arity: Optional[int] = None,
+               create: bool = True) -> Optional[_RelationTable]:
+        key = RelationName(relation, peer)
+        table = self._tables.get(key)
+        if table is not None:
+            return table
+        schema = self.schemas.get(relation, peer)
+        if schema is None:
+            if not create or arity is None:
+                return None
+            schema = self.schemas.declare_implicit(relation, peer, arity)
+        table = _RelationTable(schema)
+        self._tables[key] = table
+        return table
+
+    def relations(self) -> Tuple[RelationName, ...]:
+        """Identifiers of every relation that has a table (possibly empty)."""
+        return tuple(sorted(self._tables, key=str))
+
+    def schema_of(self, relation: str, peer: str) -> Optional[RelationSchema]:
+        """Schema of ``relation@peer`` or ``None``."""
+        return self.schemas.get(relation, peer)
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def insert(self, fact: Fact) -> Delta:
+        """Insert ``fact``; returns the resulting delta (empty if already present)."""
+        table = self._table(fact.relation, fact.peer, fact.arity)
+        inserted_rows, deleted_rows = table.insert(fact.values)
+        delta_inserted = {Fact(fact.relation, fact.peer, row) for row in inserted_rows}
+        delta_deleted = {Fact(fact.relation, fact.peer, row) for row in deleted_rows}
+        self._record(delta_inserted, delta_deleted)
+        return Delta(frozenset(delta_inserted), frozenset(delta_deleted))
+
+    def insert_many(self, facts: Iterable[Fact]) -> Delta:
+        """Insert several facts; returns the merged delta."""
+        total = Delta.empty()
+        for fact in facts:
+            total = total.merge(self.insert(fact))
+        return total
+
+    def delete(self, fact: Fact) -> Delta:
+        """Delete ``fact``; returns the resulting delta (empty if absent)."""
+        table = self._table(fact.relation, fact.peer, fact.arity, create=False)
+        if table is None or not table.delete(fact.values):
+            return Delta.empty()
+        self._record(set(), {fact})
+        return Delta.deletion([fact])
+
+    def delete_many(self, facts: Iterable[Fact]) -> Delta:
+        """Delete several facts; returns the merged delta."""
+        total = Delta.empty()
+        for fact in facts:
+            total = total.merge(self.delete(fact))
+        return total
+
+    def apply(self, delta: Delta) -> Delta:
+        """Apply a delta (deletions first, then insertions); returns the effective delta."""
+        effective = Delta.empty()
+        for fact in delta.deleted:
+            effective = effective.merge(self.delete(fact))
+        for fact in delta.inserted:
+            effective = effective.merge(self.insert(fact))
+        return effective
+
+    def clear_relation(self, relation: str, peer: str) -> Delta:
+        """Remove every fact of ``relation@peer``."""
+        table = self._table(relation, peer, create=False)
+        if table is None:
+            return Delta.empty()
+        removed = {Fact(relation, peer, row) for row in table.clear()}
+        self._record(set(), removed)
+        return Delta.deletion(removed)
+
+    def clear_nonpersistent(self) -> Delta:
+        """Remove facts of non-persistent extensional relations (end-of-stage semantics)."""
+        total = Delta.empty()
+        for key, table in self._tables.items():
+            schema = table.schema
+            if schema.is_extensional() and not schema.persistent and len(table):
+                total = total.merge(self.clear_relation(key.name, key.peer))
+        return total
+
+    def _record(self, inserted: Set[Fact], deleted: Set[Fact]) -> None:
+        for fact in deleted:
+            if fact in self._pending_inserted:
+                self._pending_inserted.discard(fact)
+            else:
+                self._pending_deleted.add(fact)
+        for fact in inserted:
+            if fact in self._pending_deleted:
+                self._pending_deleted.discard(fact)
+            else:
+                self._pending_inserted.add(fact)
+
+    def take_delta(self) -> Delta:
+        """Return and reset the delta accumulated since the previous call."""
+        delta = Delta(frozenset(self._pending_inserted), frozenset(self._pending_deleted))
+        self._pending_inserted = set()
+        self._pending_deleted = set()
+        return delta
+
+    def peek_delta(self) -> Delta:
+        """Return the accumulated delta without resetting it."""
+        return Delta(frozenset(self._pending_inserted), frozenset(self._pending_deleted))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, fact: Fact) -> bool:
+        """Return ``True`` if ``fact`` is currently stored."""
+        table = self._table(fact.relation, fact.peer, create=False)
+        return table is not None and fact.values in table
+
+    def count(self, relation: str, peer: str) -> int:
+        """Number of facts currently stored in ``relation@peer``."""
+        table = self._table(relation, peer, create=False)
+        return len(table) if table is not None else 0
+
+    def total_facts(self) -> int:
+        """Total number of facts across all relations."""
+        return sum(len(table) for table in self._tables.values())
+
+    def facts(self, relation: str, peer: str,
+              bindings: Optional[Dict[int, ConstantValue]] = None) -> Iterator[Fact]:
+        """Iterate over the facts of ``relation@peer`` matching positional ``bindings``."""
+        table = self._table(relation, peer, create=False)
+        if table is None:
+            return iter(())
+        return (Fact(relation, peer, row) for row in table.scan(bindings))
+
+    def all_facts(self) -> Iterator[Fact]:
+        """Iterate over every stored fact."""
+        for key, table in self._tables.items():
+            for row in table:
+                yield Fact(key.name, key.peer, row)
+
+    def relation_snapshot(self, relation: str, peer: str) -> FrozenSet[Fact]:
+        """Frozen snapshot of ``relation@peer``."""
+        return frozenset(self.facts(relation, peer))
+
+    def snapshot(self) -> FrozenSet[Fact]:
+        """Frozen snapshot of the whole store."""
+        return frozenset(self.all_facts())
+
+    def copy(self) -> "FactStore":
+        """Deep copy of the store (used by the deterministic simulator for checkpoints)."""
+        clone = FactStore(self.schemas.copy(), owner=self.owner)
+        for fact in self.all_facts():
+            clone.insert(fact)
+        clone.take_delta()
+        return clone

@@ -1,0 +1,438 @@
+"""Parser for the WebdamLog surface syntax.
+
+The concrete syntax follows the paper and the original Ruby prototype::
+
+    // a comment (``#`` comments are accepted as well)
+    collection extensional persistent pictures@alice(id, name, owner, data);
+    collection intensional attendeePictures@alice(id, name, owner, data);
+    fact pictures@alice(1, "sea.jpg", "alice", "100...");
+    rule attendeePictures@alice($id, $n, $o, $d) :-
+        selectedAttendee@alice($a),
+        pictures@$a($id, $n, $o, $d);
+
+Notes
+-----
+* The ``fact`` and ``rule`` keywords are optional: a statement containing
+  ``:-`` is a rule, a bare ground atom is a fact.
+* Relation and peer positions accept identifiers or variables (``$x``).
+* Values are double-quoted strings, integers, floats, ``true``, ``false``
+  and ``null``.
+* Statements are terminated by ``;``.  :func:`parse_rule` and
+  :func:`parse_fact` accept a single statement with or without the
+  terminator.
+* Negated body literals are written ``not rel@peer(...)`` (or ``!rel@peer``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import ParseError
+from repro.core.facts import Fact
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.core.terms import Constant, Term, Variable
+
+
+# --------------------------------------------------------------------------- #
+# tokenizer
+# --------------------------------------------------------------------------- #
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"(//|#)[^\n]*"),
+    ("IMPLIES", r":-"),
+    ("STRING", r'"(?:\\.|[^"\\])*"'),
+    ("FLOAT", r"-?\d+\.\d+"),
+    ("INT", r"-?\d+"),
+    ("VARIABLE", r"\$[A-Za-z_][A-Za-z0-9_]*|\$_"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("AT", r"@"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMICOLON", r";"),
+    ("BANG", r"!"),
+    ("STAR", r"\*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "collection", "fact", "rule", "peer", "extensional", "intensional",
+    "ext", "int", "inter", "persistent", "per", "not", "true", "false", "null", "end",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(f"unexpected character {source[position]!r}", line, column)
+        kind = match.lastgroup
+        text = match.group()
+        column = position - line_start + 1
+        if kind == "NEWLINE":
+            line += 1
+            line_start = match.end()
+        elif kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, column))
+        position = match.end()
+    return tokens
+
+
+# --------------------------------------------------------------------------- #
+# parsed program container
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ParsedProgram:
+    """Result of parsing a WebdamLog program text."""
+
+    schemas: List[RelationSchema] = field(default_factory=list)
+    facts: List[Fact] = field(default_factory=list)
+    rules: List[Rule] = field(default_factory=list)
+    peers: List[Tuple[str, str]] = field(default_factory=list)
+
+    def __iter__(self):
+        yield from self.schemas
+        yield from self.facts
+        yield from self.rules
+
+    def statement_count(self) -> int:
+        """Total number of parsed statements."""
+        return len(self.schemas) + len(self.facts) + len(self.rules) + len(self.peers)
+
+
+# --------------------------------------------------------------------------- #
+# recursive-descent parser
+# --------------------------------------------------------------------------- #
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: List[Token], default_peer: Optional[str] = None,
+                 author: Optional[str] = None):
+        self._tokens = tokens
+        self._index = 0
+        self._default_peer = default_peer
+        self._author = author
+        self._anon_counter = 0
+
+    # -- token helpers --------------------------------------------------- #
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {text or kind}, found end of input")
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind}, found {token.text!r}", token.line, token.column
+            )
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "IDENT" and token.text in keywords
+
+    def at_end(self) -> bool:
+        """``True`` when every token has been consumed."""
+        return self._index >= len(self._tokens)
+
+    # -- grammar --------------------------------------------------------- #
+
+    def parse_program(self) -> ParsedProgram:
+        """Parse a full program (sequence of statements)."""
+        program = ParsedProgram()
+        while not self.at_end():
+            if self._accept("SEMICOLON"):
+                continue
+            if self._at_keyword("end"):
+                self._next()
+                continue
+            self._parse_statement(program)
+        return program
+
+    def _parse_statement(self, program: ParsedProgram) -> None:
+        if self._at_keyword("collection"):
+            program.schemas.append(self._parse_collection())
+        elif self._at_keyword("peer"):
+            program.peers.append(self._parse_peer())
+        elif self._at_keyword("fact"):
+            self._next()
+            program.facts.append(self._parse_fact_body())
+        elif self._at_keyword("rule"):
+            self._next()
+            program.rules.append(self._parse_rule_body())
+        else:
+            # Bare statement: decide between fact and rule by scanning for ':-'
+            if self._statement_contains_implies():
+                program.rules.append(self._parse_rule_body())
+            else:
+                program.facts.append(self._parse_fact_body())
+        self._accept("SEMICOLON")
+
+    def _statement_contains_implies(self) -> bool:
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token is None or token.kind == "SEMICOLON":
+                return False
+            if token.kind == "IMPLIES":
+                return True
+            offset += 1
+
+    # collection [extensional|intensional] [persistent] name@peer(col[, col]*);
+    def _parse_collection(self) -> RelationSchema:
+        self._expect("IDENT", "collection")
+        kind = RelationKind.EXTENSIONAL
+        persistent = True
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text in (
+                "extensional", "ext", "intensional", "int", "inter"):
+            self._next()
+            if token.text in ("intensional", "int", "inter"):
+                kind = RelationKind.INTENSIONAL
+        if self._at_keyword("persistent", "per"):
+            self._next()
+            persistent = True
+        elif self._at_keyword("scratch"):
+            self._next()
+            persistent = False
+        name_token = self._expect("IDENT")
+        self._expect("AT")
+        peer_token = self._expect("IDENT")
+        self._expect("LPAREN")
+        columns: List[str] = []
+        keys: List[str] = []
+        while not self._accept("RPAREN"):
+            column = self._expect("IDENT").text
+            is_key = self._accept("STAR") is not None
+            columns.append(column)
+            if is_key:
+                keys.append(column)
+            if not self._accept("COMMA"):
+                self._expect("RPAREN")
+                break
+        return RelationSchema(
+            name=name_token.text,
+            peer=peer_token.text,
+            columns=tuple(columns),
+            kind=kind,
+            persistent=persistent,
+            key=tuple(keys),
+        )
+
+    # peer name "address";
+    def _parse_peer(self) -> Tuple[str, str]:
+        self._expect("IDENT", "peer")
+        name = self._expect("IDENT").text
+        address = name
+        token = self._peek()
+        if token is not None and token.kind == "STRING":
+            address = self._parse_string(self._next())
+        elif token is not None and token.kind == "IDENT" and token.text not in _KEYWORDS:
+            address = self._next().text
+        return (name, address)
+
+    def _parse_fact_body(self) -> Fact:
+        atom = self._parse_atom(allow_negation=False)
+        if not atom.is_ground():
+            token = self._peek(-1)
+            raise ParseError(
+                f"fact {atom} contains variables",
+                token.line if token else None,
+                token.column if token else None,
+            )
+        return atom.to_fact()
+
+    def _parse_rule_body(self) -> Rule:
+        head = self._parse_atom(allow_negation=False)
+        self._expect("IMPLIES")
+        body: List[Atom] = [self._parse_atom(allow_negation=True)]
+        while self._accept("COMMA"):
+            body.append(self._parse_atom(allow_negation=True))
+        return Rule(head=head, body=tuple(body), author=self._author)
+
+    def _parse_atom(self, allow_negation: bool) -> Atom:
+        negated = False
+        if allow_negation and (self._at_keyword("not") or self._peek() is not None
+                               and self._peek().kind == "BANG"):
+            token = self._next()
+            if token.kind == "IDENT" and token.text != "not":
+                raise ParseError("expected 'not'", token.line, token.column)
+            negated = True
+        relation = self._parse_location_term()
+        if self._accept("AT"):
+            peer = self._parse_location_term()
+        else:
+            if self._default_peer is None:
+                token = self._peek(-1)
+                raise ParseError(
+                    "atom without '@peer' and no default peer configured",
+                    token.line if token else None,
+                    token.column if token else None,
+                )
+            peer = Constant(self._default_peer)
+        self._expect("LPAREN")
+        args: List[Term] = []
+        while not self._accept("RPAREN"):
+            args.append(self._parse_value_term())
+            if not self._accept("COMMA"):
+                self._expect("RPAREN")
+                break
+        return Atom(relation=relation, peer=peer, args=tuple(args), negated=negated)
+
+    def _parse_location_term(self) -> Term:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected relation or peer name, found end of input")
+        if token.kind == "VARIABLE":
+            self._next()
+            return self._make_variable(token)
+        if token.kind == "IDENT":
+            self._next()
+            return Constant(token.text)
+        if token.kind == "STRING":
+            self._next()
+            return Constant(self._parse_string(token))
+        raise ParseError(
+            f"expected relation or peer name, found {token.text!r}", token.line, token.column
+        )
+
+    def _parse_value_term(self) -> Term:
+        token = self._next()
+        if token.kind == "VARIABLE":
+            return self._make_variable(token)
+        if token.kind == "STRING":
+            return Constant(self._parse_string(token))
+        if token.kind == "INT":
+            return Constant(int(token.text))
+        if token.kind == "FLOAT":
+            return Constant(float(token.text))
+        if token.kind == "IDENT":
+            if token.text == "true":
+                return Constant(True)
+            if token.text == "false":
+                return Constant(False)
+            if token.text == "null":
+                return Constant(None)
+            # Bare identifiers in argument positions are treated as string
+            # constants, matching the loose style of the paper's examples
+            # (e.g. selectedAttendee@Jules(Émilien)).
+            return Constant(token.text)
+        raise ParseError(f"unexpected token {token.text!r}", token.line, token.column)
+
+    def _make_variable(self, token: Token) -> Variable:
+        name = token.text[1:]
+        if name == "_":
+            self._anon_counter += 1
+            return Variable(f"_anon{self._anon_counter}")
+        return Variable(name)
+
+    @staticmethod
+    def _parse_string(token: Token) -> str:
+        body = token.text[1:-1]
+        return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+
+def parse_program(source: str, default_peer: Optional[str] = None,
+                  author: Optional[str] = None) -> ParsedProgram:
+    """Parse a complete WebdamLog program.
+
+    Parameters
+    ----------
+    source:
+        The program text.
+    default_peer:
+        Peer name to assume for atoms written without ``@peer``.
+    author:
+        Peer recorded as the author of every parsed rule (used by the
+        access-control layer to attribute delegations).
+    """
+    parser = _Parser(tokenize(source), default_peer=default_peer, author=author)
+    return parser.parse_program()
+
+
+def parse_rule(source: str, default_peer: Optional[str] = None,
+               author: Optional[str] = None) -> Rule:
+    """Parse a single rule, with or without the leading ``rule`` keyword."""
+    parser = _Parser(tokenize(source), default_peer=default_peer, author=author)
+    if parser._at_keyword("rule"):
+        parser._next()
+    rule = parser._parse_rule_body()
+    parser._accept("SEMICOLON")
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input after rule: {token.text!r}", token.line, token.column)
+    return rule
+
+
+def parse_fact(source: str, default_peer: Optional[str] = None) -> Fact:
+    """Parse a single fact, with or without the leading ``fact`` keyword."""
+    parser = _Parser(tokenize(source), default_peer=default_peer)
+    if parser._at_keyword("fact"):
+        parser._next()
+    fact = parser._parse_fact_body()
+    parser._accept("SEMICOLON")
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input after fact: {token.text!r}", token.line, token.column)
+    return fact
+
+
+def parse_atom(source: str, default_peer: Optional[str] = None,
+               allow_negation: bool = True) -> Atom:
+    """Parse a single (possibly negated, possibly non-ground) atom."""
+    parser = _Parser(tokenize(source), default_peer=default_peer)
+    atom = parser._parse_atom(allow_negation=allow_negation)
+    parser._accept("SEMICOLON")
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input after atom: {token.text!r}", token.line, token.column)
+    return atom

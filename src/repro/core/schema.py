@@ -1,0 +1,277 @@
+"""Relation schemas and the per-peer schema registry.
+
+WebdamLog distinguishes two kinds of relations:
+
+* **extensional** relations hold base facts; they are updated by explicit
+  insertions/deletions and by facts received from other peers;
+* **intensional** relations are defined by rules; their contents are
+  recomputed at every stage of the engine and never stored durably.
+
+The original Ruby prototype further distinguishes *persistent* extensional
+relations (facts survive across stages) from *non-persistent* ones (facts are
+consumed by the stage that reads them, like Bud scratch collections).  Both
+flavours are supported here through :attr:`RelationSchema.persistent`.
+
+A relation is identified by the pair ``(name, peer)`` — ``pictures@alice``
+and ``pictures@bob`` are unrelated relations that merely share a name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.core.errors import SchemaError
+
+
+class RelationKind(enum.Enum):
+    """Kind of a WebdamLog relation."""
+
+    EXTENSIONAL = "extensional"
+    INTENSIONAL = "intensional"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class RelationName:
+    """Fully-qualified relation identifier ``name@peer``."""
+
+    name: str
+    peer: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.peer:
+            raise SchemaError("peer name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.peer}"
+
+    @classmethod
+    def parse(cls, qualified: str) -> "RelationName":
+        """Parse ``"pictures@alice"`` into a :class:`RelationName`."""
+        if "@" not in qualified:
+            raise SchemaError(f"relation identifier {qualified!r} must contain '@'")
+        name, _, peer = qualified.partition("@")
+        return cls(name=name, peer=peer)
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Declaration of a relation: identity, arity, kind and column names.
+
+    Parameters
+    ----------
+    name:
+        Local relation name, e.g. ``"pictures"``.
+    peer:
+        Name of the peer that manages the relation, e.g. ``"alice"``.
+    columns:
+        Column names.  The arity of the relation is ``len(columns)``.
+        Column names are only used for documentation and for the key
+        declaration; positional access is the norm in rules.
+    kind:
+        :class:`RelationKind.EXTENSIONAL` or :class:`RelationKind.INTENSIONAL`.
+    persistent:
+        Whether extensional facts survive across engine stages.  Ignored for
+        intensional relations (which are always recomputed).
+    key:
+        Optional tuple of column names forming a primary key; insertions that
+        collide on the key replace the previous fact (last-writer-wins), which
+        is how the Ruby prototype models updatable collections.
+    """
+
+    name: str
+    peer: str
+    columns: Tuple[str, ...]
+    kind: RelationKind = RelationKind.EXTENSIONAL
+    persistent: bool = True
+    key: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.peer:
+            raise SchemaError("peer name must be non-empty")
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(
+                f"duplicate column names in declaration of {self.name}@{self.peer}"
+            )
+        for k in self.key:
+            if k not in self.columns:
+                raise SchemaError(
+                    f"key column {k!r} of {self.name}@{self.peer} is not a declared column"
+                )
+
+    @property
+    def arity(self) -> int:
+        """Number of columns of the relation."""
+        return len(self.columns)
+
+    @property
+    def relation_name(self) -> RelationName:
+        """Fully-qualified ``name@peer`` identifier."""
+        return RelationName(self.name, self.peer)
+
+    @property
+    def qualified_name(self) -> str:
+        """The string ``"name@peer"``."""
+        return f"{self.name}@{self.peer}"
+
+    def key_indexes(self) -> Tuple[int, ...]:
+        """Positional indexes of the key columns (empty when no key declared)."""
+        return tuple(self.columns.index(k) for k in self.key)
+
+    def is_extensional(self) -> bool:
+        """Return ``True`` for extensional (base-fact) relations."""
+        return self.kind is RelationKind.EXTENSIONAL
+
+    def is_intensional(self) -> bool:
+        """Return ``True`` for intensional (derived) relations."""
+        return self.kind is RelationKind.INTENSIONAL
+
+    def __str__(self) -> str:
+        kind = "extensional" if self.is_extensional() else "intensional"
+        persistence = " persistent" if (self.is_extensional() and self.persistent) else ""
+        cols = ", ".join(self.columns)
+        return f"collection {kind}{persistence} {self.qualified_name}({cols})"
+
+
+class SchemaRegistry:
+    """Registry of the relation schemas known to one peer.
+
+    A peer knows the schemas of its own relations (declared locally or created
+    implicitly when facts/delegations arrive) and may cache schemas of remote
+    relations it has heard about.  The registry enforces arity consistency:
+    re-declaring a relation with a different arity or kind raises
+    :class:`~repro.core.errors.SchemaError`.
+    """
+
+    def __init__(self, schemas: Optional[Iterable[RelationSchema]] = None):
+        self._schemas: Dict[RelationName, RelationSchema] = {}
+        if schemas:
+            for schema in schemas:
+                self.declare(schema)
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._schemas.values())
+
+    def __contains__(self, key) -> bool:
+        return self._coerce_key(key) in self._schemas
+
+    @staticmethod
+    def _coerce_key(key) -> RelationName:
+        if isinstance(key, RelationName):
+            return key
+        if isinstance(key, RelationSchema):
+            return key.relation_name
+        if isinstance(key, str):
+            return RelationName.parse(key)
+        if isinstance(key, tuple) and len(key) == 2:
+            return RelationName(key[0], key[1])
+        raise SchemaError(f"cannot interpret {key!r} as a relation identifier")
+
+    def declare(self, schema: RelationSchema, replace: bool = False) -> RelationSchema:
+        """Register ``schema``.
+
+        Re-declaring an identical schema is a no-op.  Re-declaring with a
+        different arity or kind raises :class:`SchemaError` unless
+        ``replace=True`` is passed.
+        """
+        existing = self._schemas.get(schema.relation_name)
+        if existing is not None and not replace:
+            if existing == schema:
+                return existing
+            if existing.arity != schema.arity or existing.kind != schema.kind:
+                raise SchemaError(
+                    f"conflicting re-declaration of {schema.qualified_name}: "
+                    f"existing {existing.arity}-ary {existing.kind.value}, "
+                    f"new {schema.arity}-ary {schema.kind.value}"
+                )
+            # Same arity/kind but e.g. different column names: keep the first.
+            return existing
+        self._schemas[schema.relation_name] = schema
+        return schema
+
+    def declare_implicit(self, name: str, peer: str, arity: int,
+                         kind: RelationKind = RelationKind.EXTENSIONAL) -> RelationSchema:
+        """Declare a relation whose schema was not given explicitly.
+
+        Used when a fact or delegation mentions a relation the peer has never
+        heard of: WebdamLog peers "discover new relations" at run time, so the
+        engine synthesises a schema with positional column names ``c0..cN``.
+        """
+        existing = self.get(name, peer)
+        if existing is not None:
+            if existing.arity != arity:
+                raise SchemaError(
+                    f"relation {name}@{peer} used with arity {arity} but declared "
+                    f"with arity {existing.arity}"
+                )
+            return existing
+        columns = tuple(f"c{i}" for i in range(arity))
+        schema = RelationSchema(name=name, peer=peer, columns=columns, kind=kind)
+        return self.declare(schema)
+
+    def get(self, name: str, peer: str) -> Optional[RelationSchema]:
+        """Return the schema of ``name@peer`` or ``None`` if unknown."""
+        return self._schemas.get(RelationName(name, peer))
+
+    def lookup(self, key) -> RelationSchema:
+        """Return the schema for ``key`` (string, tuple or RelationName); raise if unknown."""
+        rel = self._coerce_key(key)
+        schema = self._schemas.get(rel)
+        if schema is None:
+            raise SchemaError(f"unknown relation {rel}")
+        return schema
+
+    def relations_of_peer(self, peer: str) -> Tuple[RelationSchema, ...]:
+        """All schemas managed by ``peer``, sorted by relation name."""
+        found = [s for s in self._schemas.values() if s.peer == peer]
+        return tuple(sorted(found, key=lambda s: s.name))
+
+    def extensional(self) -> Tuple[RelationSchema, ...]:
+        """All extensional schemas, sorted by qualified name."""
+        found = [s for s in self._schemas.values() if s.is_extensional()]
+        return tuple(sorted(found, key=lambda s: s.qualified_name))
+
+    def intensional(self) -> Tuple[RelationSchema, ...]:
+        """All intensional schemas, sorted by qualified name."""
+        found = [s for s in self._schemas.values() if s.is_intensional()]
+        return tuple(sorted(found, key=lambda s: s.qualified_name))
+
+    def check_arity(self, name: str, peer: str, arity: int) -> None:
+        """Raise :class:`SchemaError` if ``name@peer`` is declared with a different arity."""
+        schema = self.get(name, peer)
+        if schema is not None and schema.arity != arity:
+            raise SchemaError(
+                f"relation {name}@{peer} has arity {schema.arity}, got {arity} arguments"
+            )
+
+    def copy(self) -> "SchemaRegistry":
+        """Return a shallow copy of the registry (schemas are immutable)."""
+        clone = SchemaRegistry()
+        clone._schemas = dict(self._schemas)
+        return clone
+
+
+def declare(qualified: str, columns: Sequence[str], kind: str = "extensional",
+            persistent: bool = True, key: Sequence[str] = ()) -> RelationSchema:
+    """Convenience constructor: ``declare("pictures@alice", ["id", "name"])``."""
+    rel = RelationName.parse(qualified)
+    kind_enum = RelationKind(kind) if not isinstance(kind, RelationKind) else kind
+    return RelationSchema(
+        name=rel.name,
+        peer=rel.peer,
+        columns=tuple(columns),
+        kind=kind_enum,
+        persistent=persistent,
+        key=tuple(key),
+    )

@@ -1,0 +1,223 @@
+"""Per-peer state of the WebdamLog engine.
+
+A peer's state consists of
+
+* the **schemas** it knows about,
+* its **extensional store** (base facts of relations located at the peer),
+* the **provided facts** received from remote peers for *intensional* local
+  relations — they persist until the sender retracts them (or, in strict
+  stage semantics, for a single stage),
+* the **derived store** of intensional facts computed by the last stage,
+* the peer's **own rules**, and
+* the **delegations** installed at the peer by remote delegators.
+
+The state also exposes the *fact view* used by the evaluator: the union of
+extensional, ephemeral and derived facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.delegation import DelegationStore, DelegationTracker, InstalledDelegation
+from repro.core.errors import SchemaError
+from repro.core.facts import Delta, Fact, FactStore
+from repro.core.rules import Rule
+from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
+
+
+@dataclass
+class PendingInput:
+    """Inputs received since the previous stage, waiting to be consumed by the next one."""
+
+    inserted_facts: List[Tuple[str, Fact]] = field(default_factory=list)
+    deleted_facts: List[Tuple[str, Fact]] = field(default_factory=list)
+    delegations_to_install: List[Tuple[str, str, Rule]] = field(default_factory=list)
+    delegations_to_retract: List[Tuple[str, str]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        """``True`` when nothing is waiting."""
+        return not (self.inserted_facts or self.deleted_facts
+                    or self.delegations_to_install or self.delegations_to_retract)
+
+    def clear(self) -> None:
+        """Drop every pending input."""
+        self.inserted_facts.clear()
+        self.deleted_facts.clear()
+        self.delegations_to_install.clear()
+        self.delegations_to_retract.clear()
+
+    def size(self) -> int:
+        """Total number of pending items."""
+        return (len(self.inserted_facts) + len(self.deleted_facts)
+                + len(self.delegations_to_install) + len(self.delegations_to_retract))
+
+
+class PeerState:
+    """Mutable state of one WebdamLog peer."""
+
+    def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None):
+        self.peer = peer
+        self.schemas = schemas if schemas is not None else SchemaRegistry()
+        self.store = FactStore(self.schemas, owner=peer)
+        self.derived = FactStore(self.schemas, owner=peer)
+        self.provided: Set[Fact] = set()
+        self.own_rules: List[Rule] = []
+        self.delegations_in = DelegationStore(peer)
+        self.delegation_tracker = DelegationTracker(peer)
+        self.pending = PendingInput()
+        self.deferred_updates: Delta = Delta.empty()
+        self.stage_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # schema helpers
+    # ------------------------------------------------------------------ #
+
+    def declare(self, schema: RelationSchema) -> RelationSchema:
+        """Declare a relation schema."""
+        return self.schemas.declare(schema)
+
+    def kind_of(self, relation: str, peer: str) -> Optional[RelationKind]:
+        """Kind of ``relation@peer`` according to the known schemas."""
+        schema = self.schemas.get(relation, peer)
+        return schema.kind if schema is not None else None
+
+    def is_local_intensional(self, fact: Fact) -> bool:
+        """``True`` when ``fact`` belongs to a local intensional relation."""
+        return (fact.peer == self.peer
+                and self.kind_of(fact.relation, fact.peer) is RelationKind.INTENSIONAL)
+
+    # ------------------------------------------------------------------ #
+    # rules
+    # ------------------------------------------------------------------ #
+
+    def add_rule(self, rule: Rule) -> Rule:
+        """Add one of the peer's own rules (validated for safety)."""
+        rule.check_safety()
+        if rule.author is None:
+            rule = Rule(head=rule.head, body=rule.body, author=self.peer,
+                        origin=rule.origin, rule_id=rule.rule_id)
+        self.own_rules.append(rule)
+        return rule
+
+    def remove_rule(self, rule_id: str) -> Optional[Rule]:
+        """Remove an own rule by identifier; returns it when found."""
+        for index, rule in enumerate(self.own_rules):
+            if rule.rule_id == rule_id:
+                return self.own_rules.pop(index)
+        return None
+
+    def replace_rule(self, rule_id: str, new_rule: Rule) -> Rule:
+        """Replace an own rule in place (used by the Wepic "customize rules" feature)."""
+        new_rule.check_safety()
+        for index, rule in enumerate(self.own_rules):
+            if rule.rule_id == rule_id:
+                replacement = Rule(head=new_rule.head, body=new_rule.body,
+                                   author=new_rule.author or self.peer,
+                                   origin=new_rule.origin, rule_id=rule_id)
+                self.own_rules[index] = replacement
+                return replacement
+        raise KeyError(f"no rule with id {rule_id!r} at peer {self.peer}")
+
+    def all_rules(self) -> Tuple[Rule, ...]:
+        """Own rules followed by installed delegated rules (deterministic order)."""
+        return tuple(self.own_rules) + self.delegations_in.rules()
+
+    def find_rules(self, head_relation: str) -> List[Rule]:
+        """Own rules whose head relation name equals ``head_relation``."""
+        return [r for r in self.own_rules if r.head.relation_constant() == head_relation]
+
+    # ------------------------------------------------------------------ #
+    # facts
+    # ------------------------------------------------------------------ #
+
+    def insert_fact(self, fact: Fact) -> Delta:
+        """Insert a base fact into the local extensional store.
+
+        Facts of relations located at other peers cannot be stored locally;
+        the engine routes them through messages instead.
+        """
+        if fact.peer != self.peer:
+            raise SchemaError(
+                f"peer {self.peer} cannot store fact {fact} of a relation located at "
+                f"{fact.peer}; send it as an update instead"
+            )
+        if self.is_local_intensional(fact):
+            raise SchemaError(
+                f"cannot insert base fact into intensional relation {fact.qualified_relation}"
+            )
+        return self.store.insert(fact)
+
+    def delete_fact(self, fact: Fact) -> Delta:
+        """Delete a base fact from the local extensional store."""
+        if fact.peer != self.peer:
+            raise SchemaError(
+                f"peer {self.peer} cannot delete fact {fact} of a relation located at "
+                f"{fact.peer}"
+            )
+        return self.store.delete(fact)
+
+    def add_provided(self, fact: Fact) -> None:
+        """Record a fact received from a remote peer for a local intensional relation."""
+        self.provided.add(fact)
+
+    def remove_provided(self, fact: Fact) -> None:
+        """Retract a previously provided fact (sender no longer derives it)."""
+        self.provided.discard(fact)
+
+    def clear_provided(self) -> None:
+        """Drop every provided fact (strict per-stage input semantics)."""
+        self.provided.clear()
+
+    # ------------------------------------------------------------------ #
+    # the fact view used by the evaluator
+    # ------------------------------------------------------------------ #
+
+    def fact_view(self, relation: str, peer: str) -> Iterator[Fact]:
+        """Facts visible to rule evaluation for ``relation@peer``.
+
+        The view is the union of the extensional store, the provided facts
+        and the intensional facts derived so far in the current stage.  Facts
+        of relations located at remote peers are never visible locally (they
+        can only be reached through delegation).
+        """
+        if peer != self.peer:
+            return
+        yield from self.store.facts(relation, peer)
+        yield from self.derived.facts(relation, peer)
+        for fact in self.provided:
+            if fact.relation == relation and fact.peer == peer:
+                yield fact
+
+    def query(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
+        """Facts of ``relation`` visible at this peer (stored, derived or provided)."""
+        target_peer = peer or self.peer
+        return tuple(sorted(self.fact_view(relation, target_peer), key=str))
+
+    def snapshot(self) -> Dict[str, Tuple[Fact, ...]]:
+        """Snapshot of every non-empty relation, keyed by qualified name."""
+        result: Dict[str, List[Fact]] = {}
+        for fact in self.store.all_facts():
+            result.setdefault(fact.qualified_relation, []).append(fact)
+        for fact in self.derived.all_facts():
+            result.setdefault(fact.qualified_relation, []).append(fact)
+        for fact in self.provided:
+            result.setdefault(fact.qualified_relation, []).append(fact)
+        return {name: tuple(sorted(facts, key=str)) for name, facts in sorted(result.items())}
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+
+    def counts(self) -> Dict[str, int]:
+        """Basic size counters of the peer state."""
+        return {
+            "extensional_facts": self.store.total_facts(),
+            "derived_facts": self.derived.total_facts(),
+            "provided_facts": len(self.provided),
+            "own_rules": len(self.own_rules),
+            "installed_delegations": len(self.delegations_in),
+            "outstanding_delegations": len(self.delegation_tracker.outstanding()),
+            "stage": self.stage_counter,
+        }

@@ -1,0 +1,134 @@
+"""Substitutions and matching.
+
+WebdamLog evaluation only ever needs *matching* (one-way unification of an
+atom containing variables against a ground fact), not full unification of two
+non-ground terms, but a general :func:`unify_terms` is provided because the
+delegation machinery and the tests use it to compare rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.facts import Fact
+from repro.core.rules import Atom
+from repro.core.terms import Constant, Term, Variable
+
+#: A substitution maps variables to terms (constants during evaluation).
+Substitution = Dict[Variable, Term]
+
+
+def empty_substitution() -> Substitution:
+    """Return a new empty substitution."""
+    return {}
+
+
+def apply_term(term: Term, substitution: Mapping[Variable, Term]) -> Term:
+    """Apply ``substitution`` to a single term."""
+    if isinstance(term, Variable):
+        return substitution.get(term, term)
+    return term
+
+
+def compose(first: Mapping[Variable, Term], second: Mapping[Variable, Term]) -> Substitution:
+    """Compose two substitutions: applying the result equals applying ``first`` then ``second``."""
+    composed: Substitution = {}
+    for var, term in first.items():
+        composed[var] = apply_term(term, second)
+    for var, term in second.items():
+        composed.setdefault(var, term)
+    return composed
+
+
+def match_term(pattern: Term, value: Constant,
+               substitution: Substitution) -> Optional[Substitution]:
+    """Match a (possibly variable) pattern term against a ground constant.
+
+    Returns an extended copy of ``substitution`` on success, ``None`` on
+    failure.  The input substitution is never mutated.
+    """
+    if isinstance(pattern, Constant):
+        if pattern == value:
+            return dict(substitution)
+        return None
+    bound = substitution.get(pattern)
+    if bound is None:
+        extended = dict(substitution)
+        extended[pattern] = value
+        return extended
+    if isinstance(bound, Constant) and bound == value:
+        return dict(substitution)
+    return None
+
+
+def match_atom_fact(atom: Atom, fact: Fact,
+                    substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Match a (positive) atom against a ground fact.
+
+    The relation and peer positions participate in matching, so an atom
+    ``pictures@$attendee($id, ...)`` binds ``$attendee`` to the peer of the
+    fact.  Returns the extended substitution, or ``None`` when the match
+    fails.  Negated atoms cannot be matched against facts directly; callers
+    handle negation by checking for the *absence* of matches.
+    """
+    if atom.negated:
+        raise ValueError("cannot match a negated atom against a fact")
+    if atom.arity != fact.arity:
+        return None
+    current: Substitution = dict(substitution) if substitution else {}
+    result = match_term(atom.relation, Constant(fact.relation), current)
+    if result is None:
+        return None
+    result = match_term(atom.peer, Constant(fact.peer), result)
+    if result is None:
+        return None
+    for pattern, value in zip(atom.args, fact.terms()):
+        result = match_term(pattern, value, result)
+        if result is None:
+            return None
+    return result
+
+
+def unify_terms(left: Term, right: Term,
+                substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """General (two-way) unification of two terms under an existing substitution."""
+    current: Substitution = dict(substitution) if substitution else {}
+    left = apply_term(left, current)
+    right = apply_term(right, current)
+    if isinstance(left, Constant) and isinstance(right, Constant):
+        return current if left == right else None
+    if isinstance(left, Variable):
+        current[left] = right
+        return current
+    if isinstance(right, Variable):
+        current[right] = left
+        return current
+    return None
+
+
+def unify_atoms(left: Atom, right: Atom,
+                substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify two atoms position-wise (negation flags must agree)."""
+    if left.negated != right.negated or left.arity != right.arity:
+        return None
+    current: Optional[Substitution] = dict(substitution) if substitution else {}
+    pairs: Iterable[Tuple[Term, Term]] = (
+        (left.relation, right.relation),
+        (left.peer, right.peer),
+        *zip(left.args, right.args),
+    )
+    for l, r in pairs:
+        current = unify_terms(l, r, current)
+        if current is None:
+            return None
+    return current
+
+
+def ground_atom(atom: Atom, substitution: Mapping[Variable, Term]) -> Atom:
+    """Apply a substitution and return the (hopefully ground) result."""
+    return atom.substitute(dict(substitution))
+
+
+def is_ground_substituted(atom: Atom, substitution: Mapping[Variable, Term]) -> bool:
+    """``True`` when applying ``substitution`` to ``atom`` leaves no variables."""
+    return atom.substitute(dict(substitution)).is_ground()

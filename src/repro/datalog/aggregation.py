@@ -1,0 +1,152 @@
+"""Group-by aggregation for rule heads.
+
+Aggregate rules have heads whose positions may be aggregate terms, e.g.::
+
+    picture_count(?Owner, count(?Id)) :- pictures(?Id, ?Name, ?Owner)
+
+Grouping is on the non-aggregated head variables.  Aggregates are applied to
+the *set* of derived ground heads of the rule (duplicates are eliminated
+first, consistent with set semantics), after the rule body has been fully
+evaluated; recursion through aggregation is not supported, matching standard
+stratified-aggregation semantics.
+
+The Wepic application uses aggregation for its "select and rank photos based
+on their annotations" feature (average rating, comment counts).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datalog.program import AggregateTerm, DatalogAtom, DatalogRule, Var
+
+
+class Aggregate(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Aggregate":
+        """Look up an aggregate by its lowercase name."""
+        try:
+            return cls(name.lower())
+        except ValueError as exc:
+            raise ValueError(f"unknown aggregate function {name!r}") from exc
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """A fully-resolved aggregate: which function over which head position."""
+
+    position: int
+    function: Aggregate
+    variable: Var
+
+
+def _compute(function: Aggregate, values: Sequence) -> object:
+    if function is Aggregate.COUNT:
+        return len(values)
+    numeric = list(values)
+    if not numeric:
+        return None
+    if function is Aggregate.SUM:
+        return sum(numeric)
+    if function is Aggregate.MIN:
+        return min(numeric)
+    if function is Aggregate.MAX:
+        return max(numeric)
+    if function is Aggregate.AVG:
+        return sum(numeric) / len(numeric)
+    raise ValueError(f"unsupported aggregate {function}")  # pragma: no cover
+
+
+def make_aggregate_rule(head: DatalogAtom, body: Sequence[DatalogAtom],
+                        aggregates: Dict[int, Tuple[str, Var]]) -> DatalogRule:
+    """Build an aggregate rule.
+
+    ``aggregates`` maps head positions to ``(function_name, variable)``;
+    the head atom should carry the aggregated variable at those positions
+    (it is replaced during evaluation).
+    """
+    specs = tuple(
+        (position, AggregateTerm(Aggregate.from_name(name).value, var))
+        for position, (name, var) in sorted(aggregates.items())
+    )
+    return DatalogRule(head=head, body=tuple(body), head_aggregates=specs)
+
+
+def apply_head_aggregates(rule: DatalogRule,
+                          derived_heads: Iterable[DatalogAtom]) -> List[DatalogAtom]:
+    """Collapse the derived ground heads of an aggregate rule into grouped results.
+
+    ``derived_heads`` are the ground instantiations of the head obtained by
+    evaluating the body *without* applying aggregation (the aggregate
+    positions therefore hold the raw values of the aggregated variables).
+    """
+    if not rule.head_aggregates:
+        return list(derived_heads)
+
+    aggregate_positions = {position for position, _ in rule.head_aggregates}
+    group_positions = [
+        index for index in range(rule.head.arity) if index not in aggregate_positions
+    ]
+
+    groups: Dict[Tuple, List[Tuple]] = {}
+    seen_rows = set()
+    for head in derived_heads:
+        row = head.terms
+        if row in seen_rows:
+            continue
+        seen_rows.add(row)
+        key = tuple(row[i] for i in group_positions)
+        groups.setdefault(key, []).append(row)
+
+    results: List[DatalogAtom] = []
+    for key, rows in groups.items():
+        output = [None] * rule.head.arity
+        for slot, index in enumerate(group_positions):
+            output[index] = key[slot]
+        for position, term in rule.head_aggregates:
+            function = Aggregate.from_name(term.function)
+            values = [row[position] for row in rows]
+            output[position] = _compute(function, values)
+        results.append(DatalogAtom(rule.head.predicate, tuple(output)))
+    return results
+
+
+def aggregate_relation(rows: Iterable[Tuple], group_by: Sequence[int],
+                       aggregates: Sequence[Tuple[int, Aggregate]]) -> List[Tuple]:
+    """Standalone group-by over plain tuples.
+
+    Used by the Wepic ranking module and by the benchmark harness to compute
+    summary tables without going through a rule.
+
+    Parameters
+    ----------
+    rows:
+        Input tuples.
+    group_by:
+        Positions forming the group key (kept in the output, in order).
+    aggregates:
+        ``(position, function)`` pairs computed per group and appended to the
+        output row after the group key.
+    """
+    groups: Dict[Tuple, List[Tuple]] = {}
+    for row in rows:
+        key = tuple(row[i] for i in group_by)
+        groups.setdefault(key, []).append(row)
+    output: List[Tuple] = []
+    for key, members in groups.items():
+        aggregated = tuple(
+            _compute(function, [member[position] for member in members])
+            for position, function in aggregates
+        )
+        output.append(key + aggregated)
+    return output

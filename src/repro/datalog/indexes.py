@@ -1,0 +1,145 @@
+"""Join support for the datalog evaluators.
+
+Evaluation of a rule body is a left-to-right sequence of *matches*: each body
+atom is matched against the tuples of its predicate under the bindings
+accumulated so far.  :class:`RelationIndex` provides hash lookups on the
+bound positions so that a match does not need to scan the whole relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.datalog.program import Database, DatalogAtom, DatalogTerm, Var
+
+#: Bindings accumulated while evaluating a rule body.
+Bindings = Dict[Var, object]
+
+
+class RelationIndex:
+    """Hash index over one relation keyed by a subset of positions."""
+
+    def __init__(self, rows: Iterable[Tuple], positions: Tuple[int, ...]):
+        self.positions = positions
+        self._buckets: Dict[Tuple, List[Tuple]] = {}
+        for row in rows:
+            key = tuple(row[i] for i in positions)
+            self._buckets.setdefault(key, []).append(row)
+
+    def lookup(self, key: Tuple) -> List[Tuple]:
+        """Rows whose indexed positions equal ``key``."""
+        return self._buckets.get(tuple(key), [])
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class IndexPool:
+    """Cache of :class:`RelationIndex` instances for one evaluation pass.
+
+    Indexes are keyed by ``(predicate, positions)`` and built lazily from a
+    snapshot of the database, so they remain valid for the duration of one
+    iteration even if the underlying database is updated afterwards.
+    """
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], RelationIndex] = {}
+
+    def index(self, predicate: str, positions: Tuple[int, ...]) -> RelationIndex:
+        """Return (building if necessary) the index on ``positions`` of ``predicate``."""
+        key = (predicate, positions)
+        existing = self._indexes.get(key)
+        if existing is None:
+            existing = RelationIndex(self._database.relation(predicate), positions)
+            self._indexes[key] = existing
+        return existing
+
+    def invalidate(self) -> None:
+        """Drop every cached index (call after the database changes)."""
+        self._indexes.clear()
+
+
+def match_atom(atom: DatalogAtom, rows_source: Database, bindings: Bindings,
+               pool: Optional[IndexPool] = None,
+               rows_override: Optional[Iterable[Tuple]] = None) -> Iterator[Bindings]:
+    """Yield every extension of ``bindings`` that matches ``atom`` against the database.
+
+    Parameters
+    ----------
+    atom:
+        A positive atom.
+    rows_source:
+        Database supplying tuples of ``atom.predicate``.
+    bindings:
+        Bindings accumulated from earlier body literals; not mutated.
+    pool:
+        Optional :class:`IndexPool`; when provided and at least one position
+        of the atom is bound, a hash index is used instead of a scan.
+    rows_override:
+        When given, match against these rows instead of the database (used by
+        seminaive evaluation to restrict one atom to the delta relation).
+    """
+    if atom.negated:
+        raise ValueError("match_atom expects a positive atom")
+
+    bound_positions: List[int] = []
+    bound_key: List[object] = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Var):
+            if term in bindings:
+                bound_positions.append(position)
+                bound_key.append(bindings[term])
+        else:
+            bound_positions.append(position)
+            bound_key.append(term)
+
+    if rows_override is not None:
+        candidate_rows: Iterable[Tuple] = rows_override
+    elif pool is not None and bound_positions:
+        index = pool.index(atom.predicate, tuple(bound_positions))
+        candidate_rows = index.lookup(tuple(bound_key))
+    else:
+        candidate_rows = rows_source.relation(atom.predicate)
+
+    for row in candidate_rows:
+        if len(row) != atom.arity:
+            continue
+        extended = dict(bindings)
+        matched = True
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Var):
+                existing = extended.get(term, _MISSING)
+                if existing is _MISSING:
+                    extended[term] = value
+                elif existing != value or type(existing) is not type(value):
+                    matched = False
+                    break
+            else:
+                if term != value or type(term) is not type(value):
+                    matched = False
+                    break
+        if matched:
+            yield extended
+
+
+class _Missing:
+    """Sentinel distinct from any user value (including ``None``)."""
+
+    __repr__ = lambda self: "<missing>"  # noqa: E731  pragma: no cover
+
+
+_MISSING = _Missing()
+
+
+def negated_match_exists(atom: DatalogAtom, database: Database, bindings: Bindings,
+                         pool: Optional[IndexPool] = None) -> bool:
+    """``True`` when the (negated) atom has at least one match under ``bindings``.
+
+    All variables of the atom are expected to be bound (safety guarantees
+    this); any unbound variable is treated existentially.
+    """
+    positive = DatalogAtom(atom.predicate, atom.terms, False)
+    for _ in match_atom(positive, database, bindings, pool):
+        return True
+    return False

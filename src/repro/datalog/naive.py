@@ -1,0 +1,136 @@
+"""Naive bottom-up evaluation.
+
+The naive evaluator recomputes every rule against the *whole* database on
+every iteration until no new facts are produced.  It is the reference
+implementation: simple enough to be obviously correct, and used by the test
+suite and the ``ENGINE`` benchmark as the baseline that the seminaive
+evaluator must agree with (and beat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datalog.aggregation import apply_head_aggregates
+from repro.datalog.indexes import Bindings, IndexPool, match_atom, negated_match_exists
+from repro.datalog.program import Database, DatalogAtom, DatalogProgram, DatalogRule, Var
+from repro.datalog.stratification import stratify
+
+
+@dataclass
+class EvaluationStats:
+    """Counters describing one fixpoint computation."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    derived_facts: int = 0
+
+    def merge(self, other: "EvaluationStats") -> "EvaluationStats":
+        """Accumulate counters from another stats object."""
+        self.iterations += other.iterations
+        self.rule_firings += other.rule_firings
+        self.derived_facts += other.derived_facts
+        return self
+
+
+def evaluate_rule(rule: DatalogRule, database: Database,
+                  pool: Optional[IndexPool] = None,
+                  delta_predicate: Optional[str] = None,
+                  delta_rows: Optional[Iterable[Tuple]] = None) -> List[DatalogAtom]:
+    """Evaluate one rule against ``database`` and return the derived head atoms.
+
+    ``delta_predicate``/``delta_rows`` implement the seminaive trick: when
+    given, one occurrence of ``delta_predicate`` in the body is restricted to
+    ``delta_rows`` (the caller invokes this function once per occurrence).
+    Negated literals are always evaluated against the full database, which is
+    sound because negation only refers to lower strata.
+    """
+    derived: List[DatalogAtom] = []
+    delta_used = [False]
+
+    def evaluate_from(literal_index: int, bindings: Bindings) -> None:
+        if literal_index == len(rule.body):
+            if delta_predicate is not None and not delta_used[0]:
+                return
+            head = rule.head.substitute(bindings)
+            if head.is_ground():
+                derived.append(head)
+            return
+        literal = rule.body[literal_index]
+        if literal.negated:
+            if not negated_match_exists(literal, database, bindings, pool):
+                evaluate_from(literal_index + 1, bindings)
+            return
+        use_delta_here = (
+            delta_predicate is not None
+            and literal.predicate == delta_predicate
+            and not delta_used[0]
+        )
+        if use_delta_here:
+            delta_used[0] = True
+            for extended in match_atom(literal, database, bindings, pool,
+                                       rows_override=delta_rows):
+                evaluate_from(literal_index + 1, extended)
+            delta_used[0] = False
+            # Also allow the non-delta occurrence so that later occurrences of
+            # the delta predicate may take the delta role instead.
+            if _occurrences_after(rule, literal_index, delta_predicate):
+                for extended in match_atom(literal, database, bindings, pool):
+                    evaluate_from(literal_index + 1, extended)
+        else:
+            for extended in match_atom(literal, database, bindings, pool):
+                evaluate_from(literal_index + 1, extended)
+
+    evaluate_from(0, {})
+    if rule.head_aggregates:
+        return apply_head_aggregates(rule, derived)
+    return derived
+
+
+def _occurrences_after(rule: DatalogRule, index: int, predicate: str) -> bool:
+    """``True`` when ``predicate`` occurs positively in the body after position ``index``."""
+    for literal in rule.body[index + 1:]:
+        if not literal.negated and literal.predicate == predicate:
+            return True
+    return False
+
+
+class NaiveEvaluator:
+    """Naive (full recomputation) stratified fixpoint evaluation."""
+
+    def __init__(self, program: DatalogProgram):
+        program.check_safety()
+        self.program = program
+        self._strata = stratify(program)
+
+    def evaluate(self, database: Database) -> EvaluationStats:
+        """Run the program to fixpoint, mutating ``database`` in place."""
+        stats = EvaluationStats()
+        for stratum_rules in self._strata:
+            stats.merge(self._fixpoint(stratum_rules, database))
+        return stats
+
+    def _fixpoint(self, rules: List[DatalogRule], database: Database) -> EvaluationStats:
+        stats = EvaluationStats()
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            pool = IndexPool(database)
+            new_atoms: List[DatalogAtom] = []
+            for r in rules:
+                produced = evaluate_rule(r, database, pool)
+                stats.rule_firings += 1
+                new_atoms.extend(produced)
+            for head in new_atoms:
+                if database.add_atom(head):
+                    stats.derived_facts += 1
+                    changed = True
+        return stats
+
+    def run(self, database: Database) -> Database:
+        """Evaluate on a copy of ``database`` and return the augmented copy."""
+        result = database.copy()
+        self.evaluate(result)
+        return result

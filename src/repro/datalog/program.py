@@ -1,0 +1,281 @@
+"""Core data model of the generic datalog substrate.
+
+This module deliberately keeps the representation minimal: predicates are
+strings, tuples are Python tuples of hashable values, and variables are
+:class:`Var` instances.  The heavier WebdamLog-specific machinery (peers,
+relation variables, delegation) lives in :mod:`repro.core` and maps onto this
+substrate for purely local evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A datalog variable, e.g. ``Var("X")``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A term of the substrate: a variable or a constant Python value.
+DatalogTerm = Union[Var, str, int, float, bool, bytes, None]
+
+
+@dataclass(frozen=True)
+class DatalogAtom:
+    """An atom ``predicate(t1, ..., tn)``, possibly negated."""
+
+    predicate: str
+    terms: Tuple[DatalogTerm, ...]
+    negated: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.terms, tuple):
+            object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> Tuple[Var, ...]:
+        """Variables of the atom in order of first occurrence."""
+        seen: List[Var] = []
+        for term in self.terms:
+            if isinstance(term, Var) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """``True`` when the atom contains no variables."""
+        return not any(isinstance(term, Var) for term in self.terms)
+
+    def substitute(self, bindings: Dict[Var, DatalogTerm]) -> "DatalogAtom":
+        """Apply a substitution to the atom's terms."""
+        new_terms = tuple(
+            bindings.get(term, term) if isinstance(term, Var) else term for term in self.terms
+        )
+        return DatalogAtom(self.predicate, new_terms, self.negated)
+
+    def negate(self) -> "DatalogAtom":
+        """The negated version of this atom."""
+        return DatalogAtom(self.predicate, self.terms, True)
+
+    def __str__(self) -> str:
+        prefix = "not " if self.negated else ""
+        rendered = ", ".join(str(t) for t in self.terms)
+        return f"{prefix}{self.predicate}({rendered})"
+
+
+def atom(predicate: str, *terms: DatalogTerm, negated: bool = False) -> DatalogAtom:
+    """Convenience constructor: strings starting with ``?`` become variables."""
+    converted = tuple(
+        Var(t[1:]) if isinstance(t, str) and t.startswith("?") else t for t in terms
+    )
+    return DatalogAtom(predicate, converted, negated)
+
+
+@dataclass(frozen=True)
+class AggregateTerm:
+    """An aggregate expression appearing in a rule head, e.g. ``count(?X)``."""
+
+    function: str
+    variable: Var
+
+    def __str__(self) -> str:
+        return f"{self.function}({self.variable})"
+
+
+@dataclass(frozen=True)
+class DatalogRule:
+    """A rule ``head :- body`` over :class:`DatalogAtom`.
+
+    ``head_aggregates`` optionally maps head positions to
+    :class:`AggregateTerm`; when present the rule is an aggregate rule and is
+    evaluated by grouping on the non-aggregated head variables.
+    """
+
+    head: DatalogAtom
+    body: Tuple[DatalogAtom, ...]
+    head_aggregates: Tuple[Tuple[int, AggregateTerm], ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.body, tuple):
+            object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise ValueError("rule head must not be negated")
+
+    def variables(self) -> Tuple[Var, ...]:
+        """Every variable of the rule in order of first occurrence."""
+        seen: List[Var] = []
+        for a in (self.head, *self.body):
+            for var in a.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def positive_body(self) -> Tuple[DatalogAtom, ...]:
+        """The positive body literals."""
+        return tuple(a for a in self.body if not a.negated)
+
+    def negative_body(self) -> Tuple[DatalogAtom, ...]:
+        """The negated body literals."""
+        return tuple(a for a in self.body if a.negated)
+
+    def check_safety(self) -> None:
+        """Raise ``ValueError`` if the rule is unsafe.
+
+        Every head variable and every variable of a negated literal must
+        occur in some positive body literal.
+        """
+        positive_vars: Set[Var] = set()
+        for a in self.positive_body():
+            positive_vars.update(a.variables())
+        for var in self.head.variables():
+            if var not in positive_vars:
+                raise ValueError(f"unsafe rule: head variable {var} not bound: {self}")
+        for a in self.negative_body():
+            for var in a.variables():
+                if var not in positive_vars:
+                    raise ValueError(f"unsafe rule: negated variable {var} not bound: {self}")
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body}"
+
+
+def rule(head: DatalogAtom, *body: DatalogAtom) -> DatalogRule:
+    """Convenience constructor for :class:`DatalogRule`."""
+    return DatalogRule(head, tuple(body))
+
+
+class Database:
+    """A mutable set of ground facts, partitioned by predicate."""
+
+    def __init__(self, facts: Optional[Iterable[Tuple[str, Tuple]]] = None):
+        self._relations: Dict[str, Set[Tuple]] = {}
+        if facts:
+            for predicate, row in facts:
+                self.add(predicate, row)
+
+    def add(self, predicate: str, row: Sequence) -> bool:
+        """Add a tuple; return ``True`` if it was new."""
+        rows = self._relations.setdefault(predicate, set())
+        row = tuple(row)
+        if row in rows:
+            return False
+        rows.add(row)
+        return True
+
+    def add_atom(self, ground_atom: DatalogAtom) -> bool:
+        """Add a ground atom; return ``True`` if it was new."""
+        if not ground_atom.is_ground():
+            raise ValueError(f"cannot store non-ground atom {ground_atom}")
+        return self.add(ground_atom.predicate, ground_atom.terms)
+
+    def remove(self, predicate: str, row: Sequence) -> bool:
+        """Remove a tuple; return ``True`` if it was present."""
+        rows = self._relations.get(predicate)
+        if rows is None:
+            return False
+        row = tuple(row)
+        if row in rows:
+            rows.remove(row)
+            return True
+        return False
+
+    def contains(self, predicate: str, row: Sequence) -> bool:
+        """``True`` when the tuple is present."""
+        return tuple(row) in self._relations.get(predicate, set())
+
+    def relation(self, predicate: str) -> FrozenSet[Tuple]:
+        """Frozen snapshot of one predicate's tuples."""
+        return frozenset(self._relations.get(predicate, set()))
+
+    def predicates(self) -> Tuple[str, ...]:
+        """Sorted tuple of predicates that have at least one tuple."""
+        return tuple(sorted(p for p, rows in self._relations.items() if rows))
+
+    def size(self, predicate: Optional[str] = None) -> int:
+        """Number of tuples of one predicate, or of the whole database."""
+        if predicate is not None:
+            return len(self._relations.get(predicate, set()))
+        return sum(len(rows) for rows in self._relations.values())
+
+    def copy(self) -> "Database":
+        """Deep copy of the database."""
+        clone = Database()
+        clone._relations = {p: set(rows) for p, rows in self._relations.items()}
+        return clone
+
+    def merge(self, other: "Database") -> int:
+        """Add every tuple of ``other``; return the number of new tuples."""
+        added = 0
+        for predicate, rows in other._relations.items():
+            for row in rows:
+                if self.add(predicate, row):
+                    added += 1
+        return added
+
+    def __iter__(self) -> Iterator[Tuple[str, Tuple]]:
+        for predicate, rows in self._relations.items():
+            for row in rows:
+                yield predicate, row
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        mine = {p: rows for p, rows in self._relations.items() if rows}
+        theirs = {p: rows for p, rows in other._relations.items() if rows}
+        return mine == theirs
+
+
+@dataclass
+class DatalogProgram:
+    """A set of rules together with the partition into EDB and IDB predicates."""
+
+    rules: List[DatalogRule] = field(default_factory=list)
+
+    def add_rule(self, new_rule: DatalogRule) -> "DatalogProgram":
+        """Append a rule (validated for safety) and return ``self``."""
+        new_rule.check_safety()
+        self.rules.append(new_rule)
+        return self
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by at least one rule head."""
+        return {r.head.predicate for r in self.rules}
+
+    def edb_predicates(self) -> Set[str]:
+        """Predicates that occur only in rule bodies."""
+        idb = self.idb_predicates()
+        edb: Set[str] = set()
+        for r in self.rules:
+            for a in r.body:
+                if a.predicate not in idb:
+                    edb.add(a.predicate)
+        return edb
+
+    def rules_for(self, predicate: str) -> List[DatalogRule]:
+        """The rules whose head predicate is ``predicate``."""
+        return [r for r in self.rules if r.head.predicate == predicate]
+
+    def check_safety(self) -> None:
+        """Validate every rule."""
+        for r in self.rules:
+            r.check_safety()
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[DatalogRule]:
+        return iter(self.rules)

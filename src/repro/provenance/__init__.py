@@ -1,0 +1,11 @@
+"""Why-provenance for derived WebdamLog facts.
+
+The paper's access-control model derives default policies for views "from the
+provenance of the base relations"; this package provides the provenance
+machinery that model is built on, and is also used by the tests to check
+which base facts support which derived facts.
+"""
+
+from repro.provenance.graph import Derivation, ProvenanceGraph, ProvenanceTracker
+
+__all__ = ["Derivation", "ProvenanceGraph", "ProvenanceTracker"]

@@ -1,0 +1,158 @@
+"""Provenance graphs for derived facts.
+
+Each time the engine's fixpoint derives a fact, the :class:`ProvenanceTracker`
+records a :class:`Derivation`: the rule that fired and the facts that matched
+its body.  The accumulated derivations form a bipartite graph (facts and
+derivations) from which why-provenance and lineage queries are answered:
+
+* :meth:`ProvenanceGraph.why` — the alternative sets of immediate supporting
+  facts of a derived fact;
+* :meth:`ProvenanceGraph.lineage` — the transitive closure down to base facts;
+* :meth:`ProvenanceGraph.base_relations` — which relations the lineage of a
+  fact draws from (the input of the access-control view policy);
+* :meth:`ProvenanceGraph.depends_on_peer` — whether any supporting fact came
+  from a given peer's relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.facts import Fact
+from repro.core.rules import Rule
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One application of a rule: the derived fact and its immediate support."""
+
+    fact: Fact
+    rule_id: str
+    support: Tuple[Fact, ...]
+    author: Optional[str] = None
+
+    def __str__(self) -> str:
+        supports = ", ".join(str(f) for f in self.support)
+        return f"{self.fact} <= [{self.rule_id}] {supports}"
+
+
+class ProvenanceGraph:
+    """Accumulated derivations, indexed by derived fact."""
+
+    def __init__(self):
+        self._derivations: Dict[Fact, List[Derivation]] = {}
+        self._all: List[Derivation] = []
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def add(self, derivation: Derivation) -> None:
+        """Record one derivation (duplicates are kept out)."""
+        existing = self._derivations.setdefault(derivation.fact, [])
+        for known in existing:
+            if known.rule_id == derivation.rule_id and known.support == derivation.support:
+                return
+        existing.append(derivation)
+        self._all.append(derivation)
+
+    def derivations_of(self, fact: Fact) -> Tuple[Derivation, ...]:
+        """Every recorded derivation of ``fact``."""
+        return tuple(self._derivations.get(fact, ()))
+
+    def is_derived(self, fact: Fact) -> bool:
+        """``True`` when at least one derivation of ``fact`` was recorded."""
+        return fact in self._derivations
+
+    def why(self, fact: Fact) -> Tuple[FrozenSet[Fact], ...]:
+        """Why-provenance: the alternative sets of immediate supporting facts."""
+        return tuple(frozenset(d.support) for d in self._derivations.get(fact, ()))
+
+    def lineage(self, fact: Fact) -> FrozenSet[Fact]:
+        """Transitive support of ``fact`` down to base facts (excludes ``fact`` itself)."""
+        seen: Set[Fact] = set()
+        frontier: List[Fact] = [fact]
+        while frontier:
+            current = frontier.pop()
+            for derivation in self._derivations.get(current, ()):
+                for supporting in derivation.support:
+                    if supporting not in seen and supporting != fact:
+                        seen.add(supporting)
+                        frontier.append(supporting)
+        return frozenset(seen)
+
+    def base_facts(self, fact: Fact) -> FrozenSet[Fact]:
+        """The subset of :meth:`lineage` that has no recorded derivation (base facts)."""
+        if not self.is_derived(fact):
+            return frozenset({fact})
+        return frozenset(f for f in self.lineage(fact) if not self.is_derived(f))
+
+    def base_relations(self, fact: Fact) -> FrozenSet[str]:
+        """Qualified names of the base relations the lineage of ``fact`` draws from."""
+        return frozenset(f.qualified_relation for f in self.base_facts(fact))
+
+    def depends_on_peer(self, fact: Fact, peer: str) -> bool:
+        """``True`` when some fact in the lineage belongs to a relation of ``peer``."""
+        if fact.peer == peer and not self.is_derived(fact):
+            return True
+        return any(f.peer == peer for f in self.lineage(fact))
+
+    def facts(self) -> Tuple[Fact, ...]:
+        """Every derived fact with at least one recorded derivation."""
+        return tuple(self._derivations)
+
+    def clear(self) -> None:
+        """Forget every derivation."""
+        self._derivations.clear()
+        self._all.clear()
+
+
+class ProvenanceTracker:
+    """Adapter between the engine's derivation hook and a :class:`ProvenanceGraph`.
+
+    Attach it to an engine with::
+
+        engine.provenance = ProvenanceTracker()
+
+    after which every stage's derivations are recorded.  By default the graph
+    is *cumulative*; call :meth:`reset_each_stage` to clear it at the start of
+    every stage instead (the engine recomputes intensional relations from
+    scratch each stage, so the cumulative graph can contain derivations whose
+    support has since been deleted — cumulative mode is what the ACL layer
+    wants for auditing, per-stage mode is what exact view policies want).
+    """
+
+    def __init__(self, per_stage: bool = False):
+        self.graph = ProvenanceGraph()
+        self.per_stage = per_stage
+        self._last_stage_seen: Optional[int] = None
+
+    def record(self, fact: Fact, rule: Rule, support: Tuple[Fact, ...]) -> None:
+        """Engine hook: record one derivation."""
+        self.graph.add(Derivation(fact=fact, rule_id=rule.rule_id, support=tuple(support),
+                                  author=rule.author))
+
+    def notify_stage(self, stage: int) -> None:
+        """Inform the tracker that a new stage started (used in per-stage mode)."""
+        if self.per_stage and stage != self._last_stage_seen:
+            self.graph.clear()
+        self._last_stage_seen = stage
+
+    def reset_each_stage(self) -> "ProvenanceTracker":
+        """Switch to per-stage mode (clears the graph at every new stage)."""
+        self.per_stage = True
+        return self
+
+    # Convenience pass-throughs -------------------------------------------- #
+
+    def why(self, fact: Fact) -> Tuple[FrozenSet[Fact], ...]:
+        """Why-provenance of ``fact``."""
+        return self.graph.why(fact)
+
+    def lineage(self, fact: Fact) -> FrozenSet[Fact]:
+        """Transitive lineage of ``fact``."""
+        return self.graph.lineage(fact)
+
+    def base_relations(self, fact: Fact) -> FrozenSet[str]:
+        """Base relations in the lineage of ``fact``."""
+        return self.graph.base_relations(fact)

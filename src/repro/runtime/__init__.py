@@ -1,0 +1,40 @@
+"""The distributed runtime: transports, peers and the system orchestrator.
+
+The paper's demonstration runs three peers — two laptops and a cloud-hosted
+``sigmod`` peer — exchanging facts and delegations over a network.  This
+package reproduces that setting with two interchangeable transports:
+
+* :class:`~repro.runtime.inmemory.InMemoryNetwork` — a deterministic simulated
+  network (per-round delivery, configurable latency and loss) that makes
+  rounds and message counts measurable, used by the benchmarks;
+* :class:`~repro.runtime.processes.ProcessNetwork` — each peer runs in its own
+  OS process (the "simulate peers as processes locally" substitution), with
+  messages serialised over pipes.
+
+:class:`~repro.runtime.peer.Peer` wraps a :class:`~repro.core.engine.WebdamLogEngine`
+together with its delegation controller and wrappers;
+:class:`~repro.runtime.system.WebdamLogSystem` builds and drives a whole
+network of peers.
+"""
+
+from repro.runtime.messages import (
+    FactMessage,
+    DelegationInstallMessage,
+    DelegationRetractMessage,
+    PeerJoinMessage,
+    Message,
+)
+from repro.runtime.inmemory import InMemoryNetwork
+from repro.runtime.peer import Peer
+from repro.runtime.system import WebdamLogSystem
+
+__all__ = [
+    "Message",
+    "FactMessage",
+    "DelegationInstallMessage",
+    "DelegationRetractMessage",
+    "PeerJoinMessage",
+    "InMemoryNetwork",
+    "Peer",
+    "WebdamLogSystem",
+]

@@ -1,0 +1,173 @@
+"""The deterministic in-memory network.
+
+Messages sent during a round are queued and become visible to their recipient
+``latency`` rounds later (default: the next round).  The network keeps
+detailed accounting — number of messages, payload items, per-kind and
+per-link counters — which the benchmark harness reads to reproduce the
+paper's qualitative claims (how much data moves, and between whom).
+
+An optional drop probability (with a seeded random generator) supports the
+failure-injection tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import TransportError
+from repro.runtime.messages import Message
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by the network since creation (or the last reset)."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    payload_items: int = 0
+    by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_link: Dict[Tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by the benchmark reports."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "payload_items": self.payload_items,
+            "by_kind": dict(self.by_kind),
+            "by_link": {f"{s}->{r}": count for (s, r), count in self.by_link.items()},
+        }
+
+
+class InMemoryNetwork:
+    """A simulated network with per-round delivery.
+
+    Parameters
+    ----------
+    latency:
+        Number of rounds between sending and delivery.  ``1`` (default) means
+        a message sent during round *t* is readable at round *t + 1*, which
+        matches the stage semantics of the paper (step 3 of one stage feeds
+        step 1 of the recipient's next stage).
+    drop_probability:
+        Probability that a message is silently dropped, for failure-injection
+        tests.  ``0.0`` by default.
+    seed:
+        Seed of the random generator used for drops.
+    """
+
+    def __init__(self, latency: int = 1, drop_probability: float = 0.0,
+                 seed: Optional[int] = 0):
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        self.latency = latency
+        self.drop_probability = drop_probability
+        self._random = random.Random(seed)
+        self._round = 0
+        self._registered: Dict[str, str] = {}
+        # recipient -> list of (deliver_at_round, message)
+        self._in_flight: Dict[str, List[Tuple[int, Message]]] = defaultdict(list)
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+
+    def register(self, peer: str, address: Optional[str] = None) -> None:
+        """Register a peer so that messages can be addressed to it."""
+        self._registered[peer] = address or peer
+
+    def unregister(self, peer: str) -> None:
+        """Remove a peer; undelivered messages to it are dropped."""
+        self._registered.pop(peer, None)
+        dropped = self._in_flight.pop(peer, [])
+        self.stats.messages_dropped += len(dropped)
+
+    def peers(self) -> Tuple[str, ...]:
+        """Registered peer names, sorted."""
+        return tuple(sorted(self._registered))
+
+    def is_registered(self, peer: str) -> bool:
+        """``True`` when ``peer`` is registered."""
+        return peer in self._registered
+
+    def address_of(self, peer: str) -> Optional[str]:
+        """The registered address of ``peer`` (or ``None``)."""
+        return self._registered.get(peer)
+
+    # ------------------------------------------------------------------ #
+    # sending and receiving
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_round(self) -> int:
+        """The current round number (starts at 0, advanced by :meth:`advance_round`)."""
+        return self._round
+
+    def send(self, message: Message) -> bool:
+        """Queue a message for delivery.
+
+        Returns ``True`` if the message was queued, ``False`` if it was
+        dropped by the loss model.  Raises :class:`TransportError` when the
+        recipient is unknown.
+        """
+        if message.recipient not in self._registered:
+            raise TransportError(
+                f"cannot deliver message from {message.sender}: unknown peer "
+                f"{message.recipient!r}"
+            )
+        self.stats.messages_sent += 1
+        self.stats.by_kind[message.kind()] += 1
+        self.stats.by_link[(message.sender, message.recipient)] += 1
+        self.stats.payload_items += message.payload_size()
+        if self.drop_probability and self._random.random() < self.drop_probability:
+            self.stats.messages_dropped += 1
+            return False
+        deliver_at = self._round + self.latency
+        self._in_flight[message.recipient].append((deliver_at, message))
+        return True
+
+    def send_all(self, messages: Iterable[Message]) -> int:
+        """Send a batch of messages; returns how many were queued (not dropped)."""
+        queued = 0
+        for message in messages:
+            if self.send(message):
+                queued += 1
+        return queued
+
+    def receive(self, peer: str) -> List[Message]:
+        """Remove and return the messages deliverable to ``peer`` at the current round."""
+        pending = self._in_flight.get(peer, [])
+        deliverable = [m for deliver_at, m in pending if deliver_at <= self._round]
+        remaining = [(deliver_at, m) for deliver_at, m in pending if deliver_at > self._round]
+        self._in_flight[peer] = remaining
+        self.stats.messages_delivered += len(deliverable)
+        return deliverable
+
+    def advance_round(self) -> int:
+        """Move to the next round and return its number."""
+        self._round += 1
+        return self._round
+
+    def pending_count(self, peer: Optional[str] = None) -> int:
+        """Number of messages still in flight (optionally for one recipient)."""
+        if peer is not None:
+            return len(self._in_flight.get(peer, []))
+        return sum(len(queue) for queue in self._in_flight.values())
+
+    def has_in_flight(self) -> bool:
+        """``True`` when at least one message has not been delivered yet."""
+        return self.pending_count() > 0
+
+    def reset_stats(self) -> NetworkStats:
+        """Return the current statistics and start fresh counters."""
+        stats = self.stats
+        self.stats = NetworkStats()
+        return stats

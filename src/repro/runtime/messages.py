@@ -1,0 +1,170 @@
+"""Messages exchanged between WebdamLog peers.
+
+Three kinds of payload travel on the network, mirroring step 3 of the
+computation stage described in the paper:
+
+* **fact updates** (:class:`FactMessage`) — insertions and deletions for
+  relations located at the recipient;
+* **delegations** (:class:`DelegationInstallMessage`,
+  :class:`DelegationRetractMessage`) — rules installed at or retracted from
+  the recipient by a remote delegator;
+* **control messages** (:class:`PeerJoinMessage`) — used by the "Interaction
+  via the Web" scenario where new peers join the system and subscribe to the
+  ``sigmod`` peer.
+
+Every message can be encoded to / decoded from a JSON-compatible dictionary
+(:meth:`Message.to_wire`, :func:`message_from_wire`) so the same types flow
+over both the in-memory and the multi-process transports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.facts import Fact
+from repro.core.rules import Rule
+from repro.core.schema import RelationSchema
+from repro.runtime import wire
+
+_message_counter = itertools.count(1)
+
+
+def _next_message_id() -> str:
+    return f"msg-{next(_message_counter)}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every message: sender, recipient and a unique identifier."""
+
+    sender: str
+    recipient: str
+    message_id: str = field(default_factory=_next_message_id)
+
+    def payload_size(self) -> int:
+        """Approximate payload size used by the network accounting (in items)."""
+        return 1
+
+    def kind(self) -> str:
+        """Short type tag used for accounting and wire encoding."""
+        return type(self).__name__
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Encode the message as a JSON-compatible dictionary."""
+        return {
+            "kind": self.kind(),
+            "sender": self.sender,
+            "recipient": self.recipient,
+            "message_id": self.message_id,
+        }
+
+
+@dataclass(frozen=True)
+class FactMessage(Message):
+    """Fact insertions/deletions addressed to relations of the recipient."""
+
+    inserted: FrozenSet[Fact] = frozenset()
+    deleted: FrozenSet[Fact] = frozenset()
+
+    def payload_size(self) -> int:
+        """Number of facts carried."""
+        return len(self.inserted) + len(self.deleted)
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["inserted"] = [wire.encode_fact(f) for f in sorted(self.inserted, key=str)]
+        encoded["deleted"] = [wire.encode_fact(f) for f in sorted(self.deleted, key=str)]
+        return encoded
+
+
+@dataclass(frozen=True)
+class DelegationInstallMessage(Message):
+    """Install a delegated rule at the recipient.
+
+    ``schemas`` carries the schemas (known to the delegator) of the relations
+    mentioned in the delegated rule, so the recipient learns, for example,
+    that the head relation is intensional at the delegator.  This mirrors the
+    run-time relation discovery the paper describes.
+    """
+
+    delegation_id: str = ""
+    rule: Optional[Rule] = None
+    schemas: Tuple[RelationSchema, ...] = ()
+
+    def payload_size(self) -> int:
+        """A delegation counts as one rule plus its attached schemas."""
+        return 1 + len(self.schemas)
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["delegation_id"] = self.delegation_id
+        encoded["rule"] = wire.encode_rule(self.rule) if self.rule is not None else None
+        encoded["schemas"] = [wire.encode_schema(s) for s in self.schemas]
+        return encoded
+
+
+@dataclass(frozen=True)
+class DelegationRetractMessage(Message):
+    """Retract a previously installed delegation."""
+
+    delegation_id: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["delegation_id"] = self.delegation_id
+        return encoded
+
+
+@dataclass(frozen=True)
+class PeerJoinMessage(Message):
+    """Announce a new peer (name and address) to the recipient."""
+
+    peer_name: str = ""
+    address: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["peer_name"] = self.peer_name
+        encoded["address"] = self.address
+        return encoded
+
+
+def message_from_wire(encoded: Dict[str, Any]) -> Message:
+    """Decode a message produced by :meth:`Message.to_wire`."""
+    kind = encoded.get("kind")
+    common = {
+        "sender": encoded["sender"],
+        "recipient": encoded["recipient"],
+        "message_id": encoded.get("message_id", _next_message_id()),
+    }
+    if kind == "FactMessage":
+        return FactMessage(
+            inserted=frozenset(wire.decode_fact(f) for f in encoded.get("inserted", [])),
+            deleted=frozenset(wire.decode_fact(f) for f in encoded.get("deleted", [])),
+            **common,
+        )
+    if kind == "DelegationInstallMessage":
+        rule = encoded.get("rule")
+        return DelegationInstallMessage(
+            delegation_id=encoded.get("delegation_id", ""),
+            rule=wire.decode_rule(rule) if rule is not None else None,
+            schemas=tuple(wire.decode_schema(s) for s in encoded.get("schemas", [])),
+            **common,
+        )
+    if kind == "DelegationRetractMessage":
+        return DelegationRetractMessage(
+            delegation_id=encoded.get("delegation_id", ""), **common
+        )
+    if kind == "PeerJoinMessage":
+        return PeerJoinMessage(
+            peer_name=encoded.get("peer_name", ""), address=encoded.get("address", ""),
+            **common,
+        )
+    raise ValueError(f"unknown message kind {kind!r}")
+
+
+def batch_payload_size(messages: Iterable[Message]) -> int:
+    """Total payload size of a batch of messages."""
+    return sum(message.payload_size() for message in messages)

@@ -1,0 +1,236 @@
+"""A runtime peer: engine + delegation control + wrappers + transport glue.
+
+:class:`Peer` owns one :class:`~repro.core.engine.WebdamLogEngine` and wires
+it to the rest of the system:
+
+* incoming messages are dispatched to the engine — delegation installs go
+  through the :class:`~repro.acl.delegation_control.DelegationController`
+  first, implementing the paper's control-of-delegation model;
+* the outputs of a stage are converted into messages for the transport,
+  attaching the schemas of the relations a delegated rule mentions so the
+  recipient discovers them (run-time relation discovery);
+* attached wrappers get ``before_stage`` / ``after_stage`` hooks so external
+  services (the simulated Facebook, email, Dropbox) can exchange facts with
+  the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.acl.delegation_control import DelegationController, DelegationDecision
+from repro.acl.trust import TrustStore
+from repro.core.delegation import Delegation
+from repro.core.engine import StageResult, WebdamLogEngine
+from repro.core.facts import Delta, Fact
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationSchema, SchemaRegistry
+from repro.runtime.messages import (
+    DelegationInstallMessage,
+    DelegationRetractMessage,
+    FactMessage,
+    Message,
+    PeerJoinMessage,
+)
+
+
+@dataclass
+class PeerStageReport:
+    """What one peer did during one runtime round."""
+
+    peer: str
+    stage_result: StageResult
+    delivered_messages: int = 0
+    sent_messages: int = 0
+    pending_delegations: int = 0
+
+    def is_quiescent(self) -> bool:
+        """``True`` when the peer neither received nor produced anything."""
+        return self.delivered_messages == 0 and self.stage_result.is_quiescent()
+
+
+class Peer:
+    """One WebdamLog peer as seen by the runtime."""
+
+    def __init__(self, name: str, trust: Optional[TrustStore] = None,
+                 auto_accept_delegations: bool = False,
+                 strict_stage_inputs: bool = False,
+                 schemas: Optional[SchemaRegistry] = None):
+        self.name = name
+        self.engine = WebdamLogEngine(name, schemas=schemas,
+                                      strict_stage_inputs=strict_stage_inputs)
+        self.controller = DelegationController(
+            self.engine,
+            trust=trust if trust is not None else TrustStore(name),
+            auto_accept_all=auto_accept_delegations,
+        )
+        self.wrappers: List = []
+        self.known_peers: Dict[str, str] = {name: name}
+        self._round = 0
+
+    # ------------------------------------------------------------------ #
+    # user-facing conveniences (thin wrappers over the engine)
+    # ------------------------------------------------------------------ #
+
+    def load_program(self, program: str):
+        """Load a WebdamLog program text into the peer's engine."""
+        return self.engine.load_program(program)
+
+    def add_rule(self, rule: Union[str, Rule]) -> Rule:
+        """Add a rule to the peer's own program."""
+        return self.engine.add_rule(rule)
+
+    def replace_rule(self, rule_id: str, new_rule: Union[str, Rule]) -> Rule:
+        """Replace one of the peer's own rules (Wepic rule customisation)."""
+        return self.engine.replace_rule(rule_id, new_rule)
+
+    def insert_fact(self, fact: Union[str, Fact]) -> Delta:
+        """Insert a base fact (local) or queue an update (remote)."""
+        return self.engine.insert_fact(fact)
+
+    def delete_fact(self, fact: Union[str, Fact]) -> Delta:
+        """Delete a base fact (local) or queue a remote deletion."""
+        return self.engine.delete_fact(fact)
+
+    def declare(self, schema: RelationSchema) -> RelationSchema:
+        """Declare a relation schema."""
+        return self.engine.declare(schema)
+
+    def query(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
+        """Facts of ``relation`` visible at this peer."""
+        return self.engine.query(relation, peer)
+
+    def rules(self) -> Tuple[Rule, ...]:
+        """The peer's own rules."""
+        return self.engine.rules()
+
+    def installed_delegations(self):
+        """Delegations installed at this peer (after approval)."""
+        return self.engine.installed_delegations()
+
+    def pending_delegations(self):
+        """Delegations waiting for the user's approval."""
+        return self.controller.pending()
+
+    def approve_delegation(self, delegation_id: str):
+        """Approve one pending delegation."""
+        return self.controller.approve(delegation_id)
+
+    def approve_all_delegations(self, delegator: Optional[str] = None):
+        """Approve every pending delegation (optionally from one delegator)."""
+        return self.controller.approve_all(delegator)
+
+    def reject_delegation(self, delegation_id: str):
+        """Reject one pending delegation."""
+        return self.controller.reject(delegation_id)
+
+    def trust_peer(self, peer: str) -> None:
+        """Add ``peer`` to this peer's trusted set."""
+        self.controller.trust.trust(peer)
+
+    def attach_wrapper(self, wrapper) -> None:
+        """Attach a wrapper (simulated external service) to this peer."""
+        self.wrappers.append(wrapper)
+        attach = getattr(wrapper, "attach", None)
+        if attach is not None:
+            attach(self)
+
+    def counts(self) -> Dict[str, int]:
+        """Combined engine and controller counters."""
+        combined = dict(self.engine.counts())
+        combined["pending_delegations"] = len(self.controller.pending())
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # transport-facing methods
+    # ------------------------------------------------------------------ #
+
+    def deliver(self, message: Message) -> None:
+        """Dispatch one incoming message to the engine / controller."""
+        if isinstance(message, FactMessage):
+            self.engine.receive_facts(message.sender, message.inserted, message.deleted)
+        elif isinstance(message, DelegationInstallMessage):
+            for schema in message.schemas:
+                try:
+                    self.engine.declare(schema)
+                except Exception:
+                    # Conflicting schema knowledge: keep the local declaration.
+                    pass
+            if message.rule is not None:
+                self.controller.submit(message.sender, message.delegation_id, message.rule,
+                                       round_number=self._round)
+        elif isinstance(message, DelegationRetractMessage):
+            self.controller.submit_retraction(message.sender, message.delegation_id)
+        elif isinstance(message, PeerJoinMessage):
+            self.known_peers[message.peer_name] = message.address or message.peer_name
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"peer {self.name} cannot handle message {message!r}")
+
+    def deliver_all(self, messages: Iterable[Message]) -> int:
+        """Deliver a batch of messages; returns how many were processed."""
+        count = 0
+        for message in messages:
+            self.deliver(message)
+            count += 1
+        return count
+
+    def run_stage(self) -> Tuple[StageResult, List[Message]]:
+        """Run one engine stage and convert its outputs into messages."""
+        self._round += 1
+        for wrapper in self.wrappers:
+            before = getattr(wrapper, "before_stage", None)
+            if before is not None:
+                before(self)
+        result = self.engine.run_stage()
+        outgoing = self._messages_from(result)
+        for wrapper in self.wrappers:
+            after = getattr(wrapper, "after_stage", None)
+            if after is not None:
+                after(self, result)
+        return result, outgoing
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _messages_from(self, result: StageResult) -> List[Message]:
+        messages: List[Message] = []
+        for update in result.outgoing_updates:
+            messages.append(FactMessage(
+                sender=self.name,
+                recipient=update.target,
+                inserted=frozenset(update.inserted),
+                deleted=frozenset(update.deleted),
+            ))
+        for delegation in result.delegations_to_install:
+            messages.append(DelegationInstallMessage(
+                sender=self.name,
+                recipient=delegation.target,
+                delegation_id=delegation.delegation_id,
+                rule=delegation.rule,
+                schemas=self._schemas_for(delegation),
+            ))
+        for delegation in result.delegations_to_retract:
+            messages.append(DelegationRetractMessage(
+                sender=self.name,
+                recipient=delegation.target,
+                delegation_id=delegation.delegation_id,
+            ))
+        return messages
+
+    def _schemas_for(self, delegation: Delegation) -> Tuple[RelationSchema, ...]:
+        """Schemas (known locally) of the relations mentioned by a delegated rule."""
+        schemas: List[RelationSchema] = []
+        seen = set()
+        atoms: Tuple[Atom, ...] = (delegation.rule.head, *delegation.rule.body)
+        for atom in atoms:
+            relation = atom.relation_constant()
+            peer = atom.peer_constant()
+            if relation is None or peer is None:
+                continue
+            schema = self.engine.state.schemas.get(relation, peer)
+            if schema is not None and schema.qualified_name not in seen:
+                seen.add(schema.qualified_name)
+                schemas.append(schema)
+        return tuple(schemas)

@@ -1,0 +1,239 @@
+"""Running each WebdamLog peer in its own OS process.
+
+The paper's demo runs peers on different machines (two laptops and a cloud
+host).  The reproduction's closest local equivalent — per the substitution
+notes in DESIGN.md — is to run every peer as a separate OS process and to
+serialise all inter-peer traffic, which exercises the same code path
+(autonomous engines exchanging encoded facts and rules) without requiring a
+real network.
+
+:class:`ProcessNetwork` is the parent-side orchestrator: it spawns one
+:func:`_peer_worker` process per peer, routes wire-encoded messages between
+them, and exposes the same round-based API as
+:class:`~repro.runtime.system.WebdamLogSystem` (``run_round``,
+``run_until_quiescent``) so benchmarks can switch transports with a flag.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TransportError
+from repro.runtime.messages import Message, message_from_wire
+from repro.runtime import wire
+
+
+# --------------------------------------------------------------------------- #
+# the worker process
+# --------------------------------------------------------------------------- #
+
+def _peer_worker(name: str, command_queue: multiprocessing.Queue,
+                 response_queue: multiprocessing.Queue) -> None:
+    """Entry point of a peer process: serve commands until told to stop."""
+    # Imports happen inside the worker so that the module is importable even
+    # in spawn-based start methods.
+    from repro.runtime.peer import Peer
+
+    peer = Peer(name, auto_accept_delegations=True)
+    while True:
+        command = command_queue.get()
+        op = command.get("op")
+        try:
+            if op == "stop":
+                response_queue.put({"op": "stopped", "peer": name})
+                return
+            if op == "load_program":
+                peer.load_program(command["text"])
+                response_queue.put({"op": "ok", "peer": name})
+            elif op == "add_rule":
+                rule = peer.add_rule(command["text"])
+                response_queue.put({"op": "ok", "peer": name, "rule_id": rule.rule_id})
+            elif op == "insert_fact":
+                peer.insert_fact(wire.decode_fact(command["fact"]))
+                response_queue.put({"op": "ok", "peer": name})
+            elif op == "deliver_and_run":
+                for encoded in command.get("messages", []):
+                    peer.deliver(message_from_wire(encoded))
+                result, outgoing = peer.run_stage()
+                response_queue.put({
+                    "op": "stage_done",
+                    "peer": name,
+                    "outgoing": [m.to_wire() for m in outgoing],
+                    "quiescent": result.is_quiescent()
+                                 and not command.get("messages"),
+                    "derived": result.derived_intensional,
+                    "stage": result.stage,
+                })
+            elif op == "query":
+                facts = peer.query(command["relation"], command.get("peer_name"))
+                response_queue.put({
+                    "op": "facts",
+                    "peer": name,
+                    "facts": [wire.encode_fact(f) for f in facts],
+                })
+            elif op == "counts":
+                response_queue.put({"op": "counts", "peer": name,
+                                    "counts": peer.counts()})
+            else:
+                response_queue.put({"op": "error", "peer": name,
+                                    "error": f"unknown op {op!r}"})
+        except Exception as exc:  # pragma: no cover - surfaced to the parent
+            response_queue.put({"op": "error", "peer": name, "error": repr(exc)})
+
+
+@dataclass
+class _PeerHandle:
+    """Parent-side handle to one peer process."""
+
+    name: str
+    process: multiprocessing.Process
+    commands: multiprocessing.Queue
+    responses: multiprocessing.Queue
+
+    def request(self, command: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one command and wait for its response."""
+        self.commands.put(command)
+        response = self.responses.get(timeout=60)
+        if response.get("op") == "error":
+            raise TransportError(
+                f"peer process {self.name} failed: {response.get('error')}"
+            )
+        return response
+
+
+# --------------------------------------------------------------------------- #
+# the orchestrator
+# --------------------------------------------------------------------------- #
+
+class ProcessNetwork:
+    """Round-based orchestration of peers running as OS processes.
+
+    Use as a context manager (or call :meth:`shutdown` explicitly) so that
+    the worker processes are always terminated::
+
+        with ProcessNetwork() as net:
+            net.spawn_peer("alice", program_text)
+            net.spawn_peer("bob")
+            net.run_until_quiescent()
+            facts = net.query("alice", "friends")
+    """
+
+    def __init__(self):
+        self._context = multiprocessing.get_context()
+        self._handles: Dict[str, _PeerHandle] = {}
+        # recipient -> wire-encoded messages waiting for the next round
+        self._mailboxes: Dict[str, List[Dict[str, Any]]] = {}
+        self.rounds_executed = 0
+        self.messages_routed = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def __enter__(self) -> "ProcessNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def spawn_peer(self, name: str, program: Optional[str] = None) -> None:
+        """Start a new peer process (optionally loading a program)."""
+        if name in self._handles:
+            raise ValueError(f"peer {name!r} already spawned")
+        commands: multiprocessing.Queue = self._context.Queue()
+        responses: multiprocessing.Queue = self._context.Queue()
+        process = self._context.Process(
+            target=_peer_worker, args=(name, commands, responses), daemon=True,
+            name=f"webdamlog-peer-{name}",
+        )
+        process.start()
+        handle = _PeerHandle(name=name, process=process, commands=commands,
+                             responses=responses)
+        self._handles[name] = handle
+        self._mailboxes.setdefault(name, [])
+        if program:
+            handle.request({"op": "load_program", "text": program})
+
+    def shutdown(self) -> None:
+        """Stop every peer process."""
+        for handle in self._handles.values():
+            if handle.process.is_alive():
+                try:
+                    handle.request({"op": "stop"})
+                except Exception:
+                    pass
+                handle.process.join(timeout=5)
+                if handle.process.is_alive():  # pragma: no cover - defensive
+                    handle.process.terminate()
+        self._handles.clear()
+
+    def peer_names(self) -> Tuple[str, ...]:
+        """Names of the spawned peers, sorted."""
+        return tuple(sorted(self._handles))
+
+    # -- user actions ------------------------------------------------------ #
+
+    def load_program(self, peer: str, text: str) -> None:
+        """Load a program text at one peer."""
+        self._handle(peer).request({"op": "load_program", "text": text})
+
+    def add_rule(self, peer: str, text: str) -> None:
+        """Add one rule at one peer."""
+        self._handle(peer).request({"op": "add_rule", "text": text})
+
+    def insert_fact(self, peer: str, fact) -> None:
+        """Insert a fact at one peer."""
+        self._handle(peer).request({"op": "insert_fact", "fact": wire.encode_fact(fact)})
+
+    def query(self, peer: str, relation: str, peer_name: Optional[str] = None) -> List:
+        """Query the facts of ``relation`` visible at ``peer``."""
+        response = self._handle(peer).request({
+            "op": "query", "relation": relation, "peer_name": peer_name,
+        })
+        return [wire.decode_fact(f) for f in response["facts"]]
+
+    def counts(self, peer: str) -> Dict[str, int]:
+        """Counters of one peer."""
+        return self._handle(peer).request({"op": "counts"})["counts"]
+
+    # -- execution --------------------------------------------------------- #
+
+    def run_round(self) -> Dict[str, bool]:
+        """Run one round across every peer process; returns per-peer quiescence."""
+        self.rounds_executed += 1
+        quiescence: Dict[str, bool] = {}
+        produced: Dict[str, List[Dict[str, Any]]] = {name: [] for name in self._handles}
+        for name in sorted(self._handles):
+            handle = self._handles[name]
+            inbox = self._mailboxes.get(name, [])
+            self._mailboxes[name] = []
+            response = handle.request({"op": "deliver_and_run", "messages": inbox})
+            quiescence[name] = bool(response.get("quiescent"))
+            for encoded in response.get("outgoing", []):
+                produced[name].append(encoded)
+        for sender, messages in produced.items():
+            for encoded in messages:
+                recipient = encoded.get("recipient")
+                if recipient in self._mailboxes:
+                    self._mailboxes[recipient].append(encoded)
+                    self.messages_routed += 1
+                # Messages to unknown peers are dropped, mirroring the
+                # in-memory network's behaviour for wrapper pseudo-peers.
+        return quiescence
+
+    def run_until_quiescent(self, max_rounds: int = 50) -> int:
+        """Run rounds until every peer is quiescent and no mail is waiting."""
+        for round_index in range(1, max_rounds + 1):
+            quiescence = self.run_round()
+            mailboxes_empty = all(not waiting for waiting in self._mailboxes.values())
+            if all(quiescence.values()) and mailboxes_empty:
+                return round_index
+        return max_rounds
+
+    # -- internals --------------------------------------------------------- #
+
+    def _handle(self, peer: str) -> _PeerHandle:
+        try:
+            return self._handles[peer]
+        except KeyError as exc:
+            raise KeyError(f"unknown peer {peer!r}") from exc

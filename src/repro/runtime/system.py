@@ -1,0 +1,281 @@
+"""The system orchestrator: a network of WebdamLog peers driven round by round.
+
+A **round** of the system consists of, for every peer in a deterministic
+order:
+
+1. deliver the messages addressed to the peer that are due this round,
+2. run one computation stage of the peer's engine,
+3. hand the stage's outgoing messages to the network (they become visible
+   ``latency`` rounds later).
+
+The orchestrator detects **convergence** (every peer quiescent and no message
+in flight) and accumulates the round/message accounting that the benchmark
+harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.acl.trust import TrustStore
+from repro.core.errors import TransportError
+from repro.core.facts import Fact
+from repro.core.schema import SchemaRegistry
+from repro.runtime.inmemory import InMemoryNetwork, NetworkStats
+from repro.runtime.messages import Message, PeerJoinMessage
+from repro.runtime.peer import Peer, PeerStageReport
+
+
+@dataclass
+class RoundReport:
+    """What happened during one system round."""
+
+    round_number: int
+    peer_reports: Dict[str, PeerStageReport] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+    def is_quiescent(self) -> bool:
+        """``True`` when every peer was quiescent this round."""
+        return all(report.is_quiescent() for report in self.peer_reports.values())
+
+    def total_derived(self) -> int:
+        """Total intensional facts derived across peers this round."""
+        return sum(r.stage_result.derived_intensional for r in self.peer_reports.values())
+
+    def total_delegations_installed(self) -> int:
+        """Total delegation-install messages emitted this round."""
+        return sum(len(r.stage_result.delegations_to_install)
+                   for r in self.peer_reports.values())
+
+
+@dataclass
+class RunSummary:
+    """Summary of a :meth:`WebdamLogSystem.run_until_quiescent` execution."""
+
+    rounds: List[RoundReport] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def round_count(self) -> int:
+        """Number of rounds executed."""
+        return len(self.rounds)
+
+    @property
+    def rounds_to_convergence(self) -> int:
+        """Number of rounds in which real work happened (delivery or derivation).
+
+        This is the index (1-based) of the last non-quiescent round; trailing
+        quiescent rounds needed only to *detect* convergence are not counted.
+        """
+        last_active = 0
+        for index, report in enumerate(self.rounds, start=1):
+            if not report.is_quiescent():
+                last_active = index
+        return last_active
+
+    def total_messages(self) -> int:
+        """Total messages sent across all rounds."""
+        return sum(report.messages_sent for report in self.rounds)
+
+    def total_derived(self) -> int:
+        """Total intensional derivations across all rounds and peers."""
+        return sum(report.total_derived() for report in self.rounds)
+
+
+class WebdamLogSystem:
+    """A set of peers connected by an in-memory network.
+
+    Parameters
+    ----------
+    latency:
+        Delivery latency of the network, in rounds.
+    drop_probability / seed:
+        Loss model of the network (for failure-injection tests).
+    default_trusted:
+        Peers that every newly added peer trusts by default.  The demo
+        configuration trusts only the ``sigmod`` peer; pass
+        ``default_trusted=("sigmod",)`` to reproduce it.
+    auto_accept_delegations:
+        When ``True`` (default) peers install any incoming delegation
+        immediately; set to ``False`` to enable the pending-queue control of
+        delegation for untrusted delegators.
+    """
+
+    def __init__(self, latency: int = 1, drop_probability: float = 0.0,
+                 seed: Optional[int] = 0,
+                 default_trusted: Sequence[str] = (),
+                 auto_accept_delegations: bool = True,
+                 strict_stage_inputs: bool = False):
+        self.network = InMemoryNetwork(latency=latency, drop_probability=drop_probability,
+                                       seed=seed)
+        self.peers: Dict[str, Peer] = {}
+        self.default_trusted = tuple(default_trusted)
+        self.auto_accept_delegations = auto_accept_delegations
+        self.strict_stage_inputs = strict_stage_inputs
+        self._round = 0
+        self.history: List[RoundReport] = []
+
+    # ------------------------------------------------------------------ #
+    # topology management
+    # ------------------------------------------------------------------ #
+
+    def add_peer(self, name: str, program: Optional[str] = None,
+                 trusted: Sequence[str] = (), trust_all: bool = False,
+                 auto_accept_delegations: Optional[bool] = None,
+                 announce: bool = False,
+                 schemas: Optional[SchemaRegistry] = None) -> Peer:
+        """Create and register a new peer.
+
+        ``program`` is an optional WebdamLog program text loaded immediately.
+        ``announce=True`` sends a :class:`PeerJoinMessage` to every existing
+        peer (the "Interaction via the Web" scenario, where audience members
+        launch their own peers).
+        """
+        if name in self.peers:
+            raise ValueError(f"peer {name!r} already exists")
+        trust = TrustStore(name, trusted=tuple(trusted) + self.default_trusted,
+                           trust_all=trust_all)
+        auto = (self.auto_accept_delegations if auto_accept_delegations is None
+                else auto_accept_delegations)
+        peer = Peer(name, trust=trust, auto_accept_delegations=auto,
+                    strict_stage_inputs=self.strict_stage_inputs, schemas=schemas)
+        self.peers[name] = peer
+        self.network.register(name)
+        if program:
+            peer.load_program(program)
+        if announce:
+            for other in self.peers.values():
+                if other.name != name:
+                    self.network.send(PeerJoinMessage(
+                        sender=name, recipient=other.name,
+                        peer_name=name, address=name,
+                    ))
+        return peer
+
+    def remove_peer(self, name: str) -> Optional[Peer]:
+        """Remove a peer from the system (its undelivered messages are dropped)."""
+        peer = self.peers.pop(name, None)
+        if peer is not None:
+            self.network.unregister(name)
+        return peer
+
+    def peer(self, name: str) -> Peer:
+        """Look up a peer by name."""
+        try:
+            return self.peers[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown peer {name!r}") from exc
+
+    def peer_names(self) -> Tuple[str, ...]:
+        """Sorted names of the registered peers."""
+        return tuple(sorted(self.peers))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.peers
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_round(self) -> int:
+        """Number of rounds executed so far."""
+        return self._round
+
+    def run_round(self) -> RoundReport:
+        """Execute one round: every peer consumes its messages and runs one stage."""
+        self._round += 1
+        report = RoundReport(round_number=self._round)
+        for name in sorted(self.peers):
+            peer = self.peers[name]
+            incoming = self.network.receive(name)
+            delivered = peer.deliver_all(incoming)
+            stage_result, outgoing = peer.run_stage()
+            sent = 0
+            for message in outgoing:
+                try:
+                    if self.network.send(message):
+                        sent += 1
+                except TransportError:
+                    # Destination unknown to the network (e.g. a wrapper-only
+                    # pseudo-peer): the message is counted but not delivered.
+                    pass
+            report.peer_reports[name] = PeerStageReport(
+                peer=name,
+                stage_result=stage_result,
+                delivered_messages=delivered,
+                sent_messages=sent,
+                pending_delegations=len(peer.pending_delegations()),
+            )
+            report.messages_sent += sent
+            report.messages_delivered += delivered
+        self.network.advance_round()
+        self.history.append(report)
+        return report
+
+    def run_rounds(self, count: int) -> List[RoundReport]:
+        """Execute ``count`` rounds unconditionally."""
+        return [self.run_round() for _ in range(count)]
+
+    def run_until_quiescent(self, max_rounds: int = 100,
+                            extra_rounds: int = 0) -> RunSummary:
+        """Run rounds until the whole system converges (or ``max_rounds`` is hit).
+
+        Convergence means: a round in which every peer was quiescent *and* no
+        message remains in flight.  ``extra_rounds`` additional rounds are run
+        afterwards (useful when a test wants to check stability).
+        """
+        summary = RunSummary()
+        for _ in range(max_rounds):
+            report = self.run_round()
+            summary.rounds.append(report)
+            if report.is_quiescent() and not self.network.has_in_flight() \
+                    and not self._any_pending_engine_input():
+                summary.converged = True
+                break
+        for _ in range(extra_rounds):
+            summary.rounds.append(self.run_round())
+        return summary
+
+    def _any_pending_engine_input(self) -> bool:
+        return any(peer.engine.has_pending_input() for peer in self.peers.values())
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def network_stats(self) -> NetworkStats:
+        """The network's accumulated statistics."""
+        return self.network.stats
+
+    def totals(self) -> Dict[str, int]:
+        """System-wide counters: rounds, messages, facts, delegations."""
+        totals = {
+            "rounds": self._round,
+            "messages_sent": self.network.stats.messages_sent,
+            "messages_delivered": self.network.stats.messages_delivered,
+            "payload_items": self.network.stats.payload_items,
+            "peers": len(self.peers),
+        }
+        totals["extensional_facts"] = sum(
+            peer.engine.state.store.total_facts() for peer in self.peers.values()
+        )
+        totals["derived_facts"] = sum(
+            peer.engine.state.derived.total_facts() for peer in self.peers.values()
+        )
+        totals["installed_delegations"] = sum(
+            len(peer.engine.state.delegations_in) for peer in self.peers.values()
+        )
+        totals["pending_delegations"] = sum(
+            len(peer.pending_delegations()) for peer in self.peers.values()
+        )
+        return totals
+
+    def snapshot(self) -> Dict[str, Dict[str, Tuple[Fact, ...]]]:
+        """Per-peer snapshot of every visible relation."""
+        return {name: peer.engine.snapshot() for name, peer in sorted(self.peers.items())}

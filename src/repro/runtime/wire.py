@@ -1,0 +1,163 @@
+"""Wire encoding of facts, rules and messages.
+
+The in-memory network passes Python objects around directly, but the process
+transport (and any real network transport) needs a serialisable encoding.
+The encoding is plain JSON-compatible dictionaries; binary values (picture
+contents) are hex-encoded.
+
+The functions come in ``encode_*`` / ``decode_*`` pairs and round-trip every
+object exactly (including term types: ``1`` and ``True`` stay distinct).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.facts import Fact
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.core.terms import Constant, Term, Variable
+
+
+# --------------------------------------------------------------------------- #
+# values and terms
+# --------------------------------------------------------------------------- #
+
+def encode_value(value) -> Any:
+    """Encode a constant value into a JSON-compatible representation."""
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, bool) or value is None or isinstance(value, (str, float)):
+        return value
+    if isinstance(value, int):
+        return value
+    raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(encoded) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(encoded, dict) and "__bytes__" in encoded:
+        return bytes.fromhex(encoded["__bytes__"])
+    return encoded
+
+
+def encode_term(term: Term) -> Dict[str, Any]:
+    """Encode a term (constant or variable)."""
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        return {"const": encode_value(term.value),
+                "type": type(term.value).__name__}
+    raise TypeError(f"cannot encode term {term!r}")
+
+
+def decode_term(encoded: Dict[str, Any]) -> Term:
+    """Inverse of :func:`encode_term`."""
+    if "var" in encoded:
+        return Variable(encoded["var"])
+    value = decode_value(encoded["const"])
+    type_name = encoded.get("type")
+    if type_name == "bool" and not isinstance(value, bool):
+        value = bool(value)
+    elif type_name == "int" and isinstance(value, bool):
+        value = int(value)
+    elif type_name == "float" and isinstance(value, int):
+        value = float(value)
+    return Constant(value)
+
+
+# --------------------------------------------------------------------------- #
+# facts, atoms, rules, schemas
+# --------------------------------------------------------------------------- #
+
+def encode_fact(fact: Fact) -> Dict[str, Any]:
+    """Encode a fact."""
+    return {
+        "relation": fact.relation,
+        "peer": fact.peer,
+        "values": [encode_value(v) for v in fact.values],
+        "types": [type(v).__name__ for v in fact.values],
+    }
+
+
+def decode_fact(encoded: Dict[str, Any]) -> Fact:
+    """Inverse of :func:`encode_fact`."""
+    values: List[Any] = []
+    types = encoded.get("types", [])
+    for index, raw in enumerate(encoded["values"]):
+        value = decode_value(raw)
+        type_name = types[index] if index < len(types) else None
+        if type_name == "bool" and not isinstance(value, bool):
+            value = bool(value)
+        elif type_name == "int" and isinstance(value, bool):
+            value = int(value)
+        elif type_name == "float" and isinstance(value, int):
+            value = float(value)
+        values.append(value)
+    return Fact(encoded["relation"], encoded["peer"], tuple(values))
+
+
+def encode_atom(atom: Atom) -> Dict[str, Any]:
+    """Encode an atom."""
+    return {
+        "relation": encode_term(atom.relation),
+        "peer": encode_term(atom.peer),
+        "args": [encode_term(a) for a in atom.args],
+        "negated": atom.negated,
+    }
+
+
+def decode_atom(encoded: Dict[str, Any]) -> Atom:
+    """Inverse of :func:`encode_atom`."""
+    return Atom(
+        relation=decode_term(encoded["relation"]),
+        peer=decode_term(encoded["peer"]),
+        args=tuple(decode_term(a) for a in encoded["args"]),
+        negated=encoded.get("negated", False),
+    )
+
+
+def encode_rule(rule: Rule) -> Dict[str, Any]:
+    """Encode a rule including its metadata."""
+    return {
+        "head": encode_atom(rule.head),
+        "body": [encode_atom(a) for a in rule.body],
+        "author": rule.author,
+        "origin": rule.origin,
+        "rule_id": rule.rule_id,
+    }
+
+
+def decode_rule(encoded: Dict[str, Any]) -> Rule:
+    """Inverse of :func:`encode_rule`."""
+    return Rule(
+        head=decode_atom(encoded["head"]),
+        body=tuple(decode_atom(a) for a in encoded["body"]),
+        author=encoded.get("author"),
+        origin=encoded.get("origin"),
+        rule_id=encoded.get("rule_id") or "rule-wire",
+    )
+
+
+def encode_schema(schema: RelationSchema) -> Dict[str, Any]:
+    """Encode a relation schema."""
+    return {
+        "name": schema.name,
+        "peer": schema.peer,
+        "columns": list(schema.columns),
+        "kind": schema.kind.value,
+        "persistent": schema.persistent,
+        "key": list(schema.key),
+    }
+
+
+def decode_schema(encoded: Dict[str, Any]) -> RelationSchema:
+    """Inverse of :func:`encode_schema`."""
+    return RelationSchema(
+        name=encoded["name"],
+        peer=encoded["peer"],
+        columns=tuple(encoded["columns"]),
+        kind=RelationKind(encoded.get("kind", "extensional")),
+        persistent=encoded.get("persistent", True),
+        key=tuple(encoded.get("key", ())),
+    )

@@ -1,0 +1,47 @@
+"""Wepic: the conference picture-sharing application of the paper.
+
+Wepic lets SIGMOD attendees share, download, rate and annotate pictures in a
+highly decentralised manner.  The application is "a small set of rules"
+running on the WebdamLog system, plus two wrappers (Facebook and email) and a
+user interface.  This package reproduces all of it:
+
+* :mod:`repro.wepic.pictures` — the picture data model and synthetic picture
+  generation;
+* :mod:`repro.wepic.annotations` — ratings, comments and name tags;
+* :mod:`repro.wepic.rules` — the canonical Wepic rule set (as rule templates
+  instantiated per peer) and the customised variants shown in the paper;
+* :mod:`repro.wepic.app` — :class:`WepicApp`, the per-attendee application
+  object (upload, select, transfer, annotate, customise rules);
+* :mod:`repro.wepic.ranking` — "select and rank photos based on their
+  annotations";
+* :mod:`repro.wepic.ui` — a headless model of the Web GUI's frames
+  (Figures 1 and 3);
+* :mod:`repro.wepic.scenario` — the three-peer demo setup of Figure 2
+  (Émilien, Jules, the sigmod cloud peer, the SigmodFB group wrapper).
+"""
+
+from repro.wepic.pictures import Picture, PictureLibrary, generate_picture, generate_library
+from repro.wepic.annotations import Annotation, Rating, Comment, NameTag
+from repro.wepic.rules import WepicRules
+from repro.wepic.app import WepicApp
+from repro.wepic.ranking import PictureRanking, rank_pictures
+from repro.wepic.ui import WepicUI
+from repro.wepic.scenario import DemoScenario, build_demo_scenario
+
+__all__ = [
+    "Picture",
+    "PictureLibrary",
+    "generate_picture",
+    "generate_library",
+    "Annotation",
+    "Rating",
+    "Comment",
+    "NameTag",
+    "WepicRules",
+    "WepicApp",
+    "PictureRanking",
+    "rank_pictures",
+    "WepicUI",
+    "DemoScenario",
+    "build_demo_scenario",
+]

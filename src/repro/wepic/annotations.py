@@ -1,0 +1,108 @@
+"""Annotations: ratings, comments and name tags on pictures.
+
+Wepic lets attendees "annotate pictures with ratings, comments or name tags
+(names of attendees appearing in the picture)".  Each annotation is stored as
+a fact in a relation located at the *annotating* peer:
+
+* ``rate@<peer>(pictureId, rating)`` with ratings between 1 and 5,
+* ``comment@<peer>(pictureId, text)``,
+* ``tag@<peer>(pictureId, attendee)``.
+
+The paper's customised rule ``rate@$owner($id, 5)`` reads ratings at the
+picture *owner's* peer; the :class:`~repro.wepic.app.WepicApp` therefore also
+pushes a copy of each rating to the owner, so both conventions work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.core.errors import WorkloadError
+from repro.core.facts import Fact
+
+#: Valid rating values (the demo uses a 1-5 star scale).
+MIN_RATING = 1
+MAX_RATING = 5
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Base class of the three annotation kinds."""
+
+    picture_id: int
+    author: str
+
+    relation_name = "annotation"
+
+    def to_fact(self, peer: Optional[str] = None) -> Fact:
+        """Render the annotation as a fact located at ``peer`` (default: the author)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Rating(Annotation):
+    """A star rating of a picture."""
+
+    value: int = MAX_RATING
+
+    relation_name = "rate"
+
+    def __post_init__(self):
+        if not MIN_RATING <= self.value <= MAX_RATING:
+            raise WorkloadError(
+                f"rating must be between {MIN_RATING} and {MAX_RATING}, got {self.value}"
+            )
+
+    def to_fact(self, peer: Optional[str] = None) -> Fact:
+        return Fact(self.relation_name, peer or self.author, (self.picture_id, self.value))
+
+
+@dataclass(frozen=True)
+class Comment(Annotation):
+    """A free-text comment on a picture."""
+
+    text: str = ""
+
+    relation_name = "comment"
+
+    def to_fact(self, peer: Optional[str] = None) -> Fact:
+        return Fact(self.relation_name, peer or self.author,
+                    (self.picture_id, self.author, self.text))
+
+
+@dataclass(frozen=True)
+class NameTag(Annotation):
+    """A name tag: an attendee appearing in the picture."""
+
+    attendee: str = ""
+
+    relation_name = "tag"
+
+    def to_fact(self, peer: Optional[str] = None) -> Fact:
+        return Fact(self.relation_name, peer or self.author,
+                    (self.picture_id, self.attendee))
+
+
+def rating_from_fact(fact: Fact) -> Rating:
+    """Rebuild a :class:`Rating` from a ``rate@peer(id, value)`` fact."""
+    if len(fact.values) != 2:
+        raise WorkloadError(f"rating facts have 2 values, got {fact}")
+    picture_id, value = fact.values
+    return Rating(picture_id=int(picture_id), author=fact.peer, value=int(value))
+
+
+def comment_from_fact(fact: Fact) -> Comment:
+    """Rebuild a :class:`Comment` from a ``comment@peer(id, author, text)`` fact."""
+    if len(fact.values) != 3:
+        raise WorkloadError(f"comment facts have 3 values, got {fact}")
+    picture_id, author, text = fact.values
+    return Comment(picture_id=int(picture_id), author=str(author), text=str(text))
+
+
+def tag_from_fact(fact: Fact) -> NameTag:
+    """Rebuild a :class:`NameTag` from a ``tag@peer(id, attendee)`` fact."""
+    if len(fact.values) != 2:
+        raise WorkloadError(f"tag facts have 2 values, got {fact}")
+    picture_id, attendee = fact.values
+    return NameTag(picture_id=int(picture_id), author=fact.peer, attendee=str(attendee))

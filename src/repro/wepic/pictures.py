@@ -1,0 +1,139 @@
+"""Pictures: the data Wepic manages.
+
+A picture fact, as in the paper::
+
+    pictures@sigmod(32, "sea.jpg", "Émilien", "100...")
+
+has an id, a file name, an owner, and the (binary) content plus meta-data.
+The reproduction synthesises contents as deterministic pseudo-random bit
+strings of configurable size — the engine treats them as opaque values, so
+only their size matters for the experiments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.facts import Fact
+
+_picture_counter = itertools.count(1)
+
+#: Common photo subjects used to produce plausible file names.
+_SUBJECTS = (
+    "sea", "boat", "keynote", "poster", "banquet", "sunset", "panel",
+    "demo", "coffee", "skyline", "bridge", "beach", "reception", "badge",
+)
+
+
+@dataclass(frozen=True)
+class Picture:
+    """One picture with its meta-data."""
+
+    picture_id: int
+    name: str
+    owner: str
+    data: str
+
+    def size(self) -> int:
+        """Size of the picture content (in characters of the bit string)."""
+        return len(self.data)
+
+    def to_fact(self, relation: str = "pictures", peer: Optional[str] = None) -> Fact:
+        """Render the picture as a WebdamLog fact of ``relation@peer``.
+
+        The default peer is the owner, matching the demo setup where every
+        attendee stores their own photos in ``pictures@<attendee>``.
+        """
+        return Fact(relation, peer or self.owner,
+                    (self.picture_id, self.name, self.owner, self.data))
+
+    @classmethod
+    def from_fact(cls, fact: Fact) -> "Picture":
+        """Rebuild a picture from a 4-ary ``pictures``-style fact."""
+        if len(fact.values) != 4:
+            raise ValueError(f"picture facts have 4 values, got {fact}")
+        picture_id, name, owner, data = fact.values
+        return cls(picture_id=int(picture_id), name=str(name), owner=str(owner),
+                   data=str(data))
+
+
+def generate_picture(owner: str, index: Optional[int] = None, size: int = 64,
+                     rng: Optional[random.Random] = None,
+                     subject: Optional[str] = None) -> Picture:
+    """Create one synthetic picture.
+
+    The content is a deterministic pseudo-random bit string derived from the
+    owner and index (so repeated generation with the same arguments yields
+    the same picture), unless an explicit ``rng`` is given.
+    """
+    if index is None:
+        index = next(_picture_counter)
+    if subject is None:
+        subject = _SUBJECTS[index % len(_SUBJECTS)]
+    name = f"{subject}-{index}.jpg"
+    if rng is not None:
+        data = "".join(rng.choice("01") for _ in range(size))
+    else:
+        seed_material = f"{owner}/{index}/{size}".encode("utf-8")
+        digest = hashlib.sha256(seed_material).digest()
+        bits: List[str] = []
+        while len(bits) < size:
+            for byte in digest:
+                bits.extend(format(byte, "08b"))
+                if len(bits) >= size:
+                    break
+            digest = hashlib.sha256(digest).digest()
+        data = "".join(bits[:size])
+    return Picture(picture_id=index, name=name, owner=owner, data=data)
+
+
+def generate_library(owner: str, count: int, size: int = 64,
+                     start_id: int = 1) -> "PictureLibrary":
+    """Generate a library of ``count`` pictures owned by ``owner``."""
+    pictures = [
+        generate_picture(owner, index=start_id + offset, size=size)
+        for offset in range(count)
+    ]
+    return PictureLibrary(owner=owner, pictures=pictures)
+
+
+@dataclass
+class PictureLibrary:
+    """A collection of pictures belonging to one owner."""
+
+    owner: str
+    pictures: List[Picture] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pictures)
+
+    def __iter__(self) -> Iterator[Picture]:
+        return iter(self.pictures)
+
+    def add(self, picture: Picture) -> Picture:
+        """Add a picture to the library."""
+        self.pictures.append(picture)
+        return picture
+
+    def by_id(self, picture_id: int) -> Optional[Picture]:
+        """Look up a picture by id."""
+        for picture in self.pictures:
+            if picture.picture_id == picture_id:
+                return picture
+        return None
+
+    def facts(self, relation: str = "pictures", peer: Optional[str] = None) -> List[Fact]:
+        """Render every picture as a fact of ``relation@peer``."""
+        return [picture.to_fact(relation, peer) for picture in self.pictures]
+
+    def ids(self) -> Tuple[int, ...]:
+        """The picture ids, in insertion order."""
+        return tuple(picture.picture_id for picture in self.pictures)
+
+    def total_size(self) -> int:
+        """Total content size across the library."""
+        return sum(picture.size() for picture in self.pictures)

@@ -1,0 +1,222 @@
+"""The canonical Wepic rule set.
+
+Wepic "consists of a small set of rules".  This module holds those rules as
+templates instantiated per peer, exactly as written in the paper (modulo
+peer-name substitution):
+
+* the **attendee pictures** rule (Figure 1's bottom frame), which uses
+  delegation to gather the pictures of every selected attendee::
+
+      attendeePictures@Jules($id, $name, $owner, $data) :-
+          selectedAttendee@Jules($attendee),
+          pictures@$attendee($id, $name, $owner, $data)
+
+* the **transfer** rule, which routes selected pictures to each selected
+  attendee over that attendee's preferred protocol::
+
+      $protocol@$attendee($attendee, $name, $id, $owner) :-
+          selectedAttendee@Jules($attendee),
+          communicate@$attendee($protocol),
+          selectedPictures@Jules($name, $id, $owner)
+
+* the **publication to sigmod** rule, by which a photo uploaded at an
+  attendee's peer is "instantly published to pictures@sigmod";
+
+* the sigmod peer's **Facebook publication** rule, restricted to authorised
+  owners::
+
+      pictures@SigmodFB($id, $name, $owner, $data) :-
+          pictures@sigmod($id, $name, $owner, $data),
+          authorized@$owner("Facebook", $id, $owner)
+
+* the sigmod peer's **Facebook retrieval** rules (pictures, comments, tags);
+
+* the **customised** attendee-pictures rule that keeps only pictures rated 5
+  by their owner, and further variants (by owner, by tagged attendee) that
+  the demo invites the audience to write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.parser import parse_rule
+from repro.core.rules import Rule
+from repro.core.schema import RelationKind, RelationSchema
+
+
+#: Name of the central conference peer in the demo.
+SIGMOD_PEER = "sigmod"
+#: Name of the Facebook-group pseudo-peer in the demo.
+SIGMOD_FB_PEER = "SigmodFB"
+
+
+def attendee_schemas(peer: str) -> Tuple[RelationSchema, ...]:
+    """The relations every Wepic attendee peer manages."""
+    return (
+        RelationSchema("pictures", peer, ("id", "name", "owner", "data")),
+        RelationSchema("selectedAttendee", peer, ("attendee",)),
+        RelationSchema("selectedPictures", peer, ("name", "id", "owner")),
+        RelationSchema("communicate", peer, ("protocol",)),
+        RelationSchema("rate", peer, ("id", "rating")),
+        RelationSchema("comment", peer, ("id", "author", "text")),
+        RelationSchema("tag", peer, ("id", "attendee")),
+        RelationSchema("authorized", peer, ("service", "id", "owner")),
+        RelationSchema("wepic", peer, ("attendee", "name", "id", "owner")),
+        RelationSchema("email", peer, ("recipient", "name", "id", "owner")),
+        RelationSchema("attendeePictures", peer, ("id", "name", "owner", "data"),
+                       kind=RelationKind.INTENSIONAL),
+        RelationSchema("attendeeRatings", peer, ("id", "rating"),
+                       kind=RelationKind.INTENSIONAL),
+    )
+
+
+def sigmod_schemas(sigmod_peer: str = SIGMOD_PEER,
+                   group_peer: str = SIGMOD_FB_PEER) -> Tuple[RelationSchema, ...]:
+    """The relations of the central ``sigmod`` peer."""
+    return (
+        RelationSchema("pictures", sigmod_peer, ("id", "name", "owner", "data")),
+        RelationSchema("attendees", sigmod_peer, ("attendee",)),
+        RelationSchema("comments", sigmod_peer, ("id", "author", "text")),
+        RelationSchema("tags", sigmod_peer, ("id", "attendee")),
+        RelationSchema("pictures", group_peer, ("id", "name", "owner", "data")),
+        RelationSchema("comments", group_peer, ("id", "author", "text")),
+        RelationSchema("tags", group_peer, ("id", "attendee")),
+    )
+
+
+@dataclass
+class WepicRules:
+    """Factory of the Wepic rules for a given peer topology.
+
+    Parameters
+    ----------
+    sigmod_peer:
+        Name of the central conference peer (``"sigmod"`` in the demo).
+    group_peer:
+        Name of the Facebook-group pseudo-peer (``"SigmodFB"``).
+    """
+
+    sigmod_peer: str = SIGMOD_PEER
+    group_peer: str = SIGMOD_FB_PEER
+
+    # ------------------------------------------------------------------ #
+    # attendee-side rules
+    # ------------------------------------------------------------------ #
+
+    def attendee_pictures_rule(self, peer: str) -> Rule:
+        """The delegation rule filling the *Attendee pictures* frame of Figure 1."""
+        text = (
+            f"attendeePictures@{peer}($id, $name, $owner, $data) :- "
+            f"selectedAttendee@{peer}($attendee), "
+            f"pictures@$attendee($id, $name, $owner, $data)"
+        )
+        return parse_rule(text, author=peer)
+
+    def attendee_ratings_rule(self, peer: str) -> Rule:
+        """Gather the ratings published by the selected attendees (used for ranking)."""
+        text = (
+            f"attendeeRatings@{peer}($id, $rating) :- "
+            f"selectedAttendee@{peer}($attendee), "
+            f"rate@$attendee($id, $rating)"
+        )
+        return parse_rule(text, author=peer)
+
+    def transfer_rule(self, peer: str) -> Rule:
+        """The protocol-dispatch transfer rule of Section 3."""
+        text = (
+            f"$protocol@$attendee($attendee, $name, $id, $owner) :- "
+            f"selectedAttendee@{peer}($attendee), "
+            f"communicate@$attendee($protocol), "
+            f"selectedPictures@{peer}($name, $id, $owner)"
+        )
+        return parse_rule(text, author=peer)
+
+    def publish_to_sigmod_rule(self, peer: str) -> Rule:
+        """Publish every locally stored picture to ``pictures@sigmod``."""
+        text = (
+            f"pictures@{self.sigmod_peer}($id, $name, $owner, $data) :- "
+            f"pictures@{peer}($id, $name, $owner, $data)"
+        )
+        return parse_rule(text, author=peer)
+
+    def rating_filtered_rule(self, peer: str, rating: int = 5) -> Rule:
+        """The paper's customised rule: only pictures the owner rated ``rating``."""
+        text = (
+            f"attendeePictures@{peer}($id, $name, $owner, $data) :- "
+            f"selectedAttendee@{peer}($attendee), "
+            f"pictures@$attendee($id, $name, $owner, $data), "
+            f"rate@$owner($id, {rating})"
+        )
+        return parse_rule(text, author=peer)
+
+    def owner_filtered_rule(self, peer: str, owner: str) -> Rule:
+        """Further customisation: only pictures taken by a particular attendee."""
+        text = (
+            f"attendeePictures@{peer}($id, $name, \"{owner}\", $data) :- "
+            f"selectedAttendee@{peer}($attendee), "
+            f"pictures@$attendee($id, $name, \"{owner}\", $data)"
+        )
+        return parse_rule(text, author=peer)
+
+    def tagged_attendee_rule(self, peer: str, attendee: str) -> Rule:
+        """Further customisation: only pictures in which ``attendee`` appears."""
+        text = (
+            f"attendeePictures@{peer}($id, $name, $owner, $data) :- "
+            f"selectedAttendee@{peer}($a), "
+            f"pictures@$a($id, $name, $owner, $data), "
+            f"tag@$owner($id, \"{attendee}\")"
+        )
+        return parse_rule(text, author=peer)
+
+    def attendee_rules(self, peer: str, publish_to_sigmod: bool = True) -> List[Rule]:
+        """The default rule set installed at an attendee peer."""
+        rules = [
+            self.attendee_pictures_rule(peer),
+            self.attendee_ratings_rule(peer),
+            self.transfer_rule(peer),
+        ]
+        if publish_to_sigmod:
+            rules.append(self.publish_to_sigmod_rule(peer))
+        return rules
+
+    # ------------------------------------------------------------------ #
+    # sigmod-side rules
+    # ------------------------------------------------------------------ #
+
+    def facebook_publication_rule(self) -> Rule:
+        """Publish authorised pictures from ``sigmod`` to the Facebook group."""
+        text = (
+            f"pictures@{self.group_peer}($id, $name, $owner, $data) :- "
+            f"pictures@{self.sigmod_peer}($id, $name, $owner, $data), "
+            f"authorized@$owner(\"Facebook\", $id, $owner)"
+        )
+        return parse_rule(text, author=self.sigmod_peer)
+
+    def facebook_retrieval_rules(self) -> List[Rule]:
+        """Retrieve pictures, comments and tags from the Facebook group into sigmod."""
+        pictures = (
+            f"pictures@{self.sigmod_peer}($id, $name, $owner, $data) :- "
+            f"pictures@{self.group_peer}($id, $name, $owner, $data)"
+        )
+        comments = (
+            f"comments@{self.sigmod_peer}($id, $author, $text) :- "
+            f"comments@{self.group_peer}($id, $author, $text)"
+        )
+        tags = (
+            f"tags@{self.sigmod_peer}($id, $attendee) :- "
+            f"tags@{self.group_peer}($id, $attendee)"
+        )
+        return [parse_rule(text, author=self.sigmod_peer)
+                for text in (pictures, comments, tags)]
+
+    def sigmod_rules(self, publish_to_facebook: bool = True,
+                     retrieve_from_facebook: bool = True) -> List[Rule]:
+        """The default rule set of the central ``sigmod`` peer."""
+        rules: List[Rule] = []
+        if publish_to_facebook:
+            rules.append(self.facebook_publication_rule())
+        if retrieve_from_facebook:
+            rules.extend(self.facebook_retrieval_rules())
+        return rules

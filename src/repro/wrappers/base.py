@@ -1,0 +1,133 @@
+"""Wrapper base classes.
+
+A wrapper participates in the peer's computation stage through two hooks
+called by :class:`~repro.runtime.peer.Peer`:
+
+* ``before_stage(peer)`` — runs before step 1 of the stage; typically pulls
+  fresh data from the external service into the peer's relations;
+* ``after_stage(peer, stage_result)`` — runs after step 3; typically pushes
+  facts that rules or remote peers wrote into designated relations back to
+  the external service.
+
+Both hooks are optional; subclasses override what they need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.engine import StageResult
+from repro.core.errors import WrapperError
+from repro.core.facts import Fact
+from repro.core.schema import RelationSchema
+
+
+class Wrapper:
+    """Base class of all wrappers."""
+
+    #: Human-readable name of the wrapped service (e.g. ``"facebook"``).
+    service_name: str = "service"
+
+    def __init__(self):
+        self._peer = None
+
+    def attach(self, peer) -> None:
+        """Called by :meth:`Peer.attach_wrapper`; declares the exported schemas."""
+        self._peer = peer
+        for schema in self.exported_schemas():
+            peer.declare(schema)
+
+    @property
+    def peer(self):
+        """The runtime peer the wrapper is attached to (``None`` before attach)."""
+        return self._peer
+
+    def exported_schemas(self) -> Tuple[RelationSchema, ...]:
+        """The relation schemas this wrapper exports to WebdamLog."""
+        return ()
+
+    def before_stage(self, peer) -> None:
+        """Hook run before each computation stage of the host peer."""
+
+    def after_stage(self, peer, stage_result: StageResult) -> None:
+        """Hook run after each computation stage of the host peer."""
+
+
+class PseudoPeerWrapper(Wrapper):
+    """A wrapper that impersonates an entire peer backed by an external service.
+
+    Subclasses implement :meth:`service_facts` (the current contents of the
+    service, rendered as facts of the pseudo-peer's relations) and
+    :meth:`push_to_service` (called with facts that appeared in the peer's
+    relations but are not yet in the service — e.g. a photo posted by another
+    peer).  The default ``before_stage`` performs a bidirectional
+    reconciliation between the two.
+    """
+
+    #: Relations whose locally-inserted facts are pushed back to the service.
+    writable_relations: Tuple[str, ...] = ()
+
+    def service_facts(self) -> Set[Fact]:
+        """The current contents of the service as facts of the pseudo-peer."""
+        raise NotImplementedError
+
+    def push_to_service(self, fact: Fact) -> None:
+        """Write one fact back into the external service."""
+        raise NotImplementedError
+
+    def before_stage(self, peer) -> None:
+        """Reconcile the service and the pseudo-peer's relations in both directions."""
+        service_side = self.service_facts()
+        store = peer.engine.state.store
+        local_side: Set[Fact] = set()
+        relations = {f.relation for f in service_side} | set(self.writable_relations)
+        for relation in relations:
+            local_side |= set(store.facts(relation, peer.name))
+        # Facts present in the service but missing locally: import them.
+        for fact in service_side - local_side:
+            store.insert(fact)
+        # Facts written locally (by rules or remote peers) but missing in the
+        # service: export them, restricted to the writable relations.
+        for fact in local_side - service_side:
+            if fact.relation in self.writable_relations:
+                try:
+                    self.push_to_service(fact)
+                except WrapperError:
+                    # The service refused the write (e.g. unauthorised user);
+                    # drop the fact so the rejection is observable.
+                    store.delete(fact)
+
+
+class RelationWatchingWrapper(Wrapper):
+    """A wrapper that watches one relation of its host peer and reacts to new facts.
+
+    Subclasses implement :meth:`handle_fact`.  Facts are processed exactly
+    once (the wrapper remembers what it has already seen); by default the
+    processed facts are removed from the relation, treating it as an outbox.
+    """
+
+    #: Name of the watched relation (located at the host peer).
+    watched_relation: str = "outbox"
+    #: Whether processed facts are removed from the relation.
+    consume_facts: bool = True
+
+    def __init__(self):
+        super().__init__()
+        self._processed: Set[Fact] = set()
+
+    def handle_fact(self, peer, fact: Fact) -> None:
+        """React to one new fact of the watched relation."""
+        raise NotImplementedError
+
+    def after_stage(self, peer, stage_result: StageResult) -> None:
+        """Process every new fact of the watched relation."""
+        store = peer.engine.state.store
+        new_facts = [
+            fact for fact in store.facts(self.watched_relation, peer.name)
+            if fact not in self._processed
+        ]
+        for fact in new_facts:
+            self.handle_fact(peer, fact)
+            self._processed.add(fact)
+            if self.consume_facts:
+                store.delete(fact)

@@ -1,0 +1,123 @@
+"""A simulated email service and its WebdamLog wrapper.
+
+The Wepic transfer rule writes facts into a relation whose *name* is the
+recipient's preferred protocol::
+
+    $protocol@$attendee($attendee, $name, $id, $owner) :-
+        selectedAttendee@Jules($attendee),
+        communicate@$attendee($protocol),
+        selectedPictures@Jules($name, $id, $owner)
+
+An attendee whose ``communicate`` relation says ``"email"`` therefore
+receives the transferred pictures as facts of ``email@<attendee>``.  The
+:class:`EmailWrapper` attached to that peer watches this relation and turns
+every fact into a message delivered by the :class:`EmailService`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import WrapperError
+from repro.core.facts import Fact
+from repro.core.schema import RelationSchema
+from repro.wrappers.base import RelationWatchingWrapper
+
+
+@dataclass(frozen=True)
+class EmailMessage:
+    """A message delivered by the simulated email service."""
+
+    message_id: int
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+
+
+class EmailService:
+    """An in-memory mail service with one mailbox per address."""
+
+    def __init__(self):
+        self._mailboxes: Dict[str, List[EmailMessage]] = {}
+        self._counter = itertools.count(1)
+        self.sent_count = 0
+
+    def register(self, address: str) -> None:
+        """Create a mailbox (idempotent)."""
+        self._mailboxes.setdefault(address, [])
+
+    def addresses(self) -> Tuple[str, ...]:
+        """Registered addresses, sorted."""
+        return tuple(sorted(self._mailboxes))
+
+    def send(self, sender: str, recipient: str, subject: str, body: str) -> EmailMessage:
+        """Deliver a message to ``recipient`` (mailbox created on demand)."""
+        if not recipient:
+            raise WrapperError("email recipient must be non-empty")
+        self.register(recipient)
+        message = EmailMessage(message_id=next(self._counter), sender=sender,
+                               recipient=recipient, subject=subject, body=body)
+        self._mailboxes[recipient].append(message)
+        self.sent_count += 1
+        return message
+
+    def inbox(self, address: str) -> Tuple[EmailMessage, ...]:
+        """Messages delivered to ``address``, oldest first."""
+        return tuple(self._mailboxes.get(address, ()))
+
+    def inbox_size(self, address: str) -> int:
+        """Number of messages in one mailbox."""
+        return len(self._mailboxes.get(address, ()))
+
+
+class EmailWrapper(RelationWatchingWrapper):
+    """Send an email for every fact appearing in ``email@<host peer>``.
+
+    The watched facts are expected to look like the paper's transfer rule
+    output — ``email@attendee(attendee, pictureName, pictureId, owner)`` —
+    but any arity is accepted: the first value is the recipient address and
+    the rest become the body.
+    """
+
+    service_name = "email"
+    watched_relation = "email"
+
+    def __init__(self, service: EmailService, sender_address: Optional[str] = None):
+        super().__init__()
+        self.service = service
+        self.sender_address = sender_address
+
+    def exported_schemas(self) -> Tuple[RelationSchema, ...]:
+        peer_name = self.peer.name if self.peer is not None else "peer"
+        return (
+            RelationSchema(name=self.watched_relation, peer=peer_name,
+                           columns=("recipient", "name", "id", "owner"),
+                           persistent=True),
+        )
+
+    def attach(self, peer) -> None:
+        self._peer = peer
+        peer.declare(RelationSchema(
+            name=self.watched_relation, peer=peer.name,
+            columns=("recipient", "name", "id", "owner"),
+        ))
+        if self.sender_address is None:
+            self.sender_address = f"{peer.name}@wepic.example"
+        self.service.register(self.sender_address)
+
+    def handle_fact(self, peer, fact: Fact) -> None:
+        if not fact.values:
+            raise WrapperError(f"cannot email empty fact {fact}")
+        recipient = str(fact.values[0])
+        if "@" not in recipient:
+            recipient = f"{recipient}@wepic.example"
+        payload = ", ".join(str(v) for v in fact.values[1:])
+        self.service.send(
+            sender=self.sender_address or f"{peer.name}@wepic.example",
+            recipient=recipient,
+            subject=f"[Wepic] pictures from {peer.name}",
+            body=payload,
+        )

@@ -1,0 +1,48 @@
+"""A registry of wrappers, keyed by the pseudo-peer or host peer they serve.
+
+The Wepic scenario builder uses the registry to keep track of which simulated
+services back which peers, so that tests and benchmarks can reach into the
+services (e.g. "how many photos did the SigmodFB group end up with?") without
+having to thread the service objects around by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.wrappers.base import Wrapper
+
+
+class WrapperRegistry:
+    """Maps peer names to the wrappers attached to them."""
+
+    def __init__(self):
+        self._wrappers: Dict[str, list] = {}
+
+    def register(self, peer_name: str, wrapper: Wrapper) -> Wrapper:
+        """Record that ``wrapper`` serves ``peer_name``."""
+        self._wrappers.setdefault(peer_name, []).append(wrapper)
+        return wrapper
+
+    def wrappers_of(self, peer_name: str) -> Tuple[Wrapper, ...]:
+        """Every wrapper registered for one peer."""
+        return tuple(self._wrappers.get(peer_name, ()))
+
+    def first(self, peer_name: str, service_name: Optional[str] = None) -> Optional[Wrapper]:
+        """The first wrapper of ``peer_name`` (optionally filtered by service name)."""
+        for wrapper in self._wrappers.get(peer_name, ()):
+            if service_name is None or wrapper.service_name == service_name:
+                return wrapper
+        return None
+
+    def peers(self) -> Tuple[str, ...]:
+        """Peer names that have at least one wrapper, sorted."""
+        return tuple(sorted(self._wrappers))
+
+    def __iter__(self) -> Iterator[Tuple[str, Wrapper]]:
+        for peer_name, wrappers in sorted(self._wrappers.items()):
+            for wrapper in wrappers:
+                yield peer_name, wrapper
+
+    def __len__(self) -> int:
+        return sum(len(wrappers) for wrappers in self._wrappers.values())

@@ -1,0 +1,131 @@
+"""Tests of the control-of-delegation model (pending queue, approval, rejection)."""
+
+import pytest
+
+from repro.acl.delegation_control import DelegationController, DelegationDecision
+from repro.acl.trust import TrustStore
+from repro.core.engine import WebdamLogEngine
+from repro.core.errors import AccessControlError
+from repro.core.facts import Fact
+from repro.core.parser import parse_rule
+
+
+def make_controller(trusted=(), auto_accept=False):
+    engine = WebdamLogEngine("Jules")
+    trust = TrustStore("Jules", trusted=trusted)
+    return engine, DelegationController(engine, trust=trust, auto_accept_all=auto_accept)
+
+
+def delegated_rule(author="Julia"):
+    return parse_rule("spam@Julia($x) :- pictures@Jules($x, $n)", author=author)
+
+
+class TestSubmission:
+    def test_trusted_delegator_auto_accepted(self):
+        engine, controller = make_controller(trusted=["sigmod"])
+        decision = controller.submit("sigmod", "d1", delegated_rule("sigmod"))
+        assert decision is DelegationDecision.AUTO_ACCEPTED
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 1
+        assert controller.pending() == ()
+
+    def test_untrusted_delegator_goes_pending(self):
+        engine, controller = make_controller()
+        decision = controller.submit("Julia", "d1", delegated_rule())
+        assert decision is DelegationDecision.PENDING
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 0
+        assert len(controller.pending()) == 1
+        assert controller.pending_from("Julia")[0].delegation_id == "d1"
+
+    def test_auto_accept_all_bypasses_queue(self):
+        engine, controller = make_controller(auto_accept=True)
+        decision = controller.submit("Julia", "d1", delegated_rule())
+        assert decision is DelegationDecision.AUTO_ACCEPTED
+
+    def test_notification_recorded(self):
+        _engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        notes = controller.notifications()
+        assert len(notes) == 1
+        assert "Julia" in notes[0]
+        controller.notifications(clear=True)
+        assert controller.notifications() == ()
+
+
+class TestDecisions:
+    def test_approve_installs_rule(self):
+        engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        approved = controller.approve("d1")
+        assert approved.delegator == "Julia"
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 1
+        assert controller.pending() == ()
+
+    def test_reject_discards_rule(self):
+        engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        controller.reject("d1")
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 0
+
+    def test_approve_unknown_raises(self):
+        _engine, controller = make_controller()
+        with pytest.raises(AccessControlError):
+            controller.approve("nope")
+        with pytest.raises(AccessControlError):
+            controller.reject("nope")
+
+    def test_approve_all_filtered_by_delegator(self):
+        engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        controller.submit("Emilien", "d2", delegated_rule("Emilien"))
+        approved = controller.approve_all("Julia")
+        assert [p.delegation_id for p in approved] == ["d1"]
+        assert len(controller.pending()) == 1
+        controller.approve_all()
+        assert controller.pending() == ()
+
+
+class TestRetraction:
+    def test_retraction_of_pending_delegation_removes_it(self):
+        engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        decision = controller.submit_retraction("Julia", "d1")
+        assert decision is DelegationDecision.RETRACTED
+        assert controller.pending() == ()
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 0
+
+    def test_only_original_delegator_may_retract_pending(self):
+        _engine, controller = make_controller()
+        controller.submit("Julia", "d1", delegated_rule())
+        with pytest.raises(AccessControlError):
+            controller.submit_retraction("Mallory", "d1")
+        assert len(controller.pending()) == 1
+
+    def test_retraction_of_installed_delegation_forwarded(self):
+        engine, controller = make_controller(trusted=["sigmod"])
+        controller.submit("sigmod", "d1", delegated_rule("sigmod"))
+        engine.run_stage()
+        controller.submit_retraction("sigmod", "d1")
+        engine.run_stage()
+        assert len(engine.installed_delegations()) == 0
+
+
+class TestAuditLog:
+    def test_log_and_counts(self):
+        engine, controller = make_controller(trusted=["sigmod"])
+        controller.submit("sigmod", "d0", delegated_rule("sigmod"))
+        controller.submit("Julia", "d1", delegated_rule())
+        controller.submit("Emilien", "d2", delegated_rule("Emilien"))
+        controller.approve("d1")
+        controller.reject("d2")
+        counts = controller.counts()
+        assert counts["auto-accepted"] == 1
+        assert counts["pending"] == 2
+        assert counts["approved"] == 1
+        assert counts["rejected"] == 1
+        assert counts["pending_now"] == 0
+        assert len(controller.log()) == 5

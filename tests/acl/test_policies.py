@@ -1,0 +1,123 @@
+"""Tests of the discretionary / provenance-based access-control model."""
+
+import pytest
+
+from repro.acl.policies import PUBLIC, AccessControlPolicy, Privilege, ViewPolicy
+from repro.core.errors import AccessControlError
+from repro.core.facts import Fact
+from repro.provenance.graph import Derivation, ProvenanceGraph
+
+
+def make_provenance():
+    """A view fact derived from two base relations at different peers."""
+    graph = ProvenanceGraph()
+    derived = Fact("attendeePictures", "Jules", (1, "sea.jpg"))
+    base_selected = Fact("selectedAttendee", "Jules", ("Emilien",))
+    base_picture = Fact("pictures", "Emilien", (1, "sea.jpg"))
+    graph.add(Derivation(fact=derived, rule_id="rule-1",
+                         support=(base_selected, base_picture)))
+    return graph, derived
+
+
+class TestDiscretionaryGrants:
+    def test_owner_holds_everything(self):
+        policy = AccessControlPolicy("Jules")
+        assert policy.can_read("pictures@Jules", "Jules")
+        assert policy.can_write("pictures@Jules", "Jules")
+
+    def test_grant_and_revoke(self):
+        policy = AccessControlPolicy("Jules")
+        policy.grant("pictures@Jules", "Emilien", Privilege.READ)
+        assert policy.can_read("pictures@Jules", "Emilien")
+        assert not policy.can_write("pictures@Jules", "Emilien")
+        removed = policy.revoke("pictures@Jules", "Emilien")
+        assert removed == 1
+        assert not policy.can_read("pictures@Jules", "Emilien")
+
+    def test_public_grant(self):
+        policy = AccessControlPolicy("Jules")
+        policy.grant("pictures@Jules", PUBLIC, Privilege.READ)
+        assert policy.can_read("pictures@Jules", "anyone")
+
+    def test_grant_privilege_delegation(self):
+        policy = AccessControlPolicy("Jules")
+        # Emilien cannot grant without the GRANT privilege.
+        with pytest.raises(AccessControlError):
+            policy.grant("pictures@Jules", "Julia", Privilege.READ, grantor="Emilien")
+        policy.grant("pictures@Jules", "Emilien", Privilege.GRANT)
+        granted = policy.grant("pictures@Jules", "Julia", Privilege.READ, grantor="Emilien")
+        assert granted.grantor == "Emilien"
+        assert policy.can_read("pictures@Jules", "Julia")
+
+    def test_grants_listing_is_deterministic(self):
+        policy = AccessControlPolicy("Jules")
+        policy.grant("b@Jules", "x", Privilege.READ)
+        policy.grant("a@Jules", "y", Privilege.WRITE)
+        listed = policy.grants()
+        assert [g.relation for g in listed] == ["a@Jules", "b@Jules"]
+
+
+class TestProvenanceBasedViewPolicy:
+    def test_base_fact_uses_discretionary_policy(self):
+        policy = AccessControlPolicy("Jules")
+        base = Fact("pictures", "Jules", (1,))
+        assert not policy.can_read_fact(base, "Emilien")
+        policy.grant("pictures@Jules", "Emilien", Privilege.READ)
+        assert policy.can_read_fact(base, "Emilien")
+
+    def test_derived_fact_requires_all_base_relations(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        # Julia can read only one of the two base relations: denied.
+        assert not policy.can_read_fact(derived, "Julia", provenance=graph)
+        policy.grant("pictures@Emilien", "Julia", Privilege.READ)
+        assert policy.can_read_fact(derived, "Julia", provenance=graph)
+
+    def test_declassification_overrides_default_policy(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        policy.declassify("attendeePictures@Jules", "Julia")
+        # Julia still needs READ on the view itself (or ownership).
+        assert not policy.can_read_fact(derived, "Julia", provenance=graph)
+        policy.grant("attendeePictures@Jules", "Julia", Privilege.READ)
+        assert policy.can_read_fact(derived, "Julia", provenance=graph)
+        assert policy.is_declassified("attendeePictures@Jules", "Julia")
+        assert not policy.is_declassified("attendeePictures@Jules", "Mallory")
+
+    def test_readable_facts_filter(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        base = Fact("selectedAttendee", "Jules", ("Emilien",))
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        readable = policy.readable_facts([derived, base], "Julia", provenance=graph)
+        assert readable == (base,)
+
+
+class TestViewPolicy:
+    def test_derive_collects_base_relations(self):
+        graph, derived = make_provenance()
+        view_policy = ViewPolicy.derive("attendeePictures@Jules", graph, [derived])
+        assert view_policy.base_relations == frozenset({
+            "selectedAttendee@Jules", "pictures@Emilien"
+        })
+
+    def test_readers_intersection(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        policy.grant("pictures@Emilien", "Julia", Privilege.READ)
+        policy.grant("selectedAttendee@Jules", "Mallory", Privilege.READ)
+        view_policy = ViewPolicy.derive("attendeePictures@Jules", graph, [derived])
+        readers = view_policy.readers(policy, ["Julia", "Mallory", "Jules"])
+        assert "Julia" in readers
+        assert "Mallory" not in readers
+        assert "Jules" in readers  # owner reads every base relation implicitly
+
+    def test_declassified_readers(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        view_policy = ViewPolicy.derive("attendeePictures@Jules", graph, [derived],
+                                        declassified_for=["Mallory"])
+        readers = view_policy.readers(policy, ["Mallory", "Julia"])
+        assert readers == ("Mallory",)

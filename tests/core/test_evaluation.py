@@ -1,0 +1,245 @@
+"""Tests of left-to-right rule evaluation at a single peer."""
+
+import pytest
+
+from repro.core.delegation import Delegation
+from repro.core.errors import EvaluationError
+from repro.core.evaluation import RuleEvaluator, RuleOutcome, stratify_local_rules
+from repro.core.facts import Fact
+from repro.core.parser import parse_rule
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind
+
+
+def make_source(facts):
+    """Build a fact_source callable from a list of facts."""
+
+    def source(relation, peer):
+        return [f for f in facts if f.relation == relation and f.peer == peer]
+
+    return source
+
+
+class TestLocalEvaluation:
+    def test_simple_projection(self):
+        facts = [Fact("pictures", "alice", (1, "sea.jpg")),
+                 Fact("pictures", "alice", (2, "boat.jpg"))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = parse_rule("names@alice($n) :- pictures@alice($id, $n)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.local_extensional == {
+            Fact("names", "alice", ("sea.jpg",)), Fact("names", "alice", ("boat.jpg",))
+        }
+
+    def test_join_across_relations(self):
+        facts = [Fact("rate", "alice", (1, 5)), Fact("rate", "alice", (2, 3)),
+                 Fact("pictures", "alice", (1, "sea.jpg")),
+                 Fact("pictures", "alice", (2, "boat.jpg"))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = parse_rule("best@alice($n) :- rate@alice($id, 5), pictures@alice($id, $n)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.local_extensional == {Fact("best", "alice", ("sea.jpg",))}
+
+    def test_intensional_head_classified_by_kind_resolver(self):
+        facts = [Fact("base", "alice", (1,))]
+        evaluator = RuleEvaluator(
+            "alice", make_source(facts),
+            kind_resolver=lambda r, p: RelationKind.INTENSIONAL if r == "view" else None,
+        )
+        rule = parse_rule("view@alice($x) :- base@alice($x)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.local_intensional == {Fact("view", "alice", (1,))}
+        assert not outcome.local_extensional
+
+    def test_negation_filters_substitutions(self):
+        facts = [Fact("pictures", "alice", (1,)), Fact("pictures", "alice", (2,)),
+                 Fact("hidden", "alice", (2,))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = parse_rule("visible@alice($id) :- pictures@alice($id), not hidden@alice($id)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.local_extensional == {Fact("visible", "alice", (1,))}
+
+    def test_negation_on_empty_relation_passes(self):
+        facts = [Fact("pictures", "alice", (1,))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = parse_rule("v@alice($id) :- pictures@alice($id), not banned@alice($id)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert len(outcome.local_extensional) == 1
+
+    def test_relation_variable_ranges_over_local_relations(self):
+        facts = [Fact("rate", "alice", (1, 5))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        # $R bound by a previous literal listing relation names.
+        facts.append(Fact("relations", "alice", ("rate",)))
+        rule = parse_rule("found@alice($R, $id) :- relations@alice($R), $R@alice($id, $v)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.local_extensional == {Fact("found", "alice", ("rate", 1))}
+
+    def test_remote_head_produces_remote_fact(self):
+        facts = [Fact("pictures", "alice", (1, "x", "alice", "d"))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = parse_rule("pictures@sigmod($i, $n, $o, $d) :- pictures@alice($i, $n, $o, $d)")
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.remote_facts == {Fact("pictures", "sigmod", (1, "x", "alice", "d"))}
+        assert not outcome.delegations
+
+    def test_unbound_head_raises(self):
+        facts = [Fact("base", "alice", (1,))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = Rule(head=Atom.of("view", "alice", "$x", "$unbound"),
+                    body=(Atom.of("base", "alice", "$x"),))
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_rule(rule)
+
+    def test_unbound_peer_variable_raises(self):
+        facts = [Fact("base", "alice", (1,))]
+        evaluator = RuleEvaluator("alice", make_source(facts))
+        rule = Rule(head=Atom.of("view", "alice", "$x"),
+                    body=(Atom.of("base", "$somewhere", "$x"),))
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_rule(rule)
+
+
+class TestDelegationEmission:
+    def test_paper_delegation_example(self):
+        """The exact example of the paper: Jules delegates to Émilien."""
+        facts = [Fact("selectedAttendee", "Jules", ("Emilien",))]
+        evaluator = RuleEvaluator("Jules", make_source(facts))
+        rule = parse_rule(
+            "attendeePictures@Jules($id, $name, $owner, $data) :- "
+            "selectedAttendee@Jules($attendee), "
+            "pictures@$attendee($id, $name, $owner, $data)"
+        )
+        outcome = evaluator.evaluate_rule(rule)
+        assert len(outcome.delegations) == 1
+        delegation = next(iter(outcome.delegations))
+        assert delegation.target == "Emilien"
+        assert delegation.delegator == "Jules"
+        delegated = delegation.rule
+        assert delegated.head.peer_constant() == "Jules"
+        assert len(delegated.body) == 1
+        assert delegated.body[0].relation_constant() == "pictures"
+        assert delegated.body[0].peer_constant() == "Emilien"
+
+    def test_one_delegation_per_selected_attendee(self):
+        facts = [Fact("selectedAttendee", "Jules", ("Emilien",)),
+                 Fact("selectedAttendee", "Jules", ("Julia",))]
+        evaluator = RuleEvaluator("Jules", make_source(facts))
+        rule = parse_rule(
+            "attendeePictures@Jules($id) :- "
+            "selectedAttendee@Jules($a), pictures@$a($id)"
+        )
+        outcome = evaluator.evaluate_rule(rule)
+        targets = {d.target for d in outcome.delegations}
+        assert targets == {"Emilien", "Julia"}
+
+    def test_selected_attendee_local_means_no_delegation(self):
+        facts = [Fact("selectedAttendee", "Jules", ("Jules",)),
+                 Fact("pictures", "Jules", (9,))]
+        evaluator = RuleEvaluator("Jules", make_source(facts))
+        rule = parse_rule(
+            "attendeePictures@Jules($id) :- selectedAttendee@Jules($a), pictures@$a($id)"
+        )
+        outcome = evaluator.evaluate_rule(rule)
+        assert not outcome.delegations
+        assert Fact("attendeePictures", "Jules", (9,)) in outcome.local_extensional
+
+    def test_delegation_disabled(self):
+        facts = [Fact("selectedAttendee", "Jules", ("Emilien",))]
+        evaluator = RuleEvaluator("Jules", make_source(facts), allow_delegation=False)
+        rule = parse_rule(
+            "attendeePictures@Jules($id) :- selectedAttendee@Jules($a), pictures@$a($id)"
+        )
+        outcome = evaluator.evaluate_rule(rule)
+        assert outcome.is_empty()
+
+    def test_delegation_carries_remaining_body(self):
+        facts = [Fact("selectedAttendee", "Jules", ("Emilien",)),
+                 Fact("communicate", "Jules", ("email",))]
+        evaluator = RuleEvaluator("Jules", make_source(facts))
+        rule = parse_rule(
+            "$protocol@$attendee($attendee, $name) :- "
+            "selectedAttendee@Jules($attendee), "
+            "communicate@$attendee($protocol), "
+            "selectedPictures@Jules($name)"
+        )
+        outcome = evaluator.evaluate_rule(rule)
+        assert len(outcome.delegations) == 1
+        delegated = next(iter(outcome.delegations)).rule
+        # Remainder keeps both the remote communicate literal and the
+        # (back-at-Jules) selectedPictures literal.
+        assert len(delegated.body) == 2
+        assert delegated.body[0].relation_constant() == "communicate"
+        assert delegated.body[1].peer_constant() == "Jules"
+
+    def test_delegation_ids_stable_across_evaluations(self):
+        facts = [Fact("selectedAttendee", "Jules", ("Emilien",))]
+        evaluator = RuleEvaluator("Jules", make_source(facts))
+        rule = parse_rule(
+            "attendeePictures@Jules($id) :- selectedAttendee@Jules($a), pictures@$a($id)"
+        )
+        first = evaluator.evaluate_rule(rule).delegations
+        second = evaluator.evaluate_rule(rule).delegations
+        assert {d.delegation_id for d in first} == {d.delegation_id for d in second}
+
+
+class TestProvenanceHook:
+    def test_on_derivation_receives_support(self):
+        facts = [Fact("rate", "alice", (1, 5)), Fact("pictures", "alice", (1, "sea.jpg"))]
+        recorded = []
+        evaluator = RuleEvaluator(
+            "alice", make_source(facts),
+            on_derivation=lambda fact, rule, support: recorded.append((fact, support)),
+        )
+        rule = parse_rule("best@alice($n) :- rate@alice($id, 5), pictures@alice($id, $n)")
+        evaluator.evaluate_rule(rule)
+        assert len(recorded) == 1
+        fact, support = recorded[0]
+        assert fact == Fact("best", "alice", ("sea.jpg",))
+        assert set(support) == set(facts)
+
+
+class TestOutcome:
+    def test_merge_accumulates(self):
+        a = RuleOutcome(local_extensional={Fact("r", "p", (1,))}, substitutions_explored=2)
+        b = RuleOutcome(local_extensional={Fact("r", "p", (2,))}, substitutions_explored=3)
+        a.merge(b)
+        assert len(a.local_extensional) == 2
+        assert a.substitutions_explored == 5
+        assert a.total_derivations() == 2
+
+    def test_is_empty(self):
+        assert RuleOutcome().is_empty()
+        assert not RuleOutcome(remote_facts={Fact("r", "p", (1,))}).is_empty()
+
+
+class TestStratifyLocalRules:
+    def test_negation_creates_two_strata(self):
+        rules = [
+            parse_rule("a@p($x) :- base@p($x)"),
+            parse_rule("b@p($x) :- base@p($x), not a@p($x)"),
+        ]
+        strata = stratify_local_rules("p", rules)
+        assert len(strata) == 2
+        assert strata[0][0].head.relation_constant() == "a"
+        assert strata[1][0].head.relation_constant() == "b"
+
+    def test_positive_program_single_stratum(self):
+        rules = [
+            parse_rule("a@p($x) :- base@p($x)"),
+            parse_rule("b@p($x) :- a@p($x)"),
+        ]
+        strata = stratify_local_rules("p", rules)
+        assert sum(len(s) for s in strata) == 2
+
+    def test_unstratifiable_falls_back_to_single_stratum(self):
+        rules = [
+            parse_rule("a@p($x) :- base@p($x), not b@p($x)"),
+            parse_rule("b@p($x) :- base@p($x), not a@p($x)"),
+        ]
+        strata = stratify_local_rules("p", rules)
+        assert len(strata) == 1
+        assert len(strata[0]) == 2
+
+    def test_empty_rule_list(self):
+        assert stratify_local_rules("p", []) in ([], [[]])

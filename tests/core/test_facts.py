@@ -1,0 +1,206 @@
+"""Tests of facts, deltas and the fact store."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.facts import Delta, Fact, FactStore
+from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
+from repro.core.terms import Constant
+
+
+class TestFact:
+    def test_basic_properties(self):
+        fact = Fact("pictures", "sigmod", (32, "sea.jpg", "Emilien"))
+        assert fact.arity == 3
+        assert fact.qualified_relation == "pictures@sigmod"
+        assert fact.relation_name.peer == "sigmod"
+
+    def test_of_constructor(self):
+        fact = Fact.of("friends@alice", "bob")
+        assert fact.relation == "friends"
+        assert fact.peer == "alice"
+        assert fact.values == ("bob",)
+
+    def test_terms_wraps_constants(self):
+        fact = Fact("r", "p", (1, "x"))
+        assert fact.terms() == (Constant(1), Constant("x"))
+
+    def test_values_coerced_to_tuple(self):
+        fact = Fact("r", "p", [1, 2])
+        assert fact.values == (1, 2)
+        assert hash(fact)  # hashable after coercion
+
+    def test_at_peer_and_rename(self):
+        fact = Fact("pictures", "alice", (1,))
+        assert fact.at_peer("sigmod").peer == "sigmod"
+        assert fact.at_peer("sigmod").relation == "pictures"
+        assert fact.rename("photos").relation == "photos"
+
+    def test_str_rendering(self):
+        fact = Fact("pictures", "sigmod", (32, "sea.jpg"))
+        assert str(fact) == 'pictures@sigmod(32, "sea.jpg")'
+
+    def test_requires_relation_and_peer(self):
+        with pytest.raises(SchemaError):
+            Fact("", "p", ())
+        with pytest.raises(SchemaError):
+            Fact("r", "", ())
+
+    def test_equality_and_hashing(self):
+        assert Fact("r", "p", (1,)) == Fact("r", "p", (1,))
+        assert Fact("r", "p", (1,)) != Fact("r", "q", (1,))
+        assert len({Fact("r", "p", (1,)), Fact("r", "p", (1,))}) == 1
+
+
+class TestDelta:
+    def test_empty_delta_is_falsy(self):
+        assert not Delta.empty()
+        assert len(Delta.empty()) == 0
+
+    def test_insertion_and_deletion_constructors(self):
+        fact = Fact("r", "p", (1,))
+        assert Delta.insertion([fact]).inserted == frozenset({fact})
+        assert Delta.deletion([fact]).deleted == frozenset({fact})
+
+    def test_merge_cancels_opposites(self):
+        fact = Fact("r", "p", (1,))
+        insert = Delta.insertion([fact])
+        delete = Delta.deletion([fact])
+        merged = insert.merge(delete)
+        assert not merged.inserted
+        assert fact in merged.deleted
+        # And in the other direction a delete followed by an insert keeps the insert.
+        merged2 = delete.merge(insert)
+        assert fact in merged2.inserted
+        assert not merged2.deleted
+
+    def test_merge_accumulates_distinct_facts(self):
+        a, b = Fact("r", "p", (1,)), Fact("r", "p", (2,))
+        merged = Delta.insertion([a]).merge(Delta.insertion([b]))
+        assert merged.inserted == frozenset({a, b})
+        assert len(merged) == 2
+
+
+class TestFactStore:
+    def test_insert_and_contains(self):
+        store = FactStore()
+        fact = Fact("pictures", "alice", (1, "sea.jpg"))
+        delta = store.insert(fact)
+        assert store.contains(fact)
+        assert fact in delta.inserted
+        assert store.count("pictures", "alice") == 1
+
+    def test_duplicate_insert_produces_empty_delta(self):
+        store = FactStore()
+        fact = Fact("r", "p", (1,))
+        store.insert(fact)
+        assert not store.insert(fact)
+        assert store.count("r", "p") == 1
+
+    def test_delete(self):
+        store = FactStore()
+        fact = Fact("r", "p", (1,))
+        store.insert(fact)
+        delta = store.delete(fact)
+        assert fact in delta.deleted
+        assert not store.contains(fact)
+        assert not store.delete(fact)
+
+    def test_arity_mismatch_rejected(self):
+        registry = SchemaRegistry([RelationSchema("r", "p", ("a", "b"))])
+        store = FactStore(registry)
+        with pytest.raises(SchemaError):
+            store.insert(Fact("r", "p", (1,)))
+
+    def test_primary_key_replacement(self):
+        registry = SchemaRegistry([RelationSchema("profile", "p", ("user", "bio"),
+                                                  key=("user",))])
+        store = FactStore(registry)
+        store.insert(Fact("profile", "p", ("alice", "v1")))
+        delta = store.insert(Fact("profile", "p", ("alice", "v2")))
+        assert store.count("profile", "p") == 1
+        assert Fact("profile", "p", ("alice", "v1")) in delta.deleted
+        assert Fact("profile", "p", ("alice", "v2")) in delta.inserted
+
+    def test_bound_scan_uses_bindings(self):
+        store = FactStore()
+        for index in range(10):
+            store.insert(Fact("r", "p", (index, index % 2)))
+        even = list(store.facts("r", "p", bindings={1: 0}))
+        assert len(even) == 5
+        assert all(f.values[1] == 0 for f in even)
+
+    def test_bound_scan_type_sensitive(self):
+        store = FactStore()
+        store.insert(Fact("r", "p", (1,)))
+        store.insert(Fact("r", "p", (True,)))
+        ones = list(store.facts("r", "p", bindings={0: 1}))
+        assert len(ones) == 1
+        assert ones[0].values == (1,)
+
+    def test_pending_delta_tracking(self):
+        store = FactStore()
+        a, b = Fact("r", "p", (1,)), Fact("r", "p", (2,))
+        store.insert(a)
+        store.insert(b)
+        store.delete(a)
+        delta = store.take_delta()
+        assert delta.inserted == frozenset({b})
+        assert not delta.deleted  # a was inserted then deleted within the window
+        assert not store.take_delta()
+
+    def test_peek_delta_does_not_reset(self):
+        store = FactStore()
+        store.insert(Fact("r", "p", (1,)))
+        assert store.peek_delta()
+        assert store.peek_delta()
+        assert store.take_delta()
+        assert not store.peek_delta()
+
+    def test_apply_delta(self):
+        store = FactStore()
+        a, b = Fact("r", "p", (1,)), Fact("r", "p", (2,))
+        store.insert(a)
+        effective = store.apply(Delta(inserted=frozenset({b}), deleted=frozenset({a})))
+        assert store.contains(b) and not store.contains(a)
+        assert b in effective.inserted and a in effective.deleted
+
+    def test_clear_relation(self):
+        store = FactStore()
+        store.insert(Fact("r", "p", (1,)))
+        store.insert(Fact("r", "p", (2,)))
+        store.insert(Fact("s", "p", (1,)))
+        delta = store.clear_relation("r", "p")
+        assert len(delta.deleted) == 2
+        assert store.count("r", "p") == 0
+        assert store.count("s", "p") == 1
+
+    def test_clear_nonpersistent_only_touches_scratch_relations(self):
+        registry = SchemaRegistry([
+            RelationSchema("scratch", "p", ("a",), persistent=False),
+            RelationSchema("durable", "p", ("a",)),
+        ])
+        store = FactStore(registry)
+        store.insert(Fact("scratch", "p", (1,)))
+        store.insert(Fact("durable", "p", (1,)))
+        store.clear_nonpersistent()
+        assert store.count("scratch", "p") == 0
+        assert store.count("durable", "p") == 1
+
+    def test_snapshot_and_copy(self):
+        store = FactStore()
+        store.insert(Fact("r", "p", (1,)))
+        clone = store.copy()
+        clone.insert(Fact("r", "p", (2,)))
+        assert store.total_facts() == 1
+        assert clone.total_facts() == 2
+        assert store.snapshot() == frozenset({Fact("r", "p", (1,))})
+
+    def test_insert_many_and_delete_many(self):
+        store = FactStore()
+        facts = [Fact("r", "p", (i,)) for i in range(5)]
+        delta = store.insert_many(facts)
+        assert len(delta.inserted) == 5
+        delta = store.delete_many(facts[:2])
+        assert len(delta.deleted) == 2
+        assert store.total_facts() == 3

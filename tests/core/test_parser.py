@@ -1,0 +1,199 @@
+"""Tests of the WebdamLog parser."""
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.parser import parse_atom, parse_fact, parse_program, parse_rule, tokenize
+from repro.core.schema import RelationKind
+from repro.core.terms import Constant, Variable
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize('rule r@p($x) :- s@p("a", 3);')
+        kinds = [t.kind for t in tokens]
+        assert "IMPLIES" in kinds
+        assert "VARIABLE" in kinds
+        assert "STRING" in kinds
+        assert "INT" in kinds
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// a comment\n# another\nfact r@p(1);")
+        assert all(t.kind != "COMMENT" for t in tokens)
+        assert tokens[0].text == "fact"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("fact\n  r@p(1);")
+        r_token = [t for t in tokens if t.text == "r"][0]
+        assert r_token.line == 2
+        assert r_token.column == 3
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("fact r@p(%);")
+        assert excinfo.value.line == 1
+
+
+class TestParseFact:
+    def test_simple_fact(self):
+        fact = parse_fact('fact pictures@sigmod(32, "sea.jpg", "Emilien");')
+        assert fact.relation == "pictures"
+        assert fact.peer == "sigmod"
+        assert fact.values == (32, "sea.jpg", "Emilien")
+
+    def test_fact_keyword_optional(self):
+        fact = parse_fact('friends@alice("bob");')
+        assert fact.values == ("bob",)
+
+    def test_bare_identifiers_become_strings(self):
+        fact = parse_fact("selectedAttendee@Jules(Emilien)")
+        assert fact.values == ("Emilien",)
+
+    def test_literal_types(self):
+        fact = parse_fact('mixed@p("text", 42, 3.5, true, false, null);')
+        assert fact.values == ("text", 42, 3.5, True, False, None)
+
+    def test_negative_numbers(self):
+        fact = parse_fact("delta@p(-3, -2.5);")
+        assert fact.values == (-3, -2.5)
+
+    def test_escaped_quotes_in_strings(self):
+        fact = parse_fact('note@p("he said \\"hi\\"");')
+        assert fact.values == ('he said "hi"',)
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("pictures@alice($x);")
+
+    def test_default_peer(self):
+        fact = parse_fact("pictures(1)", default_peer="alice")
+        assert fact.peer == "alice"
+
+    def test_missing_peer_without_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("pictures(1)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_fact("r@p(1); extra")
+
+
+class TestParseRule:
+    def test_paper_attendee_pictures_rule(self):
+        rule = parse_rule(
+            "attendeePictures@Jules($id, $name, $owner, $data) :- "
+            "selectedAttendee@Jules($attendee), "
+            "pictures@$attendee($id, $name, $owner, $data)"
+        )
+        assert rule.head.relation_constant() == "attendeePictures"
+        assert rule.head.peer_constant() == "Jules"
+        assert len(rule.body) == 2
+        assert rule.body[1].peer == Variable("attendee")
+        rule.check_safety()
+
+    def test_paper_transfer_rule_with_relation_variable(self):
+        rule = parse_rule(
+            "$protocol@$attendee($attendee, $name, $id, $owner) :- "
+            "selectedAttendee@Jules($attendee), "
+            "communicate@$attendee($protocol), "
+            "selectedPictures@Jules($name, $id, $owner)"
+        )
+        assert rule.head.relation == Variable("protocol")
+        assert rule.head.peer == Variable("attendee")
+        rule.check_safety()
+
+    def test_rule_keyword_optional_and_semicolon_optional(self):
+        with_keyword = parse_rule("rule v@p($x) :- b@p($x);")
+        without = parse_rule("v@p($x) :- b@p($x)")
+        assert with_keyword.head.relation_constant() == without.head.relation_constant()
+
+    def test_negation_in_body(self):
+        rule = parse_rule("v@p($x) :- b@p($x), not banned@p($x)")
+        assert rule.body[1].negated
+        bang = parse_rule("v@p($x) :- b@p($x), !banned@p($x)")
+        assert bang.body[1].negated
+
+    def test_author_recorded(self):
+        rule = parse_rule("v@p($x) :- b@p($x)", author="alice")
+        assert rule.author == "alice"
+
+    def test_constants_in_rule_body(self):
+        rule = parse_rule('best@p($id) :- rate@p($id, 5), pictures@p($id, "sea.jpg")')
+        assert rule.body[0].args[1] == Constant(5)
+        assert rule.body[1].args[1] == Constant("sea.jpg")
+
+    def test_anonymous_variables_are_distinct(self):
+        rule = parse_rule("v@p($x) :- b@p($x, $_, $_)")
+        anon = [a for a in rule.body[0].args if a != Variable("x")]
+        assert anon[0] != anon[1]
+
+    def test_missing_implies_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("v@p($x) b@p($x)")
+
+
+class TestParseProgram:
+    PROGRAM = """
+    // The Wepic program of Jules
+    collection extensional persistent pictures@Jules(id, name, owner, data);
+    collection extensional selectedAttendee@Jules(attendee);
+    collection intensional attendeePictures@Jules(id, name, owner, data);
+    peer sigmod "cloud.webdam.example:10000";
+
+    fact pictures@Jules(1, "sea.jpg", "Jules", "0101");
+    fact selectedAttendee@Jules("Emilien");
+
+    rule attendeePictures@Jules($id, $n, $o, $d) :-
+        selectedAttendee@Jules($a), pictures@$a($id, $n, $o, $d);
+    """
+
+    def test_full_program(self):
+        program = parse_program(self.PROGRAM)
+        assert len(program.schemas) == 3
+        assert len(program.facts) == 2
+        assert len(program.rules) == 1
+        assert program.peers == [("sigmod", "cloud.webdam.example:10000")]
+        assert program.statement_count() == 7
+
+    def test_collection_kinds(self):
+        program = parse_program(self.PROGRAM)
+        kinds = {s.name: s.kind for s in program.schemas}
+        assert kinds["pictures"] is RelationKind.EXTENSIONAL
+        assert kinds["attendeePictures"] is RelationKind.INTENSIONAL
+
+    def test_key_columns_with_star(self):
+        program = parse_program("collection ext profile@p(user*, bio);")
+        assert program.schemas[0].key == ("user",)
+
+    def test_iteration_yields_all_statements(self):
+        program = parse_program(self.PROGRAM)
+        assert len(list(program)) == 6  # schemas + facts + rules
+
+    def test_empty_program(self):
+        program = parse_program("   \n// nothing\n")
+        assert program.statement_count() == 0
+
+    def test_bare_statements_classified(self):
+        program = parse_program(
+            'r@p(1);\n v@p($x) :- r@p($x);\n', default_peer="p")
+        assert len(program.facts) == 1
+        assert len(program.rules) == 1
+
+    def test_peer_declaration_without_address(self):
+        program = parse_program("peer bob;")
+        assert program.peers == [("bob", "bob")]
+
+
+class TestParseAtom:
+    def test_positive_atom(self):
+        atom = parse_atom("pictures@$a($id)")
+        assert atom.peer == Variable("a")
+        assert not atom.negated
+
+    def test_negated_atom(self):
+        atom = parse_atom("not banned@p($x)")
+        assert atom.negated
+
+    def test_negation_disallowed_when_requested(self):
+        with pytest.raises(ParseError):
+            parse_atom("not banned@p($x)", allow_negation=False)

@@ -1,0 +1,145 @@
+"""Tests of matching and unification."""
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.core.rules import Atom
+from repro.core.terms import Constant, Variable
+from repro.core.unification import (
+    apply_term,
+    compose,
+    empty_substitution,
+    ground_atom,
+    is_ground_substituted,
+    match_atom_fact,
+    match_term,
+    unify_atoms,
+    unify_terms,
+)
+
+
+class TestMatchTerm:
+    def test_constant_matches_equal_constant(self):
+        result = match_term(Constant(3), Constant(3), {})
+        assert result == {}
+        assert match_term(Constant(3), Constant(4), {}) is None
+
+    def test_type_sensitivity(self):
+        assert match_term(Constant(1), Constant(True), {}) is None
+
+    def test_variable_binds(self):
+        result = match_term(Variable("x"), Constant("a"), {})
+        assert result == {Variable("x"): Constant("a")}
+
+    def test_bound_variable_must_agree(self):
+        binding = {Variable("x"): Constant("a")}
+        assert match_term(Variable("x"), Constant("a"), binding) == binding
+        assert match_term(Variable("x"), Constant("b"), binding) is None
+
+    def test_input_substitution_not_mutated(self):
+        binding = {}
+        match_term(Variable("x"), Constant(1), binding)
+        assert binding == {}
+
+
+class TestMatchAtomFact:
+    def test_simple_match(self):
+        atom = Atom.of("pictures", "alice", "$id", "$name")
+        fact = Fact("pictures", "alice", (1, "sea.jpg"))
+        result = match_atom_fact(atom, fact)
+        assert result == {Variable("id"): Constant(1), Variable("name"): Constant("sea.jpg")}
+
+    def test_peer_variable_binds_to_fact_peer(self):
+        atom = Atom.of("pictures", "$attendee", "$id")
+        fact = Fact("pictures", "Emilien", (7,))
+        result = match_atom_fact(atom, fact)
+        assert result[Variable("attendee")] == Constant("Emilien")
+
+    def test_relation_variable_binds_to_fact_relation(self):
+        atom = Atom.of("$R", "alice", "$x")
+        fact = Fact("rate", "alice", (5,))
+        result = match_atom_fact(atom, fact)
+        assert result[Variable("R")] == Constant("rate")
+
+    def test_mismatched_relation_fails(self):
+        atom = Atom.of("pictures", "alice", "$x")
+        assert match_atom_fact(atom, Fact("rate", "alice", (1,))) is None
+
+    def test_arity_mismatch_fails(self):
+        atom = Atom.of("r", "p", "$x")
+        assert match_atom_fact(atom, Fact("r", "p", (1, 2))) is None
+
+    def test_repeated_variable_requires_equal_values(self):
+        atom = Atom.of("edge", "p", "$x", "$x")
+        assert match_atom_fact(atom, Fact("edge", "p", (1, 1))) is not None
+        assert match_atom_fact(atom, Fact("edge", "p", (1, 2))) is None
+
+    def test_existing_substitution_constrains_match(self):
+        atom = Atom.of("pictures", "$a", "$id")
+        fact = Fact("pictures", "Emilien", (7,))
+        constrained = {Variable("a"): Constant("Jules")}
+        assert match_atom_fact(atom, fact, constrained) is None
+
+    def test_negated_atom_rejected(self):
+        atom = Atom.of("r", "p", "$x", negated=True)
+        with pytest.raises(ValueError):
+            match_atom_fact(atom, Fact("r", "p", (1,)))
+
+
+class TestUnify:
+    def test_unify_terms_variable_constant(self):
+        result = unify_terms(Variable("x"), Constant(1))
+        assert result == {Variable("x"): Constant(1)}
+        result = unify_terms(Constant(1), Variable("x"))
+        assert result == {Variable("x"): Constant(1)}
+
+    def test_unify_terms_variable_variable(self):
+        result = unify_terms(Variable("x"), Variable("y"))
+        assert Variable("x") in result or Variable("y") in result
+
+    def test_unify_terms_respects_existing_bindings(self):
+        existing = {Variable("x"): Constant(1)}
+        assert unify_terms(Variable("x"), Constant(1), existing) is not None
+        assert unify_terms(Variable("x"), Constant(2), existing) is None
+
+    def test_unify_atoms(self):
+        left = Atom.of("r", "p", "$x", 2)
+        right = Atom.of("r", "p", 1, "$y")
+        result = unify_atoms(left, right)
+        assert result[Variable("x")] == Constant(1)
+        assert result[Variable("y")] == Constant(2)
+
+    def test_unify_atoms_negation_must_agree(self):
+        left = Atom.of("r", "p", "$x", negated=True)
+        right = Atom.of("r", "p", 1)
+        assert unify_atoms(left, right) is None
+
+    def test_unify_atoms_different_relations_fail(self):
+        assert unify_atoms(Atom.of("r", "p", "$x"), Atom.of("s", "p", 1)) is None
+
+
+class TestHelpers:
+    def test_compose_substitutions(self):
+        first = {Variable("x"): Variable("y")}
+        second = {Variable("y"): Constant(3)}
+        composed = compose(first, second)
+        assert composed[Variable("x")] == Constant(3)
+        assert composed[Variable("y")] == Constant(3)
+
+    def test_apply_term(self):
+        binding = {Variable("x"): Constant(1)}
+        assert apply_term(Variable("x"), binding) == Constant(1)
+        assert apply_term(Variable("z"), binding) == Variable("z")
+        assert apply_term(Constant("a"), binding) == Constant("a")
+
+    def test_ground_atom_and_is_ground(self):
+        atom = Atom.of("r", "p", "$x")
+        binding = {Variable("x"): Constant(1)}
+        assert ground_atom(atom, binding).is_ground()
+        assert is_ground_substituted(atom, binding)
+        assert not is_ground_substituted(atom, {})
+
+    def test_empty_substitution_fresh_each_call(self):
+        first = empty_substitution()
+        first[Variable("x")] = Constant(1)
+        assert empty_substitution() == {}

@@ -1,0 +1,128 @@
+"""Tests of the datalog substrate's data model."""
+
+import pytest
+
+from repro.datalog.program import (
+    Database,
+    DatalogAtom,
+    DatalogProgram,
+    DatalogRule,
+    Var,
+    atom,
+    rule,
+)
+
+
+class TestAtomAndVar:
+    def test_atom_constructor_converts_question_strings(self):
+        a = atom("edge", "?x", "?y", 3)
+        assert a.terms == (Var("x"), Var("y"), 3)
+        assert a.arity == 3
+
+    def test_variables_and_groundness(self):
+        a = atom("edge", "?x", 1)
+        assert a.variables() == (Var("x"),)
+        assert not a.is_ground()
+        assert atom("edge", 1, 2).is_ground()
+
+    def test_substitute(self):
+        a = atom("edge", "?x", "?y")
+        bound = a.substitute({Var("x"): 1})
+        assert bound.terms == (1, Var("y"))
+
+    def test_negate(self):
+        assert atom("edge", 1).negate().negated
+        assert str(atom("edge", "?x", negated=True)).startswith("not ")
+
+
+class TestRule:
+    def test_safety_check(self):
+        safe = rule(atom("path", "?x", "?y"), atom("edge", "?x", "?y"))
+        safe.check_safety()
+        unsafe = rule(atom("path", "?x", "?z"), atom("edge", "?x", "?y"))
+        with pytest.raises(ValueError):
+            unsafe.check_safety()
+
+    def test_negated_variable_must_be_bound(self):
+        bad = DatalogRule(atom("p", "?x"), (atom("base", "?x"),
+                                            atom("other", "?y", negated=True)))
+        with pytest.raises(ValueError):
+            bad.check_safety()
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError):
+            DatalogRule(atom("p", "?x", negated=True), (atom("base", "?x"),))
+
+    def test_body_partitions(self):
+        r = DatalogRule(atom("p", "?x"),
+                        (atom("a", "?x"), atom("b", "?x", negated=True)))
+        assert [a.predicate for a in r.positive_body()] == ["a"]
+        assert [a.predicate for a in r.negative_body()] == ["b"]
+
+    def test_variables_in_order(self):
+        r = rule(atom("p", "?x", "?y"), atom("a", "?y", "?x"), atom("b", "?z"))
+        assert r.variables() == (Var("x"), Var("y"), Var("z"))
+
+
+class TestDatabase:
+    def test_add_remove_contains(self):
+        db = Database()
+        assert db.add("edge", (1, 2))
+        assert not db.add("edge", (1, 2))
+        assert db.contains("edge", (1, 2))
+        assert db.remove("edge", (1, 2))
+        assert not db.remove("edge", (1, 2))
+
+    def test_add_atom_requires_ground(self):
+        db = Database()
+        assert db.add_atom(atom("edge", 1, 2))
+        with pytest.raises(ValueError):
+            db.add_atom(atom("edge", "?x", 2))
+
+    def test_relation_snapshot_and_size(self):
+        db = Database([("edge", (1, 2)), ("edge", (2, 3)), ("node", (1,))])
+        assert db.relation("edge") == frozenset({(1, 2), (2, 3)})
+        assert db.size("edge") == 2
+        assert db.size() == 3
+        assert len(db) == 3
+        assert db.predicates() == ("edge", "node")
+
+    def test_copy_and_merge(self):
+        db = Database([("edge", (1, 2))])
+        clone = db.copy()
+        clone.add("edge", (2, 3))
+        assert db.size() == 1
+        merged = Database()
+        added = merged.merge(clone)
+        assert added == 2
+        assert merged == clone
+
+    def test_equality_ignores_empty_relations(self):
+        left = Database([("edge", (1, 2))])
+        right = Database([("edge", (1, 2))])
+        right.add("node", (1,))
+        right.remove("node", (1,))
+        assert left == right
+
+    def test_iteration(self):
+        db = Database([("edge", (1, 2)), ("node", (1,))])
+        entries = set(db)
+        assert ("edge", (1, 2)) in entries
+        assert ("node", (1,)) in entries
+
+
+class TestProgram:
+    def test_idb_edb_partition(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("path", "?x", "?y"), atom("edge", "?x", "?y")))
+        program.add_rule(rule(atom("path", "?x", "?z"),
+                              atom("path", "?x", "?y"), atom("edge", "?y", "?z")))
+        assert program.idb_predicates() == {"path"}
+        assert program.edb_predicates() == {"edge"}
+        assert len(program.rules_for("path")) == 2
+        assert len(program) == 2
+
+    def test_add_rule_validates_safety(self):
+        program = DatalogProgram()
+        with pytest.raises(ValueError):
+            program.add_rule(rule(atom("p", "?x", "?y"), atom("edge", "?x", "?x")))

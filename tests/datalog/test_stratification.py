@@ -1,0 +1,120 @@
+"""Tests of dependency analysis and stratification."""
+
+import pytest
+
+from repro.datalog.program import DatalogProgram, DatalogRule, atom, rule
+from repro.datalog.stratification import (
+    DependencyGraph,
+    StratificationError,
+    condensation_order,
+    stratify,
+)
+
+
+def negated(a):
+    return a.negate()
+
+
+class TestDependencyGraph:
+    def test_edges_and_direction(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("p", "?x"), atom("q", "?x")))
+        graph = DependencyGraph.from_program(program)
+        assert graph.depends_on("p") == {"q"}
+        assert graph.depends_on("q") == set()
+
+    def test_negative_edges_recorded(self):
+        program = DatalogProgram()
+        program.add_rule(DatalogRule(atom("p", "?x"),
+                                     (atom("a", "?x"), negated(atom("q", "?x")))))
+        graph = DependencyGraph.from_program(program)
+        assert ("q", "p") in graph.negative_edges()
+        assert ("a", "p") not in graph.negative_edges()
+
+    def test_negative_flag_sticks_when_edge_seen_both_ways(self):
+        program = DatalogProgram()
+        program.add_rule(DatalogRule(atom("p", "?x"),
+                                     (atom("q", "?x"), negated(atom("q", "?x")))))
+        graph = DependencyGraph.from_program(program)
+        assert ("q", "p") in graph.negative_edges()
+
+    def test_is_recursive(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("path", "?x", "?y"), atom("edge", "?x", "?y")))
+        program.add_rule(rule(atom("path", "?x", "?z"),
+                              atom("path", "?x", "?y"), atom("edge", "?y", "?z")))
+        graph = DependencyGraph.from_program(program)
+        assert graph.is_recursive("path")
+        assert not graph.is_recursive("edge")
+
+    def test_negative_cycle_detection(self):
+        program = DatalogProgram()
+        program.add_rule(DatalogRule(atom("p", "?x"),
+                                     (atom("base", "?x"), negated(atom("q", "?x")))))
+        program.add_rule(DatalogRule(atom("q", "?x"),
+                                     (atom("base", "?x"), negated(atom("p", "?x")))))
+        graph = DependencyGraph.from_program(program)
+        assert graph.has_negative_cycle()
+        with pytest.raises(StratificationError):
+            graph.stratify()
+
+
+class TestStratify:
+    def test_positive_program_single_stratum(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("p", "?x"), atom("q", "?x")))
+        program.add_rule(rule(atom("r", "?x"), atom("p", "?x")))
+        strata = stratify(program)
+        assert len(strata) == 1
+        assert len(strata[0]) == 2
+
+    def test_negation_splits_strata(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("reach", "?x"), atom("source", "?x")))
+        program.add_rule(rule(atom("reach", "?y"),
+                              atom("reach", "?x"), atom("edge", "?x", "?y")))
+        program.add_rule(DatalogRule(atom("unreachable", "?x"),
+                                     (atom("node", "?x"), negated(atom("reach", "?x")))))
+        strata = stratify(program)
+        assert len(strata) == 2
+        assert {r.head.predicate for r in strata[0]} == {"reach"}
+        assert {r.head.predicate for r in strata[1]} == {"unreachable"}
+
+    def test_chained_negation_three_strata(self):
+        program = DatalogProgram()
+        program.add_rule(rule(atom("a", "?x"), atom("base", "?x")))
+        program.add_rule(DatalogRule(atom("b", "?x"),
+                                     (atom("base", "?x"), negated(atom("a", "?x")))))
+        program.add_rule(DatalogRule(atom("c", "?x"),
+                                     (atom("base", "?x"), negated(atom("b", "?x")))))
+        strata = stratify(program)
+        assert [sorted({r.head.predicate for r in s}) for s in strata] == [["a"], ["b"], ["c"]]
+
+    def test_stratum_ordering_respects_positive_dependencies_on_negated_strata(self):
+        program = DatalogProgram()
+        program.add_rule(DatalogRule(atom("filtered", "?x"),
+                                     (atom("base", "?x"), negated(atom("bad", "?x")))))
+        program.add_rule(rule(atom("bad", "?x"), atom("flagged", "?x")))
+        program.add_rule(rule(atom("report", "?x"), atom("filtered", "?x")))
+        strata = stratify(program)
+        positions = {}
+        for index, stratum in enumerate(strata):
+            for r in stratum:
+                positions[r.head.predicate] = index
+        assert positions["bad"] < positions["filtered"]
+        assert positions["filtered"] <= positions["report"]
+
+
+class TestCondensationOrder:
+    def test_topological_component_order(self):
+        rules = [
+            rule(atom("path", "?x", "?y"), atom("edge", "?x", "?y")),
+            rule(atom("path", "?x", "?z"), atom("path", "?x", "?y"), atom("edge", "?y", "?z")),
+            rule(atom("report", "?x"), atom("path", "?x", "?x")),
+        ]
+        order = condensation_order(rules)
+        flattened = [predicate for component in order for predicate in component]
+        assert flattened.index("edge") < flattened.index("path")
+        assert flattened.index("path") < flattened.index("report")
+        # path is alone in its (recursive) component
+        assert ["path"] in order

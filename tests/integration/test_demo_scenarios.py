@@ -1,0 +1,143 @@
+"""End-to-end reproduction of the four demonstration scenarios of Section 4.
+
+Each test walks through one of the scenarios the demo presents to the SIGMOD
+audience, asserting the observable outcome the paper describes.
+"""
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.wepic.scenario import build_demo_scenario
+from repro.workloads.generator import WorkloadConfig, generate_workload, load_workload
+
+
+class TestInteractionViaFacebook:
+    """Section 4, 'Interaction via Facebook'."""
+
+    def test_upload_propagates_to_sigmod_then_to_facebook_group(self):
+        scenario = build_demo_scenario(pictures_per_attendee=0)
+        emilien = scenario.app("Emilien")
+        # Émilien uploads a photo and authorises its Facebook publication.
+        picture = emilien.upload_picture(name="keynote.jpg", picture_id=1)
+        emilien.authorize_facebook(picture)
+        scenario.run()
+        # ... it is published to pictures@sigmod ...
+        sigmod_names = {f.values[1] for f in scenario.sigmod_pictures()}
+        assert "keynote.jpg" in sigmod_names
+        # ... and propagated to pictures@SigmodFB (the Facebook group).
+        group_photos = scenario.facebook.photos_in_group("sigmod")
+        assert [p.name for p in group_photos] == ["keynote.jpg"]
+        assert group_photos[0].owner == "Emilien"
+
+    def test_unauthorized_pictures_stay_off_facebook(self):
+        scenario = build_demo_scenario(pictures_per_attendee=0)
+        emilien = scenario.app("Emilien")
+        emilien.upload_picture(name="private.jpg", picture_id=2)
+        scenario.run()
+        assert {f.values[1] for f in scenario.sigmod_pictures()} == {"private.jpg"}
+        assert scenario.facebook.photos_in_group("sigmod") == ()
+
+    def test_facebook_content_flows_back_without_facebook_account(self):
+        """Any Wepic user sees SigmodFB pictures via the sigmod peer."""
+        scenario = build_demo_scenario(pictures_per_attendee=0)
+        # A photo posted directly on Facebook by some member...
+        scenario.facebook.add_user("Gerome")
+        scenario.facebook.join_group("sigmod", "Gerome")
+        scenario.facebook.post_photo("Gerome", "banquet.jpg", "1100", group="sigmod")
+        scenario.run()
+        # ...reaches the sigmod peer, from which any attendee can read it.
+        names = {f.values[1] for f in scenario.sigmod_pictures()}
+        assert "banquet.jpg" in names
+        jules = scenario.app("Jules")
+        jules.select_attendee("sigmod")
+        scenario.run()
+        assert "banquet.jpg" in {p.name for p in jules.attendee_pictures()}
+
+
+class TestCustomizingRules:
+    """Section 4, 'Customizing rules'."""
+
+    def test_rating_filter_changes_the_attendee_pictures_frame(self):
+        scenario = build_demo_scenario(pictures_per_attendee=3)
+        jules = scenario.app("Jules")
+        emilien = scenario.app("Emilien")
+        pictures = emilien.local_pictures()
+        emilien.rate_picture(pictures[0].picture_id, 5)
+        emilien.rate_picture(pictures[1].picture_id, 4)
+        jules.select_attendee("Emilien")
+        scenario.run()
+        assert len(jules.attendee_pictures()) == 3
+        jules.restrict_to_rating(5)
+        scenario.run()
+        assert [p.picture_id for p in jules.attendee_pictures()] == [pictures[0].picture_id]
+        ui_summary = scenario.ui("Jules").summary()
+        assert ui_summary["attendee_pictures"] == 1
+
+
+class TestControlOfDelegation:
+    """Section 4, 'Illustration of the control of delegation'."""
+
+    def test_emilien_installs_a_rule_at_jules_after_approval(self):
+        scenario = build_demo_scenario(pictures_per_attendee=1, control_delegation=True)
+        jules = scenario.app("Jules")
+        emilien = scenario.app("Emilien")
+        # Let the initial setup (including the trusted sigmod peer's own
+        # delegations) settle before measuring Jules' installed program.
+        scenario.run()
+        rules_before = len(jules.peer.engine.state.all_rules())
+        # Émilien writes a rule whose body lives at Jules' peer: evaluating it
+        # requires installing a delegation at Jules.
+        emilien.add_rule("julesPictureNames@Emilien($n) :- pictures@Jules($i, $n, $o, $d)")
+        scenario.run()
+        # The delegation is pending, not installed; Émilien sees nothing yet.
+        assert emilien.peer.query("julesPictureNames") == ()
+        pending = jules.pending_delegations()
+        assert len(pending) == 1
+        assert pending[0].delegator == "Emilien"
+        # Jules approves: his program changes and Émilien's view fills up.
+        jules.approve_delegation(pending[0].delegation_id)
+        scenario.run()
+        assert len(jules.peer.engine.state.all_rules()) == rules_before + 1
+        assert len(emilien.peer.query("julesPictureNames")) == 1
+
+
+class TestInteractionViaTheWeb:
+    """Section 4, 'Interaction via the Web' (audience peers joining)."""
+
+    def test_new_peers_join_and_use_all_features(self):
+        scenario = build_demo_scenario(pictures_per_attendee=1)
+        scenario.run()
+        audience = [scenario.add_attendee(f"Guest{i}", pictures=1) for i in range(3)]
+        scenario.run()
+        assert len(scenario.system.peers) == 4 + 3  # 2 attendees + sigmod + FB + guests
+        # Every guest is registered at the sigmod peer.
+        registered = {f.values[0] for f in scenario.sigmod_peer.query("attendees")}
+        assert {"Guest0", "Guest1", "Guest2"} <= registered
+        # A guest selects an original attendee and sees their pictures.
+        guest = audience[0]
+        guest.select_attendee("Emilien")
+        scenario.run()
+        assert {p.owner for p in guest.attendee_pictures()} == {"Emilien"}
+        # And guests' own uploads reach the sigmod peer too.
+        owners_at_sigmod = {f.values[2] for f in scenario.sigmod_pictures()}
+        assert {"Guest0", "Guest1", "Guest2"} <= owners_at_sigmod
+
+
+class TestWorkloadDrivenScenario:
+    def test_generated_workload_converges_and_views_are_consistent(self):
+        config = WorkloadConfig(attendees=4, pictures_per_attendee=3,
+                                ratings_per_attendee=3, seed=5)
+        workload = generate_workload(config)
+        scenario = build_demo_scenario(attendees=workload.attendees,
+                                       pictures_per_attendee=0)
+        load_workload(scenario, workload)
+        summary = scenario.run(max_rounds=80)
+        assert summary.converged
+        # Every attendee's view equals the pictures of the attendees they selected.
+        for attendee in workload.attendees:
+            app = scenario.app(attendee)
+            expected = set()
+            for other in workload.selections[attendee]:
+                expected |= {p.picture_id for p in workload.libraries[other]}
+            got = {p.picture_id for p in app.attendee_pictures()}
+            assert got == expected

@@ -1,0 +1,111 @@
+"""Tests of provenance recording and queries."""
+
+from repro.core.engine import WebdamLogEngine
+from repro.core.facts import Fact
+from repro.provenance.graph import Derivation, ProvenanceGraph, ProvenanceTracker
+
+
+def base(relation, peer, *values):
+    return Fact(relation, peer, values)
+
+
+class TestProvenanceGraph:
+    def setup_method(self):
+        self.graph = ProvenanceGraph()
+        self.b1 = base("edge", "p", 1, 2)
+        self.b2 = base("edge", "p", 2, 3)
+        self.p12 = base("path", "p", 1, 2)
+        self.p23 = base("path", "p", 2, 3)
+        self.p13 = base("path", "p", 1, 3)
+        self.graph.add(Derivation(self.p12, "r1", (self.b1,)))
+        self.graph.add(Derivation(self.p23, "r1", (self.b2,)))
+        self.graph.add(Derivation(self.p13, "r2", (self.p12, self.b2)))
+
+    def test_derivations_of(self):
+        assert len(self.graph.derivations_of(self.p13)) == 1
+        assert self.graph.is_derived(self.p12)
+        assert not self.graph.is_derived(self.b1)
+
+    def test_duplicate_derivations_ignored(self):
+        before = len(self.graph)
+        self.graph.add(Derivation(self.p12, "r1", (self.b1,)))
+        assert len(self.graph) == before
+
+    def test_alternative_derivations_kept(self):
+        self.graph.add(Derivation(self.p13, "r9", (self.b1, self.b2)))
+        assert len(self.graph.why(self.p13)) == 2
+
+    def test_why_provenance(self):
+        why = self.graph.why(self.p13)
+        assert frozenset({self.p12, self.b2}) in why
+
+    def test_lineage_is_transitive(self):
+        lineage = self.graph.lineage(self.p13)
+        assert self.b1 in lineage
+        assert self.b2 in lineage
+        assert self.p12 in lineage
+        assert self.p13 not in lineage
+
+    def test_base_facts_and_relations(self):
+        assert self.graph.base_facts(self.p13) == frozenset({self.b1, self.b2})
+        assert self.graph.base_relations(self.p13) == frozenset({"edge@p"})
+        # A non-derived fact is its own base.
+        assert self.graph.base_facts(self.b1) == frozenset({self.b1})
+
+    def test_depends_on_peer(self):
+        assert self.graph.depends_on_peer(self.p13, "p")
+        assert not self.graph.depends_on_peer(self.p13, "q")
+
+    def test_clear(self):
+        self.graph.clear()
+        assert len(self.graph) == 0
+        assert self.graph.facts() == ()
+
+
+class TestTrackerEngineIntegration:
+    PROGRAM = """
+    collection extensional persistent selected@alice(name);
+    collection extensional persistent pictures@alice(id, owner);
+    collection intensional view@alice(id, owner);
+    fact selected@alice("bob");
+    fact pictures@alice(1, "bob");
+    fact pictures@alice(2, "carol");
+    rule view@alice($id, $o) :- selected@alice($o), pictures@alice($id, $o);
+    """
+
+    def test_engine_records_derivations(self):
+        engine = WebdamLogEngine("alice")
+        tracker = ProvenanceTracker()
+        engine.provenance = tracker
+        engine.load_program(self.PROGRAM)
+        engine.run_stage()
+        derived = Fact("view", "alice", (1, "bob"))
+        assert tracker.graph.is_derived(derived)
+        assert tracker.base_relations(derived) == frozenset({
+            "selected@alice", "pictures@alice"
+        })
+        supports = tracker.why(derived)
+        assert frozenset({Fact("selected", "alice", ("bob",)),
+                          Fact("pictures", "alice", (1, "bob"))}) in supports
+
+    def test_per_stage_mode_clears_between_stages(self):
+        engine = WebdamLogEngine("alice")
+        tracker = ProvenanceTracker().reset_each_stage()
+        engine.provenance = tracker
+        engine.load_program(self.PROGRAM)
+        engine.run_stage()
+        assert len(tracker.graph) > 0
+        engine.delete_fact('selected@alice("bob")')
+        engine.run_stage()
+        derived = Fact("view", "alice", (1, "bob"))
+        assert not tracker.graph.is_derived(derived)
+
+    def test_cumulative_mode_keeps_history(self):
+        engine = WebdamLogEngine("alice")
+        tracker = ProvenanceTracker(per_stage=False)
+        engine.provenance = tracker
+        engine.load_program(self.PROGRAM)
+        engine.run_stage()
+        engine.run_stage()
+        derived = Fact("view", "alice", (1, "bob"))
+        assert tracker.graph.is_derived(derived)

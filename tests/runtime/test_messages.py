@@ -1,0 +1,95 @@
+"""Tests of the message types and their wire round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.core.parser import parse_rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.runtime.messages import (
+    DelegationInstallMessage,
+    DelegationRetractMessage,
+    FactMessage,
+    Message,
+    PeerJoinMessage,
+    batch_payload_size,
+    message_from_wire,
+)
+
+
+class TestFactMessage:
+    def test_payload_size_counts_facts(self):
+        message = FactMessage(
+            sender="a", recipient="b",
+            inserted=frozenset({Fact("r", "b", (1,)), Fact("r", "b", (2,))}),
+            deleted=frozenset({Fact("r", "b", (3,))}),
+        )
+        assert message.payload_size() == 3
+        assert message.kind() == "FactMessage"
+
+    def test_wire_roundtrip(self):
+        message = FactMessage(
+            sender="alice", recipient="bob",
+            inserted=frozenset({Fact("pictures", "bob", (1, "sea.jpg"))}),
+            deleted=frozenset({Fact("pictures", "bob", (2, "old.jpg"))}),
+        )
+        encoded = message.to_wire()
+        json.dumps(encoded)
+        decoded = message_from_wire(encoded)
+        assert isinstance(decoded, FactMessage)
+        assert decoded.inserted == message.inserted
+        assert decoded.deleted == message.deleted
+        assert decoded.sender == "alice" and decoded.recipient == "bob"
+
+
+class TestDelegationMessages:
+    def test_install_roundtrip_with_schemas(self):
+        rule = parse_rule("v@Jules($x) :- pictures@Emilien($x)", author="Jules")
+        message = DelegationInstallMessage(
+            sender="Jules", recipient="Emilien",
+            delegation_id="deleg-42", rule=rule,
+            schemas=(RelationSchema("v", "Jules", ("x",), kind=RelationKind.INTENSIONAL),),
+        )
+        decoded = message_from_wire(message.to_wire())
+        assert isinstance(decoded, DelegationInstallMessage)
+        assert decoded.delegation_id == "deleg-42"
+        assert decoded.rule.head.relation_constant() == "v"
+        assert decoded.schemas[0].kind is RelationKind.INTENSIONAL
+        assert message.payload_size() == 2  # rule + one schema
+
+    def test_retract_roundtrip(self):
+        message = DelegationRetractMessage(sender="Jules", recipient="Emilien",
+                                           delegation_id="deleg-42")
+        decoded = message_from_wire(message.to_wire())
+        assert isinstance(decoded, DelegationRetractMessage)
+        assert decoded.delegation_id == "deleg-42"
+
+
+class TestControlMessages:
+    def test_peer_join_roundtrip(self):
+        message = PeerJoinMessage(sender="newbie", recipient="sigmod",
+                                  peer_name="newbie", address="host:1234")
+        decoded = message_from_wire(message.to_wire())
+        assert isinstance(decoded, PeerJoinMessage)
+        assert decoded.peer_name == "newbie"
+        assert decoded.address == "host:1234"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            message_from_wire({"kind": "Bogus", "sender": "a", "recipient": "b"})
+
+
+class TestBatching:
+    def test_batch_payload_size(self):
+        messages = [
+            FactMessage(sender="a", recipient="b",
+                        inserted=frozenset({Fact("r", "b", (i,))}))
+            for i in range(4)
+        ]
+        assert batch_payload_size(messages) == 4
+
+    def test_message_ids_unique(self):
+        first = FactMessage(sender="a", recipient="b")
+        second = FactMessage(sender="a", recipient="b")
+        assert first.message_id != second.message_id

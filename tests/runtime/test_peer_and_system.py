@@ -1,0 +1,207 @@
+"""Tests of the runtime peer and the system orchestrator."""
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.core.parser import parse_rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.runtime.messages import (
+    DelegationInstallMessage,
+    DelegationRetractMessage,
+    FactMessage,
+    PeerJoinMessage,
+)
+from repro.runtime.peer import Peer
+from repro.runtime.system import WebdamLogSystem
+
+
+class TestPeerMessageDispatch:
+    def test_fact_message_reaches_engine(self):
+        peer = Peer("alice")
+        peer.deliver(FactMessage(sender="bob", recipient="alice",
+                                 inserted=frozenset({Fact("r", "alice", (1,))})))
+        peer.run_stage()
+        assert peer.query("r") == (Fact("r", "alice", (1,)),)
+
+    def test_delegation_install_auto_accept(self):
+        peer = Peer("alice", auto_accept_delegations=True)
+        rule = parse_rule("v@bob($x) :- r@alice($x)", author="bob")
+        peer.deliver(DelegationInstallMessage(sender="bob", recipient="alice",
+                                              delegation_id="d1", rule=rule))
+        peer.run_stage()
+        assert len(peer.installed_delegations()) == 1
+
+    def test_delegation_install_pending_for_untrusted(self):
+        peer = Peer("alice", auto_accept_delegations=False)
+        rule = parse_rule("v@bob($x) :- r@alice($x)", author="bob")
+        peer.deliver(DelegationInstallMessage(sender="bob", recipient="alice",
+                                              delegation_id="d1", rule=rule))
+        peer.run_stage()
+        assert len(peer.installed_delegations()) == 0
+        assert len(peer.pending_delegations()) == 1
+        peer.approve_delegation("d1")
+        peer.run_stage()
+        assert len(peer.installed_delegations()) == 1
+
+    def test_delegation_schemas_declared_on_install(self):
+        peer = Peer("alice", auto_accept_delegations=True)
+        rule = parse_rule("view@bob($x) :- r@alice($x)", author="bob")
+        schema = RelationSchema("view", "bob", ("x",), kind=RelationKind.INTENSIONAL)
+        peer.deliver(DelegationInstallMessage(sender="bob", recipient="alice",
+                                              delegation_id="d1", rule=rule,
+                                              schemas=(schema,)))
+        assert peer.engine.state.schemas.get("view", "bob") is not None
+
+    def test_delegation_retract_message(self):
+        peer = Peer("alice", auto_accept_delegations=True)
+        rule = parse_rule("v@bob($x) :- r@alice($x)", author="bob")
+        peer.deliver(DelegationInstallMessage(sender="bob", recipient="alice",
+                                              delegation_id="d1", rule=rule))
+        peer.run_stage()
+        peer.deliver(DelegationRetractMessage(sender="bob", recipient="alice",
+                                              delegation_id="d1"))
+        peer.run_stage()
+        assert len(peer.installed_delegations()) == 0
+
+    def test_peer_join_message_recorded(self):
+        peer = Peer("alice")
+        peer.deliver(PeerJoinMessage(sender="carol", recipient="alice",
+                                     peer_name="carol", address="host:9"))
+        assert peer.known_peers["carol"] == "host:9"
+
+    def test_outgoing_delegation_messages_carry_schemas(self):
+        peer = Peer("Jules")
+        peer.declare(RelationSchema("attendeePictures", "Jules", ("id",),
+                                    kind=RelationKind.INTENSIONAL))
+        peer.declare(RelationSchema("selectedAttendee", "Jules", ("attendee",)))
+        peer.add_rule("attendeePictures@Jules($id) :- "
+                      "selectedAttendee@Jules($a), pictures@$a($id)")
+        peer.insert_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
+        _result, outgoing = peer.run_stage()
+        installs = [m for m in outgoing if isinstance(m, DelegationInstallMessage)]
+        assert len(installs) == 1
+        schema_names = {s.qualified_name for s in installs[0].schemas}
+        assert "attendeePictures@Jules" in schema_names
+
+
+class TestSystem:
+    def test_duplicate_peer_rejected(self):
+        system = WebdamLogSystem()
+        system.add_peer("alice")
+        with pytest.raises(ValueError):
+            system.add_peer("alice")
+
+    def test_unknown_peer_lookup(self):
+        system = WebdamLogSystem()
+        with pytest.raises(KeyError):
+            system.peer("ghost")
+
+    def test_membership_and_names(self, two_peer_system):
+        assert "alice" in two_peer_system
+        assert len(two_peer_system) == 2
+        assert two_peer_system.peer_names() == ("alice", "bob")
+
+    def test_fact_flow_between_peers(self, two_peer_system):
+        alice = two_peer_system.peer("alice")
+        bob = two_peer_system.peer("bob")
+        alice.load_program("""
+        collection extensional persistent local@alice(x);
+        fact local@alice(1);
+        rule mirror@bob($x) :- local@alice($x);
+        """)
+        summary = two_peer_system.run_until_quiescent()
+        assert summary.converged
+        assert bob.query("mirror") == (Fact("mirror", "bob", (1,)),)
+
+    def test_convergence_reported_in_summary(self, two_peer_system):
+        summary = two_peer_system.run_until_quiescent()
+        assert summary.converged
+        assert summary.round_count >= 1
+        assert summary.total_messages() == 0
+
+    def test_latency_increases_rounds(self):
+        def build(latency):
+            system = WebdamLogSystem(latency=latency)
+            alice = system.add_peer("alice")
+            system.add_peer("bob")
+            alice.load_program("""
+            collection extensional persistent local@alice(x);
+            fact local@alice(1);
+            rule mirror@bob($x) :- local@alice($x);
+            """)
+            return system.run_until_quiescent(max_rounds=50).round_count
+
+        assert build(latency=3) > build(latency=1)
+
+    def test_run_rounds_unconditional(self, two_peer_system):
+        reports = two_peer_system.run_rounds(3)
+        assert len(reports) == 3
+        assert two_peer_system.current_round == 3
+
+    def test_totals_and_snapshot(self, two_peer_system):
+        alice = two_peer_system.peer("alice")
+        alice.insert_fact(Fact("r", "alice", (1,)))
+        two_peer_system.run_until_quiescent()
+        totals = two_peer_system.totals()
+        assert totals["peers"] == 2
+        assert totals["extensional_facts"] == 1
+        snapshot = two_peer_system.snapshot()
+        assert "r@alice" in snapshot["alice"]
+
+    def test_remove_peer(self, two_peer_system):
+        removed = two_peer_system.remove_peer("bob")
+        assert removed is not None
+        assert "bob" not in two_peer_system
+        assert two_peer_system.remove_peer("bob") is None
+
+    def test_announce_sends_join_messages(self):
+        system = WebdamLogSystem()
+        system.add_peer("sigmod")
+        system.add_peer("newbie", announce=True)
+        system.run_until_quiescent()
+        assert system.peer("sigmod").known_peers.get("newbie") == "newbie"
+
+    def test_message_to_unknown_peer_does_not_crash_round(self):
+        system = WebdamLogSystem()
+        alice = system.add_peer("alice")
+        alice.add_rule("copy@ghost($x) :- local@alice($x)")
+        alice.insert_fact(Fact("local", "alice", (1,)))
+        summary = system.run_until_quiescent()
+        assert summary.converged
+
+
+class TestSystemDelegationFlow:
+    def test_delegation_round_trip_and_retraction(self):
+        system = WebdamLogSystem()
+        jules = system.add_peer("Jules")
+        emilien = system.add_peer("Emilien")
+        jules.declare(RelationSchema("attendeePictures", "Jules", ("id",),
+                                     kind=RelationKind.INTENSIONAL))
+        jules.add_rule("attendeePictures@Jules($id) :- "
+                       "selectedAttendee@Jules($a), pictures@$a($id)")
+        jules.insert_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
+        emilien.insert_fact(Fact("pictures", "Emilien", (7,)))
+        system.run_until_quiescent()
+        assert jules.query("attendeePictures") == (Fact("attendeePictures", "Jules", (7,)),)
+        assert len(emilien.installed_delegations()) == 1
+        # Deselect: the delegation is retracted and the view empties.
+        jules.delete_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
+        system.run_until_quiescent()
+        assert jules.query("attendeePictures") == ()
+        assert len(emilien.installed_delegations()) == 0
+
+    def test_new_picture_propagates_through_existing_delegation(self):
+        system = WebdamLogSystem()
+        jules = system.add_peer("Jules")
+        emilien = system.add_peer("Emilien")
+        jules.declare(RelationSchema("attendeePictures", "Jules", ("id",),
+                                     kind=RelationKind.INTENSIONAL))
+        jules.add_rule("attendeePictures@Jules($id) :- "
+                       "selectedAttendee@Jules($a), pictures@$a($id)")
+        jules.insert_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
+        emilien.insert_fact(Fact("pictures", "Emilien", (1,)))
+        system.run_until_quiescent()
+        emilien.insert_fact(Fact("pictures", "Emilien", (2,)))
+        system.run_until_quiescent()
+        ids = {f.values[0] for f in jules.query("attendeePictures")}
+        assert ids == {1, 2}

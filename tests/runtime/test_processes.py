@@ -1,0 +1,63 @@
+"""Tests of the multi-process transport (each peer in its own OS process)."""
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.runtime.processes import ProcessNetwork
+
+pytestmark = pytest.mark.processes
+
+
+JULES_PROGRAM = """
+collection extensional persistent selectedAttendee@Jules(attendee);
+collection intensional attendeePictures@Jules(id, name);
+fact selectedAttendee@Jules("Emilien");
+rule attendeePictures@Jules($id, $n) :- selectedAttendee@Jules($a), pictures@$a($id, $n);
+"""
+
+EMILIEN_PROGRAM = """
+collection extensional persistent pictures@Emilien(id, name);
+fact pictures@Emilien(1, "sea.jpg");
+fact pictures@Emilien(2, "boat.jpg");
+"""
+
+
+class TestProcessNetwork:
+    def test_delegation_across_processes(self):
+        with ProcessNetwork() as network:
+            network.spawn_peer("Jules", JULES_PROGRAM)
+            network.spawn_peer("Emilien", EMILIEN_PROGRAM)
+            rounds = network.run_until_quiescent(max_rounds=20)
+            facts = network.query("Jules", "attendeePictures")
+            assert rounds < 20
+            assert {f.values[0] for f in facts} == {1, 2}
+            counts = network.counts("Emilien")
+            assert counts["installed_delegations"] == 1
+
+    def test_insert_fact_and_add_rule_remotely(self):
+        with ProcessNetwork() as network:
+            network.spawn_peer("alice")
+            network.spawn_peer("bob")
+            network.add_rule("alice", "mirror@bob($x) :- local@alice($x)")
+            network.insert_fact("alice", Fact("local", "alice", (41,)))
+            network.run_until_quiescent(max_rounds=20)
+            facts = network.query("bob", "mirror")
+            assert facts == [Fact("mirror", "bob", (41,))]
+
+    def test_duplicate_spawn_rejected(self):
+        with ProcessNetwork() as network:
+            network.spawn_peer("alice")
+            with pytest.raises(ValueError):
+                network.spawn_peer("alice")
+
+    def test_unknown_peer_rejected(self):
+        with ProcessNetwork() as network:
+            with pytest.raises(KeyError):
+                network.query("ghost", "r")
+
+    def test_shutdown_is_idempotent(self):
+        network = ProcessNetwork()
+        network.spawn_peer("alice")
+        network.shutdown()
+        network.shutdown()
+        assert network.peer_names() == ()

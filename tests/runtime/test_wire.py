@@ -1,0 +1,89 @@
+"""Round-trip tests of the wire encoding."""
+
+import json
+
+import pytest
+
+from repro.core.facts import Fact
+from repro.core.parser import parse_rule
+from repro.core.rules import Atom
+from repro.core.schema import RelationKind, RelationSchema
+from repro.core.terms import Constant, Variable
+from repro.runtime import wire
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", ["text", 42, -1, 3.5, True, False, None])
+    def test_scalar_roundtrip(self, value):
+        encoded = wire.encode_value(value)
+        json.dumps(encoded)  # must be JSON-serialisable
+        assert wire.decode_value(encoded) == value
+
+    def test_bytes_roundtrip(self):
+        encoded = wire.encode_value(b"\x00\x01\xff")
+        json.dumps(encoded)
+        assert wire.decode_value(encoded) == b"\x00\x01\xff"
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            wire.encode_value(object())
+
+
+class TestTermEncoding:
+    def test_variable_roundtrip(self):
+        term = Variable("attendee")
+        assert wire.decode_term(wire.encode_term(term)) == term
+
+    @pytest.mark.parametrize("value", ["x", 7, 2.5, True, None, b"\x01"])
+    def test_constant_roundtrip_preserves_type(self, value):
+        term = Constant(value)
+        decoded = wire.decode_term(wire.encode_term(term))
+        assert decoded == term
+        assert type(decoded.value) is type(value)
+
+    def test_bool_int_distinction_survives(self):
+        one = wire.decode_term(wire.encode_term(Constant(1)))
+        true = wire.decode_term(wire.encode_term(Constant(True)))
+        assert one != true
+
+
+class TestFactEncoding:
+    def test_roundtrip(self):
+        fact = Fact("pictures", "sigmod", (32, "sea.jpg", "Emilien", True, None, 4.5))
+        encoded = wire.encode_fact(fact)
+        json.dumps(encoded)
+        assert wire.decode_fact(encoded) == fact
+
+    def test_type_distinction_in_values(self):
+        fact = Fact("r", "p", (1, True))
+        decoded = wire.decode_fact(wire.encode_fact(fact))
+        assert decoded.values[0] == 1 and decoded.values[0] is not True
+        assert decoded.values[1] is True
+
+
+class TestAtomAndRuleEncoding:
+    def test_atom_roundtrip(self):
+        atom = Atom.of("pictures", "$attendee", "$id", "sea.jpg", negated=True)
+        decoded = wire.decode_atom(wire.encode_atom(atom))
+        assert decoded == atom
+
+    def test_rule_roundtrip_preserves_metadata(self):
+        rule = parse_rule(
+            "attendeePictures@Jules($id, $n) :- "
+            "selectedAttendee@Jules($a), pictures@$a($id, $n)",
+            author="Jules",
+        )
+        encoded = wire.encode_rule(rule)
+        json.dumps(encoded)
+        decoded = wire.decode_rule(encoded)
+        assert decoded.head == rule.head
+        assert decoded.body == rule.body
+        assert decoded.author == "Jules"
+        assert decoded.rule_id == rule.rule_id
+
+    def test_schema_roundtrip(self):
+        schema = RelationSchema("attendeePictures", "Jules", ("id", "name"),
+                                kind=RelationKind.INTENSIONAL, persistent=False,
+                                key=("id",))
+        decoded = wire.decode_schema(wire.encode_schema(schema))
+        assert decoded == schema

@@ -1,0 +1,118 @@
+"""Tests of the picture and annotation data models."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.facts import Fact
+from repro.wepic.annotations import (
+    Comment,
+    NameTag,
+    Rating,
+    comment_from_fact,
+    rating_from_fact,
+    tag_from_fact,
+)
+from repro.wepic.pictures import (
+    Picture,
+    PictureLibrary,
+    generate_library,
+    generate_picture,
+)
+
+
+class TestPicture:
+    def test_fact_roundtrip(self):
+        picture = Picture(picture_id=3, name="sea.jpg", owner="Emilien", data="0101")
+        fact = picture.to_fact()
+        assert fact == Fact("pictures", "Emilien", (3, "sea.jpg", "Emilien", "0101"))
+        assert Picture.from_fact(fact) == picture
+
+    def test_to_fact_with_custom_relation_and_peer(self):
+        picture = Picture(1, "a.jpg", "Emilien", "0")
+        fact = picture.to_fact(relation="selectedPictures", peer="sigmod")
+        assert fact.relation == "selectedPictures"
+        assert fact.peer == "sigmod"
+
+    def test_from_fact_arity_checked(self):
+        with pytest.raises(ValueError):
+            Picture.from_fact(Fact("pictures", "p", (1, "a")))
+
+    def test_size(self):
+        assert Picture(1, "a", "o", "0101").size() == 4
+
+
+class TestGeneration:
+    def test_deterministic_generation(self):
+        first = generate_picture("Emilien", index=3, size=32)
+        second = generate_picture("Emilien", index=3, size=32)
+        assert first == second
+        assert len(first.data) == 32
+        assert set(first.data) <= {"0", "1"}
+
+    def test_different_owners_get_different_content(self):
+        a = generate_picture("Emilien", index=3, size=32)
+        b = generate_picture("Jules", index=3, size=32)
+        assert a.data != b.data
+
+    def test_generate_library(self):
+        library = generate_library("Jules", 5, size=16, start_id=10)
+        assert len(library) == 5
+        assert library.ids() == (10, 11, 12, 13, 14)
+        assert library.owner == "Jules"
+        assert library.total_size() == 5 * 16
+        assert library.by_id(12) is not None
+        assert library.by_id(99) is None
+
+    def test_library_facts(self):
+        library = generate_library("Jules", 2)
+        facts = library.facts()
+        assert all(f.peer == "Jules" for f in facts)
+        assert all(f.relation == "pictures" for f in facts)
+
+    def test_library_add_and_iter(self):
+        library = PictureLibrary(owner="Jules")
+        library.add(generate_picture("Jules", index=1))
+        assert len(list(library)) == 1
+
+
+class TestAnnotations:
+    def test_rating_bounds(self):
+        Rating(picture_id=1, author="Jules", value=1)
+        Rating(picture_id=1, author="Jules", value=5)
+        with pytest.raises(WorkloadError):
+            Rating(picture_id=1, author="Jules", value=0)
+        with pytest.raises(WorkloadError):
+            Rating(picture_id=1, author="Jules", value=6)
+
+    def test_rating_fact_roundtrip(self):
+        rating = Rating(picture_id=7, author="Jules", value=4)
+        fact = rating.to_fact()
+        assert fact == Fact("rate", "Jules", (7, 4))
+        assert rating_from_fact(fact) == rating
+
+    def test_rating_fact_at_owner_peer(self):
+        rating = Rating(picture_id=7, author="Jules", value=4)
+        fact = rating.to_fact(peer="Emilien")
+        assert fact.peer == "Emilien"
+        # Re-reading attributes authorship to the hosting peer.
+        assert rating_from_fact(fact).author == "Emilien"
+
+    def test_comment_fact_roundtrip(self):
+        comment = Comment(picture_id=7, author="Jules", text="nice")
+        fact = comment.to_fact()
+        assert fact == Fact("comment", "Jules", (7, "Jules", "nice"))
+        assert comment_from_fact(fact) == comment
+
+    def test_tag_fact_roundtrip(self):
+        tag = NameTag(picture_id=7, author="Jules", attendee="Julia")
+        fact = tag.to_fact()
+        assert fact == Fact("tag", "Jules", (7, "Julia"))
+        assert tag_from_fact(fact) == tag
+
+    def test_malformed_facts_rejected(self):
+        with pytest.raises(WorkloadError):
+            rating_from_fact(Fact("rate", "p", (1,)))
+        with pytest.raises(WorkloadError):
+            comment_from_fact(Fact("comment", "p", (1,)))
+        with pytest.raises(WorkloadError):
+            tag_from_fact(Fact("tag", "p", (1,)))

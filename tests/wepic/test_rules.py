@@ -1,0 +1,113 @@
+"""Tests of the canonical Wepic rule set."""
+
+from repro.core.schema import RelationKind
+from repro.wepic.rules import WepicRules, attendee_schemas, sigmod_schemas
+
+
+class TestSchemas:
+    def test_attendee_schemas_cover_all_relations(self):
+        schemas = {s.name: s for s in attendee_schemas("Jules")}
+        for expected in ("pictures", "selectedAttendee", "selectedPictures",
+                         "communicate", "rate", "comment", "tag", "authorized",
+                         "wepic", "email", "attendeePictures", "attendeeRatings"):
+            assert expected in schemas
+        assert schemas["attendeePictures"].kind is RelationKind.INTENSIONAL
+        assert schemas["pictures"].kind is RelationKind.EXTENSIONAL
+        assert all(s.peer == "Jules" for s in schemas.values())
+
+    def test_sigmod_schemas_include_group_relations(self):
+        schemas = {s.qualified_name for s in sigmod_schemas()}
+        assert "pictures@sigmod" in schemas
+        assert "pictures@SigmodFB" in schemas
+        assert "attendees@sigmod" in schemas
+
+
+class TestAttendeeRules:
+    def setup_method(self):
+        self.rules = WepicRules()
+
+    def test_attendee_pictures_rule_matches_paper(self):
+        rule = self.rules.attendee_pictures_rule("Jules")
+        assert rule.head.relation_constant() == "attendeePictures"
+        assert rule.head.peer_constant() == "Jules"
+        assert rule.body[0].relation_constant() == "selectedAttendee"
+        assert rule.body[1].relation_constant() == "pictures"
+        assert rule.body[1].peer_constant() is None  # variable peer
+        rule.check_safety()
+
+    def test_transfer_rule_has_variable_relation_head(self):
+        rule = self.rules.transfer_rule("Jules")
+        assert rule.head.relation_constant() is None
+        assert rule.head.peer_constant() is None
+        assert len(rule.body) == 3
+        rule.check_safety()
+
+    def test_publish_to_sigmod_rule(self):
+        rule = self.rules.publish_to_sigmod_rule("Emilien")
+        assert rule.head.peer_constant() == "sigmod"
+        assert rule.body[0].peer_constant() == "Emilien"
+
+    def test_rating_filtered_rule_adds_rate_literal(self):
+        rule = self.rules.rating_filtered_rule("Jules", rating=5)
+        assert len(rule.body) == 3
+        rate_literal = rule.body[2]
+        assert rate_literal.relation_constant() == "rate"
+        assert rate_literal.args[1].value == 5
+        rule.check_safety()
+
+    def test_owner_filtered_rule(self):
+        rule = self.rules.owner_filtered_rule("Jules", "Emilien")
+        constants = [a.value for a in rule.head.args if hasattr(a, "value")]
+        assert "Emilien" in constants
+        rule.check_safety()
+
+    def test_tagged_attendee_rule(self):
+        rule = self.rules.tagged_attendee_rule("Jules", "Julia")
+        assert rule.body[2].relation_constant() == "tag"
+        rule.check_safety()
+
+    def test_attendee_rules_bundle(self):
+        bundle = self.rules.attendee_rules("Jules")
+        heads = [r.head.relation_constant() for r in bundle]
+        assert "attendeePictures" in heads
+        assert "pictures" in heads  # publish to sigmod
+        without_publish = self.rules.attendee_rules("Jules", publish_to_sigmod=False)
+        assert len(without_publish) == len(bundle) - 1
+
+    def test_rules_are_authored_by_the_peer(self):
+        for rule in self.rules.attendee_rules("Jules"):
+            assert rule.author == "Jules"
+
+
+class TestSigmodRules:
+    def setup_method(self):
+        self.rules = WepicRules()
+
+    def test_facebook_publication_rule_matches_paper(self):
+        rule = self.rules.facebook_publication_rule()
+        assert rule.head.peer_constant() == "SigmodFB"
+        assert rule.body[0].peer_constant() == "sigmod"
+        authorized = rule.body[1]
+        assert authorized.relation_constant() == "authorized"
+        assert authorized.peer_constant() is None  # @$owner
+        assert authorized.args[0].value == "Facebook"
+        rule.check_safety()
+
+    def test_retrieval_rules_cover_pictures_comments_tags(self):
+        rules = self.rules.facebook_retrieval_rules()
+        heads = {r.head.relation_constant() for r in rules}
+        assert heads == {"pictures", "comments", "tags"}
+        assert all(r.head.peer_constant() == "sigmod" for r in rules)
+        assert all(r.body[0].peer_constant() == "SigmodFB" for r in rules)
+
+    def test_sigmod_rules_toggles(self):
+        assert len(self.rules.sigmod_rules()) == 4
+        assert len(self.rules.sigmod_rules(publish_to_facebook=False)) == 3
+        assert len(self.rules.sigmod_rules(retrieve_from_facebook=False)) == 1
+        assert self.rules.sigmod_rules(False, False) == []
+
+    def test_custom_peer_names(self):
+        rules = WepicRules(sigmod_peer="conf", group_peer="ConfFB")
+        rule = rules.facebook_publication_rule()
+        assert rule.head.peer_constant() == "ConfFB"
+        assert rule.body[0].peer_constant() == "conf"

@@ -1,0 +1,146 @@
+"""Tests of the workload generators and traces."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.wepic.scenario import build_demo_scenario
+from repro.workloads.generator import (
+    WorkloadConfig,
+    attendee_names,
+    generate_workload,
+    load_workload,
+)
+from repro.workloads.traces import TraceEvent, WorkloadTrace, generate_trace
+
+
+class TestAttendeeNames:
+    def test_distinct_names(self):
+        names = attendee_names(50)
+        assert len(names) == 50
+        assert len(set(names)) == 50
+
+    def test_deterministic(self):
+        assert attendee_names(10) == attendee_names(10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            attendee_names(-1)
+
+
+class TestWorkloadConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(attendees=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(selection_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(picture_size=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(facebook_authorization_fraction=-0.1)
+
+
+class TestGenerateWorkload:
+    def test_sizes_match_config(self, small_workload):
+        workload = small_workload
+        assert len(workload.attendees) == 3
+        assert workload.total_pictures() == 6
+        assert all(len(lib) == 2 for lib in workload.libraries.values())
+        assert len(workload.ratings) == 3 * 2
+        assert len(workload.comments) == 3
+        assert len(workload.tags) == 3
+
+    def test_deterministic_for_same_seed(self):
+        config = WorkloadConfig(attendees=4, pictures_per_attendee=3, seed=99)
+        first = generate_workload(config)
+        second = generate_workload(config)
+        assert first.ratings == second.ratings
+        assert first.selections == second.selections
+        assert [p.name for p in first.all_pictures()] == [p.name for p in second.all_pictures()]
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(attendees=4, pictures_per_attendee=3, seed=1)
+        other = WorkloadConfig(attendees=4, pictures_per_attendee=3, seed=2)
+        assert generate_workload(base).ratings != generate_workload(other).ratings
+
+    def test_picture_ids_globally_unique(self, small_workload):
+        ids = [p.picture_id for p in small_workload.all_pictures()]
+        assert len(ids) == len(set(ids))
+
+    def test_selections_never_include_self(self, small_workload):
+        for attendee, selected in small_workload.selections.items():
+            assert attendee not in selected
+
+    def test_authorizations_reference_owned_pictures(self, small_workload):
+        for attendee, picture_ids in small_workload.facebook_authorizations.items():
+            owned = set(small_workload.libraries[attendee].ids())
+            assert set(picture_ids) <= owned
+
+    def test_accessors(self, small_workload):
+        attendee = small_workload.attendees[0]
+        assert small_workload.pictures_of(attendee) is small_workload.libraries[attendee]
+        assert all(r.author == attendee for r in small_workload.ratings_of(attendee))
+
+
+class TestLoadWorkload:
+    def test_load_into_scenario(self, small_workload):
+        scenario = build_demo_scenario(attendees=small_workload.attendees,
+                                       pictures_per_attendee=0)
+        load_workload(scenario, small_workload)
+        summary = scenario.run()
+        assert summary.converged
+        for attendee in small_workload.attendees:
+            app = scenario.app(attendee)
+            assert len(app.local_pictures()) == 2
+            assert app.selected_attendees()
+
+    def test_load_adds_missing_attendees(self, small_workload):
+        scenario = build_demo_scenario(attendees=small_workload.attendees[:1],
+                                       pictures_per_attendee=0)
+        load_workload(scenario, small_workload, apply_annotations=False)
+        assert set(scenario.attendees()) == set(small_workload.attendees)
+
+
+class TestTraces:
+    def test_event_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceEvent("teleport", "Jules")
+        event = TraceEvent("select", "Jules", ("Emilien",))
+        assert "select" in str(event)
+
+    def test_generate_trace_is_deterministic(self):
+        first = generate_trace(attendees=3, events=15, seed=5)
+        second = generate_trace(attendees=3, events=15, seed=5)
+        assert [str(e) for e in first] == [str(e) for e in second]
+        assert len(first) == 15
+
+    def test_counts_by_kind(self):
+        trace = generate_trace(attendees=3, events=30, seed=5)
+        counts = trace.counts_by_kind()
+        assert sum(counts.values()) == 30
+        assert counts.get("upload", 0) >= 1
+
+    def test_replay_against_scenario(self):
+        trace = generate_trace(attendees=2, events=10, seed=3)
+        scenario = build_demo_scenario(attendees=("Emilien", "Jules"),
+                                       pictures_per_attendee=0)
+        stats = trace.replay(scenario)
+        assert stats["events"] == 10
+        assert stats["rounds"] >= 1
+
+    def test_replay_with_joins(self):
+        trace = generate_trace(attendees=2, events=12, seed=3, join_probability=0.4)
+        assert trace.counts_by_kind().get("join", 0) >= 1
+        scenario = build_demo_scenario(attendees=("Emilien", "Jules"),
+                                       pictures_per_attendee=0)
+        stats = trace.replay(scenario)
+        assert stats["events"] == 12
+        assert len(scenario.attendees()) > 2
+
+    def test_manual_trace_customisation_event(self):
+        scenario = build_demo_scenario(pictures_per_attendee=1)
+        trace = WorkloadTrace()
+        trace.append(TraceEvent("select", "Jules", ("Emilien",)))
+        trace.append(TraceEvent("customize_rating_filter", "Jules", (5,)))
+        trace.append(TraceEvent("reset_rule", "Jules"))
+        stats = trace.replay(scenario, run_between_events=True)
+        assert stats["events"] == 3

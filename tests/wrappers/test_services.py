@@ -1,0 +1,139 @@
+"""Tests of the simulated external services (Facebook, email, Dropbox)."""
+
+import pytest
+
+from repro.core.errors import WrapperError
+from repro.wrappers.dropbox import DropboxService
+from repro.wrappers.email import EmailService
+from repro.wrappers.facebook import FacebookService
+
+
+class TestFacebookService:
+    def test_users_and_friends(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        service.add_user("Jules")
+        service.add_friendship("Emilien", "Jules")
+        assert service.friends_of("Emilien") == ("Jules",)
+        assert service.friends_of("Jules") == ("Emilien",)
+
+    def test_friendship_requires_accounts(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        with pytest.raises(WrapperError):
+            service.add_friendship("Emilien", "Ghost")
+
+    def test_groups_and_membership(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        service.create_group("sigmod")
+        service.join_group("sigmod", "Emilien")
+        assert service.group_members("sigmod") == ("Emilien",)
+        assert service.is_member("sigmod", "Emilien")
+        with pytest.raises(WrapperError):
+            service.join_group("nope", "Emilien")
+        with pytest.raises(WrapperError):
+            service.join_group("sigmod", "Ghost")
+
+    def test_photo_posting_and_lookup(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        photo = service.post_photo("Emilien", "sea.jpg", "0101")
+        assert service.photo(photo.photo_id) == photo
+        assert service.photos_of("Emilien") == (photo,)
+        assert service.photo_count() == 1
+
+    def test_group_posting_requires_membership(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        service.create_group("sigmod")
+        with pytest.raises(WrapperError):
+            service.post_photo("Emilien", "sea.jpg", "0101", group="sigmod")
+        service.join_group("sigmod", "Emilien")
+        photo = service.post_photo("Emilien", "sea.jpg", "0101", group="sigmod")
+        assert service.photos_in_group("sigmod") == (photo,)
+
+    def test_posting_without_membership_allowed_when_requested(self):
+        service = FacebookService()
+        service.add_user("Outsider")
+        service.create_group("sigmod")
+        photo = service.post_photo("Outsider", "x.jpg", "1", group="sigmod",
+                                   require_membership=False)
+        assert photo in service.photos_in_group("sigmod")
+
+    def test_explicit_photo_id_collision_resolved(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        first = service.post_photo("Emilien", "a.jpg", "0", photo_id=7)
+        second = service.post_photo("Emilien", "b.jpg", "0", photo_id=7)
+        assert first.photo_id == 7
+        assert second.photo_id != 7
+
+    def test_comments_and_tags(self):
+        service = FacebookService()
+        service.add_user("Emilien")
+        photo = service.post_photo("Emilien", "sea.jpg", "0101")
+        service.add_comment(photo.photo_id, "Jules", "nice shot")
+        service.add_tag(photo.photo_id, "Julia")
+        assert service.comments_on(photo.photo_id)[0].text == "nice shot"
+        assert service.tags_on(photo.photo_id)[0].tagged_user == "Julia"
+        assert len(service.all_comments()) == 1
+        assert len(service.all_tags()) == 1
+        with pytest.raises(WrapperError):
+            service.add_comment(999, "Jules", "lost")
+        with pytest.raises(WrapperError):
+            service.add_tag(999, "Jules")
+
+
+class TestEmailService:
+    def test_send_and_inbox(self):
+        service = EmailService()
+        message = service.send("jules@wepic.example", "emilien@wepic.example",
+                               "pictures", "sea.jpg")
+        assert message.message_id == 1
+        assert service.inbox_size("emilien@wepic.example") == 1
+        assert service.inbox("emilien@wepic.example")[0].subject == "pictures"
+        assert service.sent_count == 1
+
+    def test_register_and_addresses(self):
+        service = EmailService()
+        service.register("a@example")
+        service.register("a@example")
+        assert service.addresses() == ("a@example",)
+
+    def test_empty_recipient_rejected(self):
+        service = EmailService()
+        with pytest.raises(WrapperError):
+            service.send("a@example", "", "s", "b")
+
+
+class TestDropboxService:
+    def test_upload_get_delete(self):
+        service = DropboxService()
+        record = service.upload("Jules", "/photos/sea.jpg", "sea.jpg", 64)
+        assert service.get("Jules", "/photos/sea.jpg") == record
+        assert service.files_of("Jules") == (record,)
+        assert service.delete("Jules", "/photos/sea.jpg")
+        assert not service.delete("Jules", "/photos/sea.jpg")
+
+    def test_upload_overwrites_same_path(self):
+        service = DropboxService()
+        service.upload("Jules", "/a.jpg", "a.jpg", 10)
+        service.upload("Jules", "/a.jpg", "a.jpg", 99)
+        assert service.get("Jules", "/a.jpg").size == 99
+        assert len(service.files_of("Jules")) == 1
+
+    def test_relative_path_rejected(self):
+        service = DropboxService()
+        with pytest.raises(WrapperError):
+            service.upload("Jules", "a.jpg", "a.jpg", 1)
+
+    def test_share_links(self):
+        service = DropboxService()
+        service.upload("Jules", "/a.jpg", "a.jpg", 1)
+        link = service.share("Jules", "/a.jpg")
+        assert link.startswith("https://")
+        assert service.share("Jules", "/a.jpg") == link
+        assert service.links_of("Jules") == (("/a.jpg", link),)
+        with pytest.raises(WrapperError):
+            service.share("Jules", "/missing.jpg")
