@@ -33,7 +33,7 @@ def run_delegation(selected_count: int):
     for other in names[1:1 + selected_count]:
         viewer.select_attendee(other)
     summary = scenario.run(max_rounds=100)
-    stats = scenario.system.network.stats
+    stats = scenario.stats()
     return len(viewer.attendee_pictures()), stats.payload_items, summary.round_count
 
 
@@ -49,7 +49,7 @@ def run_centralized(selected_count: int):
     sigmod.add_rule("attendeeView@sigmod($id, $n, $a, $d) :- "
                     "selectedAttendee@sigmod($a), pictures@sigmod($id, $n, $a, $d)")
     summary = scenario.run(max_rounds=100)
-    stats = scenario.system.network.stats
+    stats = scenario.stats()
     view = len(sigmod.query("attendeeView"))
     return view, stats.payload_items, summary.round_count
 

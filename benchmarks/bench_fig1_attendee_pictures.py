@@ -40,7 +40,7 @@ def test_fig1_view_size_sweep(benchmark, report, pictures_per_attendee):
         return run_attendee_pictures(pictures_per_attendee, attendees=3)
 
     scenario, viewer, summary = benchmark.pedantic(run, rounds=3, iterations=1)
-    stats = scenario.system.network.stats
+    stats = scenario.stats()
     expected = 2 * pictures_per_attendee
     assert len(viewer.attendee_pictures()) == expected
     record_counters(benchmark, rounds=summary.round_count,
@@ -59,7 +59,7 @@ def test_fig1_selected_attendees_sweep(benchmark, report, attendees):
         return run_attendee_pictures(4, attendees=attendees)
 
     scenario, viewer, summary = benchmark.pedantic(run, rounds=3, iterations=1)
-    totals = scenario.system.totals()
+    totals = scenario.api.totals()
     # One delegation per selected attendee *per Wepic rule whose body reaches
     # that attendee* (attendeePictures, attendeeRatings and the transfer rule):
     # the paper's key qualitative claim is that delegations grow with the

@@ -20,7 +20,7 @@ def run_propagation(uploads: int):
     scenario = build_demo_scenario(pictures_per_attendee=0)
     emilien = scenario.app("Emilien")
     scenario.run()
-    scenario.system.network.reset_stats()
+    scenario.reset_stats()
     for index in range(uploads):
         picture = emilien.upload_picture(picture_id=1000 + index)
         emilien.authorize_facebook(picture)
@@ -32,7 +32,7 @@ def run_propagation(uploads: int):
 def test_fig2_upload_propagation(benchmark, report, uploads):
     scenario, summary = benchmark.pedantic(lambda: run_propagation(uploads),
                                            rounds=3, iterations=1)
-    stats = scenario.system.network.stats
+    stats = scenario.stats()
     at_sigmod = len(scenario.sigmod_pictures())
     in_group = len(scenario.facebook.photos_in_group("sigmod"))
     # Every authorised upload reaches both hops of the pipeline.

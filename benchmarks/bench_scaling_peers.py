@@ -32,8 +32,8 @@ def run_scale(peers: int, pictures_per_attendee: int = 2):
 @pytest.mark.parametrize("peers", [2, 4, 8, 16])
 def test_scale_peers_all_to_all(benchmark, report, peers):
     scenario, summary = benchmark.pedantic(lambda: run_scale(peers), rounds=2, iterations=1)
-    stats = scenario.system.network.stats
-    totals = scenario.system.totals()
+    stats = scenario.stats()
+    totals = scenario.api.totals()
     expected_view = (peers - 1) * 2
     for name in scenario.attendees():
         assert len(scenario.app(name).attendee_pictures()) == expected_view

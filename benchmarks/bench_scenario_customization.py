@@ -36,10 +36,10 @@ def test_scen_cust_rating_filter(benchmark, report, pictures):
     def run():
         scenario, jules, _emilien, five_starred = build_rated_scenario(pictures)
         unfiltered = len(jules.attendee_pictures())
-        messages_before = scenario.system.network.stats.messages_sent
+        messages_before = scenario.stats().messages_sent
         jules.restrict_to_rating(5)
         scenario.run(max_rounds=60)
-        swap_messages = scenario.system.network.stats.messages_sent - messages_before
+        swap_messages = scenario.stats().messages_sent - messages_before
         filtered = len(jules.attendee_pictures())
         return unfiltered, filtered, five_starred, swap_messages
 
@@ -65,7 +65,7 @@ def test_scen_cust_rule_swap_churn(benchmark, report):
             scenario.run(max_rounds=40)
             jules.reset_attendee_pictures_rule()
             scenario.run(max_rounds=40)
-        stats = scenario.system.network.stats
+        stats = scenario.stats()
         installs = stats.by_kind.get("DelegationInstallMessage", 0)
         retracts = stats.by_kind.get("DelegationRetractMessage", 0)
         return installs, retracts, len(jules.attendee_pictures())

@@ -15,7 +15,7 @@ from repro.wepic.scenario import build_demo_scenario
 def run_join(joiners: int):
     scenario = build_demo_scenario(pictures_per_attendee=1)
     scenario.run()
-    scenario.system.network.reset_stats()
+    scenario.reset_stats()
     guests = [scenario.add_attendee(f"Guest{i}", pictures=1) for i in range(joiners)]
     for guest in guests:
         guest.select_attendee("Emilien")
@@ -27,7 +27,7 @@ def run_join(joiners: int):
 def test_scen_web_peer_join(benchmark, report, joiners):
     scenario, guests, summary = benchmark.pedantic(lambda: run_join(joiners),
                                                    rounds=2, iterations=1)
-    stats = scenario.system.network.stats
+    stats = scenario.stats()
     registered = {f.values[0] for f in scenario.sigmod_peer.query("attendees")}
     # Every guest is registered at sigmod and sees Émilien's picture.
     assert all(f"Guest{i}" in registered for i in range(joiners))

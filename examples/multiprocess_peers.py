@@ -1,17 +1,17 @@
 #!/usr/bin/env python3
-"""Running peers as separate OS processes.
+"""Running peers as separate OS processes, through the same builder.
 
 The paper's demo runs peers on different machines.  The closest local
-equivalent is one OS process per peer, exchanging wire-encoded messages —
-this example runs the quickstart's delegation scenario on the
-:class:`~repro.runtime.processes.ProcessNetwork` transport.
+equivalent is one OS process per peer, exchanging wire-encoded messages.
+Selecting it is one builder call — ``backend("processes")`` — which proves
+that the deployment description is independent of the runtime backend.
 
 Run with::
 
     python examples/multiprocess_peers.py
 """
 
-from repro.runtime.processes import ProcessNetwork
+from repro.api import system
 
 JULES_PROGRAM = """
 collection extensional persistent selectedAttendee@Jules(attendee);
@@ -30,20 +30,23 @@ fact pictures@Emilien(3, "poster.jpg");
 
 
 def main() -> None:
-    with ProcessNetwork() as network:
-        network.spawn_peer("Jules", JULES_PROGRAM)
-        network.spawn_peer("Emilien", EMILIEN_PROGRAM)
-        print("peers running as OS processes:", ", ".join(network.peer_names()))
+    builder = (system()
+               .backend("processes")
+               .peer("Jules").program(JULES_PROGRAM)
+               .peer("Emilien").program(EMILIEN_PROGRAM)
+               .done())
+    with builder.build() as deployment:
+        print("peers running as OS processes:", ", ".join(deployment.peer_names()))
 
-        rounds = network.run_until_quiescent(max_rounds=20)
+        rounds = deployment.run(max_rounds=20)
         print(f"converged in {rounds} rounds, "
-              f"{network.messages_routed} messages routed between processes\n")
+              f"{deployment.messages_routed} messages routed between processes\n")
 
         print("attendeePictures@Jules (computed in Jules' process):")
-        for fact in sorted(network.query("Jules", "attendeePictures"), key=str):
+        for fact in deployment.query("Jules", "attendeePictures").sorted():
             print(f"  {fact}")
 
-        counts = network.counts("Emilien")
+        counts = deployment.counts("Emilien")
         print(f"\ndelegations installed in Émilien's process: "
               f"{counts['installed_delegations']}")
 

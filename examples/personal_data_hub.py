@@ -7,7 +7,7 @@ movie fan and he wants to post on his blog a review of the last movie he
 watched.  He also wishes to advertise his review to his Facebook friends and
 to include a link to his Dropbox folder where the movie has been uploaded."
 
-This example builds exactly that setup out of WebdamLog peers and wrappers:
+This example builds exactly that setup with one ``repro.api`` builder chain:
 Joe's laptop is a peer, his blog is a peer, and his Facebook and Dropbox
 accounts are wrapper pseudo-peers over simulated services.  Three rules
 automate the whole flow.
@@ -17,25 +17,15 @@ Run with::
     python examples/personal_data_hub.py
 """
 
+from repro.api import system
 from repro.core.facts import Fact
-from repro.runtime.system import WebdamLogSystem
 from repro.wrappers.dropbox import DropboxService, DropboxWrapper
 from repro.wrappers.facebook import FacebookService, FacebookUserWrapper
 
 
 def main() -> None:
-    system = WebdamLogSystem()
-
     facebook = FacebookService()
     dropbox = DropboxService()
-
-    # Joe's devices and accounts.
-    laptop = system.add_peer("JoeLaptop")
-    blog = system.add_peer("JoeBlog")
-    facebook_peer = system.add_peer("JoeFB")
-    facebook_peer.attach_wrapper(FacebookUserWrapper(facebook, "Joe", peer_name="JoeFB"))
-    dropbox_peer = system.add_peer("JoeDropbox")
-    dropbox_peer.attach_wrapper(DropboxWrapper(dropbox, "Joe", peer_name="JoeDropbox"))
 
     # Joe's Facebook friends (who should see the advert).
     facebook.add_user("Joe")
@@ -43,34 +33,42 @@ def main() -> None:
         facebook.add_user(friend)
         facebook.add_friendship("Joe", friend)
 
-    # Joe's laptop program: three rules automate the whole workflow.
-    laptop.load_program("""
-    collection extensional persistent reviews@JoeLaptop(movie, text);
-    collection extensional persistent movies@JoeLaptop(movie, file, size);
+    deployment = (
+        system()
+        # Joe's laptop: three rules automate the whole workflow.
+        .peer("JoeLaptop").program("""
+        collection extensional persistent reviews@JoeLaptop(movie, text);
+        collection extensional persistent movies@JoeLaptop(movie, file, size);
 
-    // 1. every review written on the laptop is posted on the blog;
-    rule posts@JoeBlog($movie, $text) :- reviews@JoeLaptop($movie, $text);
+        // 1. every review written on the laptop is posted on the blog;
+        rule posts@JoeBlog($movie, $text) :- reviews@JoeLaptop($movie, $text);
 
-    // 2. the movie file is uploaded to Dropbox;
-    rule files@JoeDropbox($file, $movie, $size) :- movies@JoeLaptop($movie, $file, $size);
+        // 2. the movie file is uploaded to Dropbox;
+        rule files@JoeDropbox($file, $movie, $size) :- movies@JoeLaptop($movie, $file, $size);
 
-    // 3. each Facebook friend gets a notification pointing at the blog post.
-    rule notify@JoeLaptop($friend, $movie) :-
-        reviews@JoeLaptop($movie, $text),
-        friends@JoeFB($me, $friend);
-    """)
+        // 3. each Facebook friend gets a notification pointing at the blog post.
+        rule notify@JoeLaptop($friend, $movie) :-
+            reviews@JoeLaptop($movie, $text),
+            friends@JoeFB($me, $friend);
+        """)
+        .peer("JoeBlog")
+        .peer("JoeFB").wrapper(FacebookUserWrapper(facebook, "Joe", peer_name="JoeFB"))
+        .peer("JoeDropbox").wrapper(DropboxWrapper(dropbox, "Joe", peer_name="JoeDropbox"))
+        .build()
+    )
 
     # Joe watches a movie and writes his review — one insert each.
-    laptop.insert_fact(Fact("reviews", "JoeLaptop",
-                            ("Alphaville", "A strange and wonderful movie.")))
-    laptop.insert_fact(Fact("movies", "JoeLaptop",
-                            ("Alphaville", "/movies/alphaville.mkv", 700)))
+    laptop = deployment.peer("JoeLaptop")
+    laptop.insert(Fact("reviews", "JoeLaptop",
+                       ("Alphaville", "A strange and wonderful movie.")))
+    laptop.insert(Fact("movies", "JoeLaptop",
+                       ("Alphaville", "/movies/alphaville.mkv", 700)))
 
-    summary = system.run_until_quiescent()
+    summary = deployment.run()
     print(f"converged in {summary.round_count} rounds\n")
 
     print("Blog posts (posts@JoeBlog):")
-    for fact in blog.query("posts"):
+    for fact in deployment.query("JoeBlog", "posts"):
         print(f"  {fact}")
 
     print("\nDropbox folder (simulated service):")
@@ -78,10 +76,10 @@ def main() -> None:
         print(f"  {record.path} ({record.size} MB)")
 
     print("\nFriends notified (notify@JoeLaptop):")
-    for fact in sorted(laptop.query("notify"), key=str):
+    for fact in deployment.query("JoeLaptop", "notify").sorted():
         print(f"  {fact}")
 
-    print("\nMessages exchanged:", system.network.stats.messages_sent)
+    print("\nMessages exchanged:", deployment.stats.messages_sent)
 
 
 if __name__ == "__main__":

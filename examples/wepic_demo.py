@@ -12,6 +12,11 @@ Walks through the demo script of Section 4:
    Jules approves it;
 5. interaction via the Web — an audience member launches their own peer.
 
+The scenario itself is assembled through :mod:`repro.api` (one builder chain
+inside :func:`~repro.wepic.scenario.build_demo_scenario`); this script drives
+it and observes it through the same facade — subscriptions instead of state
+poking.
+
 Run with::
 
     python examples/wepic_demo.py
@@ -28,11 +33,17 @@ def main() -> None:
     # ---------------------------------------------------------------- #
     print("=== Setup: three peers + the SigmodFB group (Figure 2) ===")
     scenario.run()
-    print(f"peers: {', '.join(scenario.system.peer_names())}")
+    print(f"peers: {', '.join(scenario.api.peer_names())}")
     print(f"pictures at the sigmod peer: {len(scenario.sigmod_pictures())}")
 
     # ---------------------------------------------------------------- #
     print("\n=== Interaction via Facebook ===")
+    # Watch comments flowing back from the group to the sigmod peer.
+    scenario.subscribe(
+        "comments",
+        lambda fact: print(f"  [subscription] comment reached sigmod: {fact}"),
+        peer=scenario.sigmod_peer.name,
+    )
     picture = emilien.upload_picture(name="keynote.jpg", picture_id=100)
     emilien.authorize_facebook(picture)
     scenario.run()
@@ -41,7 +52,7 @@ def main() -> None:
     photo = group_photos[0]
     scenario.facebook.add_comment(photo.photo_id, "Julia", "great keynote!")
     scenario.run()
-    comments = scenario.sigmod_peer.query("comments")
+    comments = scenario.api.query(scenario.sigmod_peer.name, "comments")
     print(f"comments retrieved back to sigmod: {[f.values[2] for f in comments]}")
 
     # ---------------------------------------------------------------- #
@@ -85,7 +96,7 @@ def main() -> None:
     print("\n=== Final screen of Jules (headless UI) ===")
     print(scenario.ui("Jules").render())
 
-    totals = scenario.system.totals()
+    totals = scenario.api.totals()
     print("\nsystem totals:", totals)
 
 

@@ -13,6 +13,11 @@ language are:
 
 This package provides:
 
+* :mod:`repro.api` — **the public facade**: a fluent
+  :class:`~repro.api.builder.SystemBuilder` (start from
+  :func:`repro.api.system`), the :class:`~repro.api.facade.System` handle it
+  builds, the pluggable :class:`~repro.api.Transport` protocol, and the
+  query/subscription surface.
 * :mod:`repro.core` — the WebdamLog language (terms, facts, rules, parser)
   and the per-peer engine (three-step computation stage, delegation).
 * :mod:`repro.datalog` — a from-scratch datalog substrate (naive and
@@ -42,10 +47,13 @@ from repro.core.parser import parse_program, parse_rule, parse_fact
 from repro.core.engine import WebdamLogEngine
 from repro.runtime.system import WebdamLogSystem
 from repro.runtime.peer import Peer
+from repro.api import SystemBuilder, system
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "system",
+    "SystemBuilder",
     "Constant",
     "Variable",
     "Fact",

@@ -1,0 +1,51 @@
+"""``repro.api`` — the one way to construct and drive a WebdamLog deployment.
+
+The paper's runtime pieces (peers, trust stores, wrappers, programs,
+transports) used to be assembled by hand in every example and benchmark.
+This package is the public facade over all of them:
+
+* :func:`system` / :class:`SystemBuilder` — a fluent builder::
+
+      deployment = (system()
+                    .peer("alice").trusts("bob").program("...")
+                    .peer("bob").wrapper(FacebookUserWrapper(...))
+                    .build())
+
+* :class:`System` / :class:`PeerHandle` — the built deployment: ``run()``,
+  ``query()``, ``subscribe()``, stats and totals, per-peer operations.
+* :class:`Transport` — the protocol the runtime moves messages through, with
+  :class:`InMemoryTransport` (deterministic rounds) and
+  :class:`RecordingTransport` (event-logging decorator) shipped here; pass
+  any implementation to ``system().transport(...)``.
+* :class:`QueryHandle` / :class:`Subscription` — read results and watch
+  derivations without touching engine internals.
+
+Direct construction of :class:`~repro.runtime.peer.Peer` and
+:class:`~repro.runtime.system.WebdamLogSystem` keeps working but is
+deprecated as a public entry point; new code should start from
+:func:`system`.
+"""
+
+from repro.runtime.inmemory import InMemoryTransport, NetworkStats
+from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
+from repro.api.builder import BuildError, PeerBuilder, SystemBuilder, system
+from repro.api.facade import PeerHandle, ProcessSystem, System
+from repro.api.query import FactCallback, QueryHandle, Subscription
+
+__all__ = [
+    "system",
+    "SystemBuilder",
+    "PeerBuilder",
+    "BuildError",
+    "System",
+    "PeerHandle",
+    "ProcessSystem",
+    "Transport",
+    "TransportEvent",
+    "InMemoryTransport",
+    "RecordingTransport",
+    "NetworkStats",
+    "QueryHandle",
+    "Subscription",
+    "FactCallback",
+]

@@ -1,0 +1,299 @@
+"""The fluent construction API: :func:`system` and :class:`SystemBuilder`.
+
+One chain describes a whole deployment — peers, trust, wrappers, programs,
+transport — and ``build()`` turns it into a running
+:class:`~repro.api.facade.System`::
+
+    from repro.api import system
+
+    deployment = (
+        system()
+        .peer("alice").trusts("bob").program('''
+            collection extensional persistent friends@alice(name);
+            fact friends@alice("bob");
+        ''')
+        .peer("bob").wrapper(FacebookUserWrapper(service, "bob"))
+        .build()
+    )
+    deployment.run()
+
+Peer-scoped calls (``trusts``, ``wrapper``, ``program``, ``rule``, ``fact``,
+``schema``…) apply to the most recently introduced peer; ``peer(name)``
+starts the next one; ``build()`` may be called from anywhere in the chain.
+``backend("processes")`` builds the same description onto the multiprocess
+runtime instead (programs and facts only — the reduced
+:class:`~repro.api.facade.ProcessSystem` facade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.facts import Fact
+from repro.core.rules import Rule
+from repro.core.schema import RelationSchema
+from repro.runtime.inmemory import InMemoryTransport
+from repro.runtime.processes import ProcessNetwork
+from repro.runtime.system import WebdamLogSystem
+from repro.runtime.transport import Transport
+from repro.api.facade import PeerHandle, ProcessSystem, System
+
+#: Backends ``build()`` knows how to assemble.
+BACKENDS = ("inmemory", "processes")
+
+
+class BuildError(ValueError):
+    """A builder chain described something the chosen backend cannot build."""
+
+
+def system() -> "SystemBuilder":
+    """Start describing a WebdamLog deployment (the entry point of the API)."""
+    return SystemBuilder()
+
+
+@dataclass
+class _PeerSpec:
+    """Everything the chain said about one peer, in declaration order."""
+
+    name: str
+    trusted: List[str] = field(default_factory=list)
+    trust_all: bool = False
+    auto_accept: Optional[bool] = None
+    announce: bool = False
+    schemas: List[RelationSchema] = field(default_factory=list)
+    programs: List[str] = field(default_factory=list)
+    rules: List[Union[str, Rule]] = field(default_factory=list)
+    wrappers: List[object] = field(default_factory=list)
+    facts: List[Union[str, Fact]] = field(default_factory=list)
+
+
+class SystemBuilder:
+    """Accumulates a deployment description; ``build()`` realises it."""
+
+    def __init__(self):
+        self._transport: Optional[Transport] = None
+        self._latency = 1
+        self._drop_probability = 0.0
+        self._seed: Optional[int] = 0
+        self._transport_knobs_set = False
+        self._default_trusted: Tuple[str, ...] = ()
+        self._auto_accept = True
+        self._strict_stage_inputs = False
+        self._backend = "inmemory"
+        self._specs: List[_PeerSpec] = []
+
+    # -- system-wide configuration ------------------------------------- #
+
+    def transport(self, transport: Transport) -> "SystemBuilder":
+        """Run over an explicit :class:`~repro.runtime.transport.Transport`."""
+        self._transport = transport
+        return self
+
+    def latency(self, rounds: int) -> "SystemBuilder":
+        """Delivery latency (in rounds) of the default in-memory transport."""
+        self._latency = rounds
+        self._transport_knobs_set = True
+        return self
+
+    def drop_probability(self, probability: float, seed: Optional[int] = None
+                         ) -> "SystemBuilder":
+        """Loss model of the default transport (for failure injection)."""
+        self._drop_probability = probability
+        if seed is not None:
+            self._seed = seed
+        self._transport_knobs_set = True
+        return self
+
+    def seed(self, seed: Optional[int]) -> "SystemBuilder":
+        """Seed of the default transport's loss model."""
+        self._seed = seed
+        self._transport_knobs_set = True
+        return self
+
+    def default_trusted(self, *peers: str) -> "SystemBuilder":
+        """Peers that every peer of the deployment trusts by default."""
+        self._default_trusted = self._default_trusted + tuple(peers)
+        return self
+
+    def control_delegation(self, enabled: bool = True) -> "SystemBuilder":
+        """Queue delegations from untrusted peers for explicit approval."""
+        self._auto_accept = not enabled
+        return self
+
+    def auto_accept_delegations(self, enabled: bool = True) -> "SystemBuilder":
+        """Install every incoming delegation immediately (the default)."""
+        self._auto_accept = enabled
+        return self
+
+    def strict_stage_inputs(self, enabled: bool = True) -> "SystemBuilder":
+        """Facts pushed to local intensional relations last one stage only."""
+        self._strict_stage_inputs = enabled
+        return self
+
+    def backend(self, name: str) -> "SystemBuilder":
+        """Choose the runtime backend: ``"inmemory"`` or ``"processes"``."""
+        if name not in BACKENDS:
+            raise BuildError(f"unknown backend {name!r}; choose from {BACKENDS}")
+        self._backend = name
+        return self
+
+    # -- peers ----------------------------------------------------------- #
+
+    def peer(self, name: str) -> "PeerBuilder":
+        """Introduce a peer; subsequent peer-scoped calls configure it."""
+        if any(spec.name == name for spec in self._specs):
+            raise BuildError(f"peer {name!r} declared twice")
+        spec = _PeerSpec(name=name)
+        self._specs.append(spec)
+        return PeerBuilder(self, spec)
+
+    # -- realisation ------------------------------------------------------ #
+
+    def build(self) -> Union[System, ProcessSystem]:
+        """Assemble the described deployment and return its facade."""
+        if self._backend == "processes":
+            return self._build_processes()
+        return self._build_inmemory()
+
+    def _build_inmemory(self) -> System:
+        if self._transport is not None and self._transport_knobs_set:
+            raise BuildError(
+                "latency/drop_probability/seed configure the default in-memory "
+                "transport and have no effect on an explicit transport(...); "
+                "configure the transport instance instead"
+            )
+        transport = self._transport if self._transport is not None else (
+            InMemoryTransport(latency=self._latency,
+                              drop_probability=self._drop_probability,
+                              seed=self._seed)
+        )
+        runtime = WebdamLogSystem(
+            default_trusted=self._default_trusted,
+            auto_accept_delegations=self._auto_accept,
+            strict_stage_inputs=self._strict_stage_inputs,
+            transport=transport,
+        )
+        built = System(runtime)
+        for spec in self._specs:
+            handle = built.add_peer(
+                spec.name, trusted=tuple(spec.trusted),
+                trust_all=spec.trust_all,
+                auto_accept_delegations=spec.auto_accept,
+                announce=spec.announce,
+            )
+            self._populate(handle, spec)
+        return built
+
+    def _populate(self, handle: PeerHandle, spec: _PeerSpec) -> None:
+        for schema in spec.schemas:
+            handle.declare(schema)
+        for program in spec.programs:
+            handle.load_program(program)
+        for rule in spec.rules:
+            handle.add_rule(rule)
+        for wrapper in spec.wrappers:
+            handle.attach_wrapper(wrapper)
+        for fact in spec.facts:
+            handle.insert(fact)
+
+    def _build_processes(self) -> ProcessSystem:
+        if self._transport is not None:
+            raise BuildError("the processes backend manages its own transport")
+        network = ProcessNetwork()
+        try:
+            for spec in self._specs:
+                if spec.wrappers or spec.schemas or spec.trusted or spec.trust_all:
+                    raise BuildError(
+                        f"peer {spec.name!r}: the processes backend supports "
+                        "programs, rules and facts only (wrappers, schemas and "
+                        "trust require the in-memory backend)"
+                    )
+                network.spawn_peer(spec.name,
+                                   "\n".join(spec.programs) or None)
+                for rule in spec.rules:
+                    if not isinstance(rule, str):
+                        raise BuildError("processes backend takes rules as text")
+                    network.add_rule(spec.name, rule)
+                for fact in spec.facts:
+                    if isinstance(fact, str):
+                        raise BuildError("processes backend takes Fact objects")
+                    network.insert_fact(spec.name, fact)
+        except Exception:
+            network.shutdown()
+            raise
+        return ProcessSystem(network)
+
+
+class PeerBuilder:
+    """The peer-scoped section of a builder chain.
+
+    Every configuration method returns ``self``; ``peer(...)`` and
+    ``build()`` hand control back to the owning :class:`SystemBuilder`, so
+    chains read linearly.  ``done()`` returns the system builder explicitly.
+    """
+
+    def __init__(self, parent: SystemBuilder, spec: _PeerSpec):
+        self._parent = parent
+        self._spec = spec
+
+    # -- peer-scoped configuration ----------------------------------------- #
+
+    def trusts(self, *peers: str) -> "PeerBuilder":
+        """Trust delegations from the given peers."""
+        self._spec.trusted.extend(peers)
+        return self
+
+    def trust_all(self) -> "PeerBuilder":
+        """Trust delegations from everybody."""
+        self._spec.trust_all = True
+        return self
+
+    def wrapper(self, wrapper: object) -> "PeerBuilder":
+        """Attach a wrapper (simulated external service) to this peer."""
+        self._spec.wrappers.append(wrapper)
+        return self
+
+    def program(self, text: str) -> "PeerBuilder":
+        """Load a WebdamLog program text at this peer."""
+        self._spec.programs.append(text)
+        return self
+
+    def rule(self, rule: Union[str, Rule]) -> "PeerBuilder":
+        """Add one rule to the peer's own program."""
+        self._spec.rules.append(rule)
+        return self
+
+    def fact(self, fact: Union[str, Fact]) -> "PeerBuilder":
+        """Insert one base fact at this peer."""
+        self._spec.facts.append(fact)
+        return self
+
+    def schema(self, schema: RelationSchema) -> "PeerBuilder":
+        """Declare a relation schema at this peer."""
+        self._spec.schemas.append(schema)
+        return self
+
+    def auto_accept_delegations(self, enabled: bool = True) -> "PeerBuilder":
+        """Override the system-wide delegation-acceptance policy for this peer."""
+        self._spec.auto_accept = enabled
+        return self
+
+    def announce(self, enabled: bool = True) -> "PeerBuilder":
+        """Send a join message to the peers declared before this one."""
+        self._spec.announce = enabled
+        return self
+
+    # -- chain continuation -------------------------------------------------- #
+
+    def peer(self, name: str) -> "PeerBuilder":
+        """Introduce the next peer of the deployment."""
+        return self._parent.peer(name)
+
+    def done(self) -> SystemBuilder:
+        """Return to the system-level builder."""
+        return self._parent
+
+    def build(self) -> Union[System, ProcessSystem]:
+        """Assemble the deployment described so far."""
+        return self._parent.build()

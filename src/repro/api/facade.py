@@ -1,0 +1,349 @@
+"""The runtime facades behind :func:`repro.api.system`.
+
+:class:`System` wraps a :class:`~repro.runtime.system.WebdamLogSystem` and is
+what :meth:`SystemBuilder.build() <repro.api.builder.SystemBuilder.build>`
+returns: one object through which deployments are driven (runs), inspected
+(queries, stats, totals) and observed (subscriptions).  :class:`PeerHandle`
+is the per-peer slice of that surface.
+
+:class:`ProcessSystem` is the same idea over the multiprocess backend
+(:class:`~repro.runtime.processes.ProcessNetwork`): a reduced facade — no
+wrappers, trust or subscriptions, since peer state lives in other OS
+processes — that proves the builder's backend seam.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.facts import Fact
+from repro.core.rules import Rule
+from repro.core.schema import RelationSchema, SchemaRegistry
+from repro.runtime.inmemory import NetworkStats
+from repro.runtime.peer import Peer
+from repro.runtime.processes import ProcessNetwork
+from repro.runtime.system import RoundReport, RunSummary, WebdamLogSystem
+from repro.runtime.transport import Transport
+from repro.api.query import FactCallback, QueryHandle, Subscription
+
+
+class PeerHandle:
+    """The public face of one peer inside a built :class:`System`."""
+
+    def __init__(self, system: "System", peer: Peer):
+        self._system = system
+        self._peer = peer
+
+    @property
+    def name(self) -> str:
+        """The peer's name."""
+        return self._peer.name
+
+    def unwrap(self) -> Peer:
+        """The underlying runtime :class:`~repro.runtime.peer.Peer`."""
+        return self._peer
+
+    # -- programs and rules -------------------------------------------- #
+
+    def load_program(self, program: str):
+        """Load a WebdamLog program text at this peer."""
+        return self._peer.load_program(program)
+
+    def add_rule(self, rule: Union[str, Rule]) -> Rule:
+        """Add one rule to the peer's own program."""
+        return self._peer.add_rule(rule)
+
+    def replace_rule(self, rule_id: str, new_rule: Union[str, Rule]) -> Rule:
+        """Replace one of the peer's own rules."""
+        return self._peer.replace_rule(rule_id, new_rule)
+
+    def rules(self) -> Tuple[Rule, ...]:
+        """The peer's own rules."""
+        return self._peer.rules()
+
+    def declare(self, schema: RelationSchema) -> RelationSchema:
+        """Declare a relation schema."""
+        return self._peer.declare(schema)
+
+    # -- facts ----------------------------------------------------------- #
+
+    def insert(self, fact: Union[str, Fact]):
+        """Insert a base fact (local) or queue a remote update."""
+        return self._peer.insert_fact(fact)
+
+    def delete(self, fact: Union[str, Fact]):
+        """Delete a base fact (local) or queue a remote deletion."""
+        return self._peer.delete_fact(fact)
+
+    # Historical names, so a handle is a drop-in for a raw Peer.
+    insert_fact = insert
+    delete_fact = delete
+
+    # -- reading --------------------------------------------------------- #
+
+    def query(self, relation: str, peer: Optional[str] = None) -> QueryHandle:
+        """A live handle over ``relation`` as visible at this peer."""
+        name = self._peer.name
+        return QueryHandle(
+            source=lambda: self._peer.query(relation, peer),
+            description=f"{relation}@{peer or name} as seen by {name}",
+        )
+
+    def facts(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
+        """The facts of ``relation`` visible right now (one-shot query)."""
+        return self._peer.query(relation, peer)
+
+    def subscribe(self, relation: str, callback: FactCallback) -> Subscription:
+        """Watch ``relation`` at this peer (see :meth:`System.subscribe`)."""
+        return self._system.subscribe(relation, callback, peer=self._peer.name)
+
+    def snapshot(self) -> Dict[str, Tuple[Fact, ...]]:
+        """Every non-empty relation visible at this peer."""
+        return self._peer.engine.snapshot()
+
+    def counts(self) -> Dict[str, int]:
+        """Size counters of the peer."""
+        return self._peer.counts()
+
+    # -- trust and delegation control ------------------------------------ #
+
+    def trust(self, peer: str) -> "PeerHandle":
+        """Add ``peer`` to this peer's trusted set; returns ``self``."""
+        self._peer.trust_peer(peer)
+        return self
+
+    def pending_delegations(self):
+        """Delegations waiting for this user's approval."""
+        return self._peer.pending_delegations()
+
+    def approve_delegation(self, delegation_id: str):
+        """Approve one pending delegation."""
+        return self._peer.approve_delegation(delegation_id)
+
+    def approve_all_delegations(self, delegator: Optional[str] = None):
+        """Approve every pending delegation (optionally from one delegator)."""
+        return self._peer.approve_all_delegations(delegator)
+
+    def reject_delegation(self, delegation_id: str):
+        """Reject one pending delegation."""
+        return self._peer.reject_delegation(delegation_id)
+
+    def installed_delegations(self):
+        """Delegations installed at this peer."""
+        return self._peer.installed_delegations()
+
+    # -- wrappers --------------------------------------------------------- #
+
+    def attach_wrapper(self, wrapper) -> "PeerHandle":
+        """Attach a wrapper (simulated external service); returns ``self``."""
+        self._peer.attach_wrapper(wrapper)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeerHandle({self._peer.name!r})"
+
+
+class System:
+    """A built WebdamLog deployment: peers + transport + observation hooks.
+
+    Constructed by :meth:`SystemBuilder.build()
+    <repro.api.builder.SystemBuilder.build>`; wraps (and exposes, as
+    :attr:`runtime`) a :class:`~repro.runtime.system.WebdamLogSystem`.
+    """
+
+    def __init__(self, runtime: WebdamLogSystem):
+        self.runtime = runtime
+        self._handles: Dict[str, PeerHandle] = {}
+        self._subscriptions: List[Subscription] = []
+        runtime.add_round_observer(self._after_round)
+
+    # -- topology --------------------------------------------------------- #
+
+    def add_peer(self, name: str, program: Optional[str] = None,
+                 trusted: Sequence[str] = (), trust_all: bool = False,
+                 auto_accept_delegations: Optional[bool] = None,
+                 announce: bool = False,
+                 schemas: Optional[SchemaRegistry] = None) -> PeerHandle:
+        """Create and register a new peer at run time; returns its handle."""
+        peer = self.runtime.add_peer(
+            name, program=program, trusted=trusted, trust_all=trust_all,
+            auto_accept_delegations=auto_accept_delegations, announce=announce,
+            schemas=schemas,
+        )
+        handle = PeerHandle(self, peer)
+        self._handles[name] = handle
+        return handle
+
+    def remove_peer(self, name: str) -> Optional[Peer]:
+        """Remove a peer (undelivered messages to it are dropped)."""
+        self._handles.pop(name, None)
+        return self.runtime.remove_peer(name)
+
+    def peer(self, name: str) -> PeerHandle:
+        """The handle of one peer."""
+        if name not in self._handles:
+            self._handles[name] = PeerHandle(self, self.runtime.peer(name))
+        return self._handles[name]
+
+    def peer_names(self) -> Tuple[str, ...]:
+        """Sorted names of the registered peers."""
+        return self.runtime.peer_names()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.runtime
+
+    def __len__(self) -> int:
+        return len(self.runtime)
+
+    # -- execution --------------------------------------------------------- #
+
+    def run(self, max_rounds: int = 100, extra_rounds: int = 0) -> RunSummary:
+        """Run rounds until the whole system converges (or ``max_rounds``)."""
+        return self.runtime.run_until_quiescent(max_rounds=max_rounds,
+                                                extra_rounds=extra_rounds)
+
+    def run_round(self) -> RoundReport:
+        """Execute exactly one round."""
+        return self.runtime.run_round()
+
+    def run_rounds(self, count: int) -> List[RoundReport]:
+        """Execute ``count`` rounds unconditionally."""
+        return self.runtime.run_rounds(count)
+
+    @property
+    def current_round(self) -> int:
+        """Number of rounds executed so far."""
+        return self.runtime.current_round
+
+    # -- reading ----------------------------------------------------------- #
+
+    def query(self, at: str, relation: str, peer: Optional[str] = None) -> QueryHandle:
+        """A live handle over ``relation`` as visible at peer ``at``."""
+        return self.peer(at).query(relation, peer)
+
+    def subscribe(self, relation: str, callback: FactCallback,
+                  peer: Optional[str] = None,
+                  include_existing: bool = False) -> Subscription:
+        """Fire ``callback(fact)`` once for each fact appearing in ``relation``.
+
+        ``peer`` restricts the watch to one hosting peer (default: every
+        peer).  Facts already visible at subscription time are skipped unless
+        ``include_existing=True`` — in which case they fire at the end of the
+        next round.  Subscriptions are evaluated at round boundaries, the
+        paper's unit of observable change.
+        """
+        subscription = Subscription(relation, callback, peer=peer)
+        if not include_existing:
+            subscription.prime(self.runtime.peers)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Cancel and forget a subscription."""
+        subscription.cancel()
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    def _after_round(self, report: RoundReport) -> None:
+        for subscription in tuple(self._subscriptions):
+            if not subscription.active:
+                self._subscriptions.remove(subscription)
+                continue
+            subscription.poll(self.runtime.peers)
+
+    # -- transport and reporting ------------------------------------------- #
+
+    @property
+    def transport(self) -> Transport:
+        """The transport the deployment runs over."""
+        return self.runtime.transport
+
+    @property
+    def stats(self) -> NetworkStats:
+        """The transport's accumulated counters."""
+        return self.runtime.transport.stats
+
+    def reset_stats(self) -> NetworkStats:
+        """Return the transport counters so far and start fresh ones."""
+        return self.runtime.transport.reset_stats()
+
+    def totals(self) -> Dict[str, int]:
+        """System-wide counters: rounds, messages, facts, delegations."""
+        return self.runtime.totals()
+
+    def snapshot(self) -> Dict[str, Dict[str, Tuple[Fact, ...]]]:
+        """Per-peer snapshot of every visible relation."""
+        return self.runtime.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"System({len(self.runtime)} peers, "
+                f"round {self.runtime.current_round}, "
+                f"transport {type(self.runtime.transport).__name__})")
+
+
+class ProcessSystem:
+    """A deployment whose peers run as separate OS processes.
+
+    Built by ``system().backend("processes")...build()``.  The facade is
+    narrower than :class:`System` — peer state lives in worker processes, so
+    only program loading, fact insertion, queries and counters are available.
+    Use as a context manager (or call :meth:`close`) so the workers are
+    always terminated.
+    """
+
+    def __init__(self, network: ProcessNetwork):
+        self.network = network
+
+    def __enter__(self) -> "ProcessSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate every peer process."""
+        self.network.shutdown()
+
+    # -- topology ---------------------------------------------------------- #
+
+    def add_peer(self, name: str, program: Optional[str] = None) -> None:
+        """Spawn one more peer process (optionally loading a program)."""
+        self.network.spawn_peer(name, program)
+
+    def peer_names(self) -> Tuple[str, ...]:
+        """Names of the spawned peers, sorted."""
+        return self.network.peer_names()
+
+    # -- actions ------------------------------------------------------------ #
+
+    def load_program(self, peer: str, text: str) -> None:
+        """Load a program text at one peer process."""
+        self.network.load_program(peer, text)
+
+    def insert(self, peer: str, fact: Fact) -> None:
+        """Insert a fact at one peer process."""
+        self.network.insert_fact(peer, fact)
+
+    def run(self, max_rounds: int = 50) -> int:
+        """Run rounds until every process is quiescent; returns the round count."""
+        return self.network.run_until_quiescent(max_rounds=max_rounds)
+
+    # -- reading ------------------------------------------------------------ #
+
+    def query(self, at: str, relation: str, peer: Optional[str] = None) -> QueryHandle:
+        """A live handle over ``relation`` as computed in peer ``at``'s process."""
+        return QueryHandle(
+            source=lambda: tuple(self.network.query(at, relation, peer)),
+            description=f"{relation}@{peer or at} in process {at}",
+        )
+
+    def counts(self, peer: str) -> Dict[str, int]:
+        """Counters of one peer process."""
+        return self.network.counts(peer)
+
+    @property
+    def messages_routed(self) -> int:
+        """Messages routed between the peer processes so far."""
+        return self.network.messages_routed

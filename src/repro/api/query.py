@@ -1,0 +1,119 @@
+"""Reading results out of a running system: query handles and subscriptions.
+
+Scenarios, benchmarks and tests used to reach into ``peer.engine.state`` to
+see what a peer derived.  The two classes here replace that:
+
+* :class:`QueryHandle` — a re-runnable, lazily evaluated view over one
+  relation at one peer.  Every read reflects the current state of the system,
+  so a handle created before a run can be read after it.
+* :class:`Subscription` — a callback fired **exactly once per fact** that
+  becomes visible in a watched relation.  Subscriptions are polled at round
+  boundaries by the :class:`~repro.api.facade.System` facade (through the
+  orchestrator's round-observer hook), so they see precisely what the
+  round-based semantics of the paper make observable — no engine internals
+  involved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.facts import Fact
+
+#: Signature of a subscription callback: it receives each newly visible fact.
+FactCallback = Callable[[Fact], None]
+
+
+class QueryHandle:
+    """A lazily evaluated view over the facts of one relation.
+
+    The handle holds no data itself; every access re-reads the peer, so the
+    same handle can be consulted before and after runs.
+    """
+
+    def __init__(self, source: Callable[[], Tuple[Fact, ...]], description: str):
+        self._source = source
+        self.description = description
+
+    def facts(self) -> Tuple[Fact, ...]:
+        """The facts currently visible, in the peer's storage order."""
+        return tuple(self._source())
+
+    def rows(self) -> Tuple[Tuple, ...]:
+        """The value tuples of the visible facts (relation/peer stripped)."""
+        return tuple(fact.values for fact in self.facts())
+
+    def sorted(self) -> Tuple[Fact, ...]:
+        """The visible facts in a deterministic (string) order."""
+        return tuple(sorted(self.facts(), key=str))
+
+    def first(self) -> Optional[Fact]:
+        """The first visible fact, or ``None`` when the relation is empty."""
+        facts = self.facts()
+        return facts[0] if facts else None
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts())
+
+    def __len__(self) -> int:
+        return len(self.facts())
+
+    def __bool__(self) -> bool:
+        return bool(self.facts())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryHandle({self.description}, {len(self)} facts)"
+
+
+class Subscription:
+    """A callback over the facts appearing in one relation.
+
+    The subscription remembers which facts it has already reported (per
+    hosting peer), so each fact fires the callback exactly once — even across
+    multiple runs — until it is retracted; a fact that is retracted and later
+    re-derived fires again, mirroring the visible change.
+    """
+
+    def __init__(self, relation: str, callback: FactCallback,
+                 peer: Optional[str] = None):
+        self.relation = relation
+        self.callback = callback
+        self.peer = peer  # None: watch the relation at every peer
+        self.active = True
+        self.delivered = 0
+        self._seen: Dict[str, Set[Fact]] = {}
+
+    def cancel(self) -> None:
+        """Stop firing; the subscription can not be re-activated."""
+        self.active = False
+
+    def prime(self, peers: Dict[str, "object"]) -> None:
+        """Mark every currently visible fact as already seen (no firing)."""
+        for name, peer in self._targets(peers):
+            self._seen[name] = set(peer.query(self.relation))
+
+    def poll(self, peers: Dict[str, "object"]) -> int:
+        """Fire the callback for facts that became visible; returns how many."""
+        if not self.active:
+            return 0
+        fired = 0
+        for name, peer in self._targets(peers):
+            current = set(peer.query(self.relation))
+            seen = self._seen.get(name, set())
+            for fact in sorted(current - seen, key=str):
+                self.callback(fact)
+                fired += 1
+            self._seen[name] = current
+        self.delivered += fired
+        return fired
+
+    def _targets(self, peers: Dict[str, "object"]) -> List[Tuple[str, "object"]]:
+        if self.peer is not None:
+            peer = peers.get(self.peer)
+            return [(self.peer, peer)] if peer is not None else []
+        return sorted(peers.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scope = self.peer or "*"
+        return (f"Subscription({self.relation}@{scope}, "
+                f"delivered={self.delivered}, active={self.active})")

@@ -11,12 +11,19 @@ of the paper.  This package provides the shared pieces:
   both by the benchmarks and by EXPERIMENTS.md.
 """
 
-from repro.bench.harness import ExperimentResult, measure_scenario, run_sweep, time_callable
+from repro.bench.harness import (
+    ExperimentResult,
+    measure_scenario,
+    measure_system,
+    run_sweep,
+    time_callable,
+)
 from repro.bench.reporting import format_table, format_series, print_table
 
 __all__ = [
     "ExperimentResult",
     "measure_scenario",
+    "measure_system",
     "run_sweep",
     "time_callable",
     "format_table",

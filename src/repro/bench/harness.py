@@ -26,20 +26,17 @@ class ExperimentResult:
         return (self.label,) + tuple(self.metrics.get(column, "") for column in columns)
 
 
-def measure_scenario(scenario, label: str = "scenario",
-                     max_rounds: int = 100) -> ExperimentResult:
-    """Run a scenario to convergence and collect the standard counters.
+def _transport_stats(system):
+    """The transport counters of a runtime system or an api facade."""
+    transport = getattr(system, "transport", None)
+    if transport is None:  # pragma: no cover - pre-protocol systems
+        transport = system.network
+    return transport.stats
 
-    The counters are the ones the paper's qualitative claims are about: how
-    many rounds until convergence, how many messages and payload items moved,
-    how many facts were derived and how many delegations were installed.
-    """
-    start = time.perf_counter()
-    summary = scenario.run(max_rounds=max_rounds)
-    elapsed = time.perf_counter() - start
-    totals = scenario.system.totals()
-    stats = scenario.system.network.stats
-    metrics: Dict[str, Any] = {
+
+def _standard_metrics(summary, totals, stats, elapsed: float) -> Dict[str, Any]:
+    """The counter set shared by every experiment driver."""
+    return {
         "rounds": summary.round_count,
         "converged": summary.converged,
         "messages": stats.messages_sent,
@@ -51,6 +48,40 @@ def measure_scenario(scenario, label: str = "scenario",
         "peers": totals["peers"],
         "elapsed_seconds": elapsed,
     }
+
+
+def measure_scenario(scenario, label: str = "scenario",
+                     max_rounds: int = 100) -> ExperimentResult:
+    """Run a scenario to convergence and collect the standard counters.
+
+    The counters are the ones the paper's qualitative claims are about: how
+    many rounds until convergence, how many messages and payload items moved,
+    how many facts were derived and how many delegations were installed.
+    ``scenario`` needs ``run(max_rounds=...)`` and a ``system`` exposing
+    ``totals()`` and a :class:`~repro.runtime.transport.Transport` — both the
+    Wepic :class:`~repro.wepic.scenario.DemoScenario` and anything built via
+    :mod:`repro.api` qualify.
+    """
+    start = time.perf_counter()
+    summary = scenario.run(max_rounds=max_rounds)
+    elapsed = time.perf_counter() - start
+    metrics = _standard_metrics(summary, scenario.system.totals(),
+                                _transport_stats(scenario.system), elapsed)
+    return ExperimentResult(label=label, metrics=metrics)
+
+
+def measure_system(deployment, label: str = "system",
+                   max_rounds: int = 100) -> ExperimentResult:
+    """Run a :class:`repro.api.System` to convergence and collect counters.
+
+    The facade counterpart of :func:`measure_scenario` for deployments built
+    directly with :func:`repro.api.system`.
+    """
+    start = time.perf_counter()
+    summary = deployment.run(max_rounds=max_rounds)
+    elapsed = time.perf_counter() - start
+    metrics = _standard_metrics(summary, deployment.totals(),
+                                deployment.stats, elapsed)
     return ExperimentResult(label=label, metrics=metrics)
 
 

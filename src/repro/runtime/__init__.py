@@ -2,11 +2,16 @@
 
 The paper's demonstration runs three peers — two laptops and a cloud-hosted
 ``sigmod`` peer — exchanging facts and delegations over a network.  This
-package reproduces that setting with two interchangeable transports:
+package reproduces that setting behind the
+:class:`~repro.runtime.transport.Transport` protocol (deliver / collect /
+stats), with interchangeable implementations:
 
-* :class:`~repro.runtime.inmemory.InMemoryNetwork` — a deterministic simulated
-  network (per-round delivery, configurable latency and loss) that makes
-  rounds and message counts measurable, used by the benchmarks;
+* :class:`~repro.runtime.inmemory.InMemoryTransport` — a deterministic
+  simulated network (per-round delivery, configurable latency and loss) that
+  makes rounds and message counts measurable, used by the benchmarks
+  (``InMemoryNetwork`` is its deprecated historical name);
+* :class:`~repro.runtime.transport.RecordingTransport` — a decorator that
+  logs every send/deliver event of an inner transport;
 * :class:`~repro.runtime.processes.ProcessNetwork` — each peer runs in its own
   OS process (the "simulate peers as processes locally" substitution), with
   messages serialised over pipes.
@@ -24,7 +29,8 @@ from repro.runtime.messages import (
     PeerJoinMessage,
     Message,
 )
-from repro.runtime.inmemory import InMemoryNetwork
+from repro.runtime.inmemory import InMemoryNetwork, InMemoryTransport, NetworkStats
+from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
 from repro.runtime.peer import Peer
 from repro.runtime.system import WebdamLogSystem
 
@@ -35,6 +41,11 @@ __all__ = [
     "DelegationRetractMessage",
     "PeerJoinMessage",
     "InMemoryNetwork",
+    "InMemoryTransport",
+    "NetworkStats",
+    "RecordingTransport",
+    "Transport",
+    "TransportEvent",
     "Peer",
     "WebdamLogSystem",
 ]

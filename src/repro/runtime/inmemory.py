@@ -1,13 +1,17 @@
-"""The deterministic in-memory network.
+"""The deterministic in-memory transport.
 
 Messages sent during a round are queued and become visible to their recipient
-``latency`` rounds later (default: the next round).  The network keeps
+``latency`` rounds later (default: the next round).  The transport keeps
 detailed accounting — number of messages, payload items, per-kind and
 per-link counters — which the benchmark harness reads to reproduce the
 paper's qualitative claims (how much data moves, and between whom).
 
 An optional drop probability (with a seeded random generator) supports the
 failure-injection tests.
+
+:class:`InMemoryTransport` is the reference implementation of the
+:class:`~repro.runtime.transport.Transport` protocol; ``InMemoryNetwork`` is
+its deprecated historical name, kept as an alias for one release.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ class NetworkStats:
         }
 
 
-class InMemoryNetwork:
+class InMemoryTransport:
     """A simulated network with per-round delivery.
 
     Parameters
@@ -171,3 +175,9 @@ class InMemoryNetwork:
         stats = self.stats
         self.stats = NetworkStats()
         return stats
+
+
+#: Deprecated alias — the class was renamed when the
+#: :class:`~repro.runtime.transport.Transport` protocol was extracted.
+#: Use :class:`InMemoryTransport` (or ``repro.api.InMemoryTransport``).
+InMemoryNetwork = InMemoryTransport

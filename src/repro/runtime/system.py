@@ -16,15 +16,18 @@ harness reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.acl.trust import TrustStore
 from repro.core.errors import TransportError
 from repro.core.facts import Fact
 from repro.core.schema import SchemaRegistry
-from repro.runtime.inmemory import InMemoryNetwork, NetworkStats
+from repro.runtime.inmemory import InMemoryTransport, NetworkStats
 from repro.runtime.messages import Message, PeerJoinMessage
 from repro.runtime.peer import Peer, PeerStageReport
+
+if TYPE_CHECKING:
+    from repro.runtime.transport import Transport
 
 
 @dataclass
@@ -85,14 +88,21 @@ class RunSummary:
 
 
 class WebdamLogSystem:
-    """A set of peers connected by an in-memory network.
+    """A set of peers connected by a round-based transport.
+
+    The orchestrator depends only on the
+    :class:`~repro.runtime.transport.Transport` protocol; pass any conforming
+    ``transport`` to swap the backend.  When none is given a deterministic
+    :class:`~repro.runtime.inmemory.InMemoryTransport` is built from the
+    ``latency`` / ``drop_probability`` / ``seed`` parameters (the historical
+    constructor signature, kept for compatibility).
 
     Parameters
     ----------
     latency:
-        Delivery latency of the network, in rounds.
+        Delivery latency of the default in-memory transport, in rounds.
     drop_probability / seed:
-        Loss model of the network (for failure-injection tests).
+        Loss model of the default transport (for failure-injection tests).
     default_trusted:
         Peers that every newly added peer trusts by default.  The demo
         configuration trusts only the ``sigmod`` peer; pass
@@ -101,21 +111,47 @@ class WebdamLogSystem:
         When ``True`` (default) peers install any incoming delegation
         immediately; set to ``False`` to enable the pending-queue control of
         delegation for untrusted delegators.
+    transport:
+        An explicit :class:`~repro.runtime.transport.Transport`.  When given,
+        ``latency``/``drop_probability``/``seed`` are ignored.
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
                  seed: Optional[int] = 0,
                  default_trusted: Sequence[str] = (),
                  auto_accept_delegations: bool = True,
-                 strict_stage_inputs: bool = False):
-        self.network = InMemoryNetwork(latency=latency, drop_probability=drop_probability,
-                                       seed=seed)
+                 strict_stage_inputs: bool = False,
+                 transport: Optional["Transport"] = None):
+        self.transport = transport if transport is not None else InMemoryTransport(
+            latency=latency, drop_probability=drop_probability, seed=seed,
+        )
         self.peers: Dict[str, Peer] = {}
         self.default_trusted = tuple(default_trusted)
         self.auto_accept_delegations = auto_accept_delegations
         self.strict_stage_inputs = strict_stage_inputs
         self._round = 0
         self.history: List[RoundReport] = []
+        self._round_observers: List[Callable[[RoundReport], None]] = []
+
+    @property
+    def network(self) -> "Transport":
+        """Deprecated alias of :attr:`transport` (pre-protocol name)."""
+        return self.transport
+
+    def add_round_observer(self, observer: Callable[[RoundReport], None]) -> None:
+        """Call ``observer(report)`` after every executed round.
+
+        This is the hook the :mod:`repro.api` subscription machinery uses to
+        watch derivations without reaching into engine state.
+        """
+        self._round_observers.append(observer)
+
+    def remove_round_observer(self, observer: Callable[[RoundReport], None]) -> None:
+        """Stop calling a previously added observer (no-op when unknown)."""
+        try:
+            self._round_observers.remove(observer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ #
     # topology management
@@ -142,13 +178,13 @@ class WebdamLogSystem:
         peer = Peer(name, trust=trust, auto_accept_delegations=auto,
                     strict_stage_inputs=self.strict_stage_inputs, schemas=schemas)
         self.peers[name] = peer
-        self.network.register(name)
+        self.transport.register(name)
         if program:
             peer.load_program(program)
         if announce:
             for other in self.peers.values():
                 if other.name != name:
-                    self.network.send(PeerJoinMessage(
+                    self.transport.send(PeerJoinMessage(
                         sender=name, recipient=other.name,
                         peer_name=name, address=name,
                     ))
@@ -158,7 +194,7 @@ class WebdamLogSystem:
         """Remove a peer from the system (its undelivered messages are dropped)."""
         peer = self.peers.pop(name, None)
         if peer is not None:
-            self.network.unregister(name)
+            self.transport.unregister(name)
         return peer
 
     def peer(self, name: str) -> Peer:
@@ -193,13 +229,13 @@ class WebdamLogSystem:
         report = RoundReport(round_number=self._round)
         for name in sorted(self.peers):
             peer = self.peers[name]
-            incoming = self.network.receive(name)
+            incoming = self.transport.receive(name)
             delivered = peer.deliver_all(incoming)
             stage_result, outgoing = peer.run_stage()
             sent = 0
             for message in outgoing:
                 try:
-                    if self.network.send(message):
+                    if self.transport.send(message):
                         sent += 1
                 except TransportError:
                     # Destination unknown to the network (e.g. a wrapper-only
@@ -214,8 +250,10 @@ class WebdamLogSystem:
             )
             report.messages_sent += sent
             report.messages_delivered += delivered
-        self.network.advance_round()
+        self.transport.advance_round()
         self.history.append(report)
+        for observer in tuple(self._round_observers):
+            observer(report)
         return report
 
     def run_rounds(self, count: int) -> List[RoundReport]:
@@ -234,7 +272,7 @@ class WebdamLogSystem:
         for _ in range(max_rounds):
             report = self.run_round()
             summary.rounds.append(report)
-            if report.is_quiescent() and not self.network.has_in_flight() \
+            if report.is_quiescent() and not self.transport.has_in_flight() \
                     and not self._any_pending_engine_input():
                 summary.converged = True
                 break
@@ -251,15 +289,15 @@ class WebdamLogSystem:
 
     def network_stats(self) -> NetworkStats:
         """The network's accumulated statistics."""
-        return self.network.stats
+        return self.transport.stats
 
     def totals(self) -> Dict[str, int]:
         """System-wide counters: rounds, messages, facts, delegations."""
         totals = {
             "rounds": self._round,
-            "messages_sent": self.network.stats.messages_sent,
-            "messages_delivered": self.network.stats.messages_delivered,
-            "payload_items": self.network.stats.payload_items,
+            "messages_sent": self.transport.stats.messages_sent,
+            "messages_delivered": self.transport.stats.messages_delivered,
+            "payload_items": self.transport.stats.payload_items,
             "peers": len(self.peers),
         }
         totals["extensional_facts"] = sum(

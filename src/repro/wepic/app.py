@@ -45,6 +45,12 @@ class WepicApp:
 
     def __init__(self, peer: Peer, rules: Optional[WepicRules] = None,
                  install_rules: bool = True, publish_to_sigmod: bool = True):
+        # Accept either a raw runtime Peer or a repro.api PeerHandle; the app
+        # always works on the underlying peer so both construction paths
+        # behave identically.
+        unwrap = getattr(peer, "unwrap", None)
+        if unwrap is not None:
+            peer = unwrap()
         self.peer = peer
         self.rules = rules or WepicRules()
         self._rule_ids: Dict[str, str] = {}

@@ -17,9 +17,12 @@ service, and an email wrapper per attendee — and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.api import Subscription, System, Transport
+from repro.api import system as api_system
 from repro.core.facts import Fact
+from repro.runtime.inmemory import NetworkStats
 from repro.runtime.peer import Peer
 from repro.runtime.system import RunSummary, WebdamLogSystem
 from repro.wepic.app import WepicApp
@@ -37,9 +40,15 @@ DEFAULT_ATTENDEES = ("Emilien", "Jules")
 
 @dataclass
 class DemoScenario:
-    """Handle over a fully built Wepic demo deployment."""
+    """Handle over a fully built Wepic demo deployment.
+
+    ``api`` is the :class:`repro.api.System` facade the deployment was built
+    through (queries, subscriptions, transport stats); ``system`` is the
+    underlying runtime orchestrator, kept for existing callers.
+    """
 
     system: WebdamLogSystem
+    api: System
     apps: Dict[str, WepicApp]
     sigmod_peer: Peer
     group_peer: Peer
@@ -65,6 +74,19 @@ class DemoScenario:
         """Run the system until it converges."""
         return self.system.run_until_quiescent(max_rounds=max_rounds)
 
+    def stats(self) -> NetworkStats:
+        """The transport's accumulated counters."""
+        return self.api.stats
+
+    def reset_stats(self) -> NetworkStats:
+        """Return the transport counters so far and start fresh ones."""
+        return self.api.reset_stats()
+
+    def subscribe(self, relation: str, callback: Callable[[Fact], None],
+                  peer: Optional[str] = None) -> Subscription:
+        """Watch a relation of the deployment (see :meth:`repro.api.System.subscribe`)."""
+        return self.api.subscribe(relation, callback, peer=peer)
+
     def sigmod_pictures(self) -> Tuple[Fact, ...]:
         """The pictures currently stored at the sigmod peer."""
         return self.sigmod_peer.query("pictures")
@@ -76,7 +98,7 @@ class DemoScenario:
     def add_attendee(self, name: str, pictures: int = 0, picture_size: int = 64,
                      announce: bool = True) -> WepicApp:
         """Add a new attendee peer at run time (the "Interaction via the Web" scenario)."""
-        peer = self.system.add_peer(name, announce=announce)
+        peer = self.api.add_peer(name, announce=announce)
         app = WepicApp(peer, rules=self.rules)
         self.apps[name] = app
         email_wrapper = EmailWrapper(self.email)
@@ -105,8 +127,9 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
                         latency: int = 1,
                         publish_to_sigmod: bool = True,
                         with_facebook: bool = True,
-                        seed: Optional[int] = 0) -> DemoScenario:
-    """Build the Figure-2 deployment.
+                        seed: Optional[int] = 0,
+                        transport: Optional[Transport] = None) -> DemoScenario:
+    """Build the Figure-2 deployment through :mod:`repro.api`.
 
     Parameters
     ----------
@@ -130,45 +153,59 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
         publication/retrieval rules) are created.
     seed:
         Seed for the network's loss model (unused unless loss is configured).
+    transport:
+        An explicit :class:`repro.api.Transport`; overrides ``latency`` and
+        ``seed`` (e.g. a :class:`repro.api.RecordingTransport` for tracing).
     """
     rules = WepicRules(sigmod_peer=SIGMOD_PEER, group_peer=SIGMOD_FB_PEER)
-    system = WebdamLogSystem(
-        latency=latency,
-        seed=seed,
-        default_trusted=(SIGMOD_PEER,),
-        auto_accept_delegations=not control_delegation,
-    )
     facebook = FacebookService()
     email = EmailService()
     registry = WrapperRegistry()
 
+    builder = (api_system()
+               .default_trusted(SIGMOD_PEER)
+               .auto_accept_delegations(not control_delegation))
+    if transport is not None:
+        builder.transport(transport)
+    else:
+        builder.latency(latency).seed(seed)
+
     # --- the sigmod cloud peer ---------------------------------------- #
-    sigmod = system.add_peer(SIGMOD_PEER, auto_accept_delegations=True)
+    sigmod_builder = builder.peer(SIGMOD_PEER).auto_accept_delegations(True)
     for schema in sigmod_schemas(SIGMOD_PEER, SIGMOD_FB_PEER):
-        sigmod.declare(schema)
+        sigmod_builder.schema(schema)
     for rule in rules.sigmod_rules(publish_to_facebook=with_facebook,
                                    retrieve_from_facebook=with_facebook):
-        sigmod.add_rule(rule)
+        sigmod_builder.rule(rule)
 
     # --- the SigmodFB group pseudo-peer -------------------------------- #
-    group_peer = None
+    group_wrapper = None
     if with_facebook:
-        group_peer = system.add_peer(SIGMOD_FB_PEER, auto_accept_delegations=True)
         group_wrapper = FacebookGroupWrapper(facebook, group="sigmod",
                                              peer_name=SIGMOD_FB_PEER)
-        group_peer.attach_wrapper(group_wrapper)
+        (builder.peer(SIGMOD_FB_PEER)
+                .auto_accept_delegations(True)
+                .wrapper(group_wrapper))
         registry.register(SIGMOD_FB_PEER, group_wrapper)
 
-    # --- the attendee peers --------------------------------------------- #
+    # --- the attendee peers (rules are installed per-app below) --------- #
+    for attendee in attendees:
+        builder.peer(attendee)
+
+    deployment = builder.build()
+    sigmod = deployment.peer(SIGMOD_PEER).unwrap()
+    group_peer = (deployment.peer(SIGMOD_FB_PEER).unwrap()
+                  if with_facebook else sigmod)
+
     apps: Dict[str, WepicApp] = {}
     libraries: Dict[str, PictureLibrary] = {}
     next_picture_id = 1
     for attendee in attendees:
-        peer = system.add_peer(attendee)
-        app = WepicApp(peer, rules=rules, publish_to_sigmod=publish_to_sigmod)
+        handle = deployment.peer(attendee)
+        app = WepicApp(handle, rules=rules, publish_to_sigmod=publish_to_sigmod)
         apps[attendee] = app
         email_wrapper = EmailWrapper(email)
-        peer.attach_wrapper(email_wrapper)
+        handle.attach_wrapper(email_wrapper)
         registry.register(attendee, email_wrapper)
         # Facebook accounts and SigmodFB membership for every attendee.
         if with_facebook:
@@ -185,10 +222,11 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
             app.upload_library(library)
 
     scenario = DemoScenario(
-        system=system,
+        system=deployment.runtime,
+        api=deployment,
         apps=apps,
         sigmod_peer=sigmod,
-        group_peer=group_peer if group_peer is not None else sigmod,
+        group_peer=group_peer,
         facebook=facebook,
         email=email,
         wrappers=registry,

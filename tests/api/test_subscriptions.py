@@ -1,0 +1,137 @@
+"""Subscriptions: exactly one callback per fact that becomes visible."""
+
+from repro.api import system
+
+JULES = """
+collection extensional persistent selectedAttendee@Jules(attendee);
+collection intensional attendeePictures@Jules(id, name);
+fact selectedAttendee@Jules("Emilien");
+rule attendeePictures@Jules($id, $n) :-
+    selectedAttendee@Jules($a), pictures@$a($id, $n);
+"""
+
+EMILIEN = """
+collection extensional persistent pictures@Emilien(id, name);
+fact pictures@Emilien(1, "sea.jpg");
+fact pictures@Emilien(2, "boat.jpg");
+"""
+
+
+def build_quickstart():
+    return (system()
+            .peer("Jules").program(JULES)
+            .peer("Emilien").program(EMILIEN)
+            .build())
+
+
+class TestExactlyOnce:
+    def test_one_callback_per_derived_fact(self):
+        built = build_quickstart()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.run()
+        assert sorted(f.values for f in fired) == [(1, "sea.jpg"), (2, "boat.jpg")]
+
+    def test_no_refire_on_further_runs(self):
+        built = build_quickstart()
+        fired = []
+        sub = built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.run()
+        count_after_first = len(fired)
+        built.run()
+        built.run_rounds(3)
+        assert len(fired) == count_after_first == sub.delivered == 2
+
+    def test_incremental_facts_fire_incrementally(self):
+        built = build_quickstart()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.run()
+        assert len(fired) == 2
+        built.peer("Emilien").insert('pictures@Emilien(3, "poster.jpg")')
+        built.run()
+        assert len(fired) == 3
+        assert fired[-1].values == (3, "poster.jpg")
+
+    def test_retracted_then_rederived_fact_fires_again(self):
+        built = build_quickstart()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.run()
+        jules = built.peer("Jules")
+        jules.delete('selectedAttendee@Jules("Emilien")')
+        built.run()
+        assert len(built.query("Jules", "attendeePictures")) == 0
+        jules.insert('selectedAttendee@Jules("Emilien")')
+        built.run()
+        # The two pictures became visible twice: once per derivation episode.
+        assert len(fired) == 4
+
+
+class TestScopesAndLifecycle:
+    def test_existing_facts_do_not_fire_by_default(self):
+        built = build_quickstart()
+        built.run()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.run()
+        assert fired == []
+
+    def test_include_existing_fires_for_current_facts(self):
+        built = build_quickstart()
+        built.run()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules",
+                        include_existing=True)
+        built.run()
+        assert len(fired) == 2
+
+    def test_unscoped_subscription_watches_every_peer(self):
+        built = (system()
+                 .peer("alice").program("""
+                 collection extensional persistent notes@alice(text);
+                 rule copy@bob($t) :- notes@alice($t);
+                 """)
+                 .peer("bob").program(
+                     "collection extensional persistent copy@bob(text);")
+                 .build())
+        fired = []
+        built.subscribe("notes", fired.append)  # every hosting peer
+        built.peer("alice").insert('notes@alice("hi")')
+        built.run()
+        assert [f.peer for f in fired] == ["alice"]
+
+    def test_cancel_stops_firing(self):
+        built = build_quickstart()
+        fired = []
+        sub = built.subscribe("attendeePictures", fired.append, peer="Jules")
+        sub.cancel()
+        built.run()
+        assert fired == [] and sub.delivered == 0
+
+    def test_unsubscribe_removes_the_subscription(self):
+        built = build_quickstart()
+        fired = []
+        sub = built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.unsubscribe(sub)
+        built.run()
+        assert fired == []
+
+    def test_peer_handle_subscribe_shortcut(self):
+        built = build_quickstart()
+        fired = []
+        built.peer("Jules").subscribe("attendeePictures", fired.append)
+        built.run()
+        assert len(fired) == 2
+
+
+class TestQueryHandles:
+    def test_handle_is_live_across_runs(self):
+        built = build_quickstart()
+        view = built.query("Jules", "attendeePictures")
+        assert len(view) == 0 and not view
+        built.run()
+        assert len(view) == 2 and view
+        assert view.first() is not None
+        assert sorted(view.rows()) == [(1, "sea.jpg"), (2, "boat.jpg")]
+        assert [f.values for f in view.sorted()] == [(1, "sea.jpg"), (2, "boat.jpg")]

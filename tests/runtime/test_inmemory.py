@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import TransportError
 from repro.core.facts import Fact
-from repro.runtime.inmemory import InMemoryNetwork
+from repro.runtime.inmemory import InMemoryNetwork, InMemoryTransport
 from repro.runtime.messages import FactMessage
 
 
@@ -15,7 +15,7 @@ def make_message(sender="alice", recipient="bob", value=1):
 
 class TestRegistration:
     def test_register_and_peers(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob", address="host:1")
         assert network.peers() == ("alice", "bob")
@@ -24,13 +24,13 @@ class TestRegistration:
         assert network.address_of("carol") is None
 
     def test_send_to_unknown_peer_raises(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         with pytest.raises(TransportError):
             network.send(make_message(recipient="nobody"))
 
     def test_unregister_drops_in_flight(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         network.send(make_message())
@@ -41,7 +41,7 @@ class TestRegistration:
 
 class TestDelivery:
     def test_default_latency_one_round(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         network.send(make_message())
@@ -53,14 +53,14 @@ class TestDelivery:
         assert network.stats.messages_delivered == 1
 
     def test_zero_latency_delivers_same_round(self):
-        network = InMemoryNetwork(latency=0)
+        network = InMemoryTransport(latency=0)
         network.register("alice")
         network.register("bob")
         network.send(make_message())
         assert len(network.receive("bob")) == 1
 
     def test_higher_latency(self):
-        network = InMemoryNetwork(latency=3)
+        network = InMemoryTransport(latency=3)
         network.register("alice")
         network.register("bob")
         network.send(make_message())
@@ -71,7 +71,7 @@ class TestDelivery:
         assert len(network.receive("bob")) == 1
 
     def test_receive_only_removes_due_messages(self):
-        network = InMemoryNetwork(latency=1)
+        network = InMemoryTransport(latency=1)
         network.register("alice")
         network.register("bob")
         network.send(make_message(value=1))
@@ -82,7 +82,7 @@ class TestDelivery:
         assert network.pending_count("bob") == 1
 
     def test_has_in_flight(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         assert not network.has_in_flight()
@@ -94,14 +94,14 @@ class TestDelivery:
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
-            InMemoryNetwork(latency=-1)
+            InMemoryTransport(latency=-1)
         with pytest.raises(ValueError):
-            InMemoryNetwork(drop_probability=1.5)
+            InMemoryTransport(drop_probability=1.5)
 
 
 class TestLossModel:
     def test_all_messages_dropped_at_probability_one(self):
-        network = InMemoryNetwork(drop_probability=1.0, seed=3)
+        network = InMemoryTransport(drop_probability=1.0, seed=3)
         network.register("alice")
         network.register("bob")
         assert network.send(make_message()) is False
@@ -112,7 +112,7 @@ class TestLossModel:
     def test_seeded_drops_are_reproducible(self):
         outcomes = []
         for _ in range(2):
-            network = InMemoryNetwork(drop_probability=0.5, seed=123)
+            network = InMemoryTransport(drop_probability=0.5, seed=123)
             network.register("a")
             network.register("b")
             outcomes.append([network.send(make_message("a", "b", i)) for i in range(20)])
@@ -122,7 +122,7 @@ class TestLossModel:
 
 class TestAccounting:
     def test_stats_counters(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         network.send(make_message())
@@ -136,17 +136,22 @@ class TestAccounting:
         assert as_dict["by_link"]["alice->bob"] == 2
 
     def test_send_all(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         queued = network.send_all([make_message(value=i) for i in range(3)])
         assert queued == 3
 
     def test_reset_stats(self):
-        network = InMemoryNetwork()
+        network = InMemoryTransport()
         network.register("alice")
         network.register("bob")
         network.send(make_message())
         old = network.reset_stats()
         assert old.messages_sent == 1
         assert network.stats.messages_sent == 0
+
+
+class TestDeprecatedAlias:
+    def test_inmemorynetwork_is_inmemorytransport(self):
+        assert InMemoryNetwork is InMemoryTransport
