@@ -64,7 +64,7 @@ def main() -> None:
     laptop.insert(Fact("movies", "JoeLaptop",
                        ("Alphaville", "/movies/alphaville.mkv", 700)))
 
-    summary = deployment.run()
+    summary = deployment.converge()
     print(f"converged in {summary.round_count} rounds\n")
 
     print("Blog posts (posts@JoeBlog):")

@@ -20,6 +20,10 @@ from repro.api import system
 def main() -> None:
     deployment = (
         system()
+        # Event-driven execution: only peers with pending work run stages.
+        # Swap for "lockstep" (the default) to reproduce the paper's global
+        # rounds, or "async" to drive the deployment from asyncio.
+        .scheduler("reactive")
         # Jules' program: one declaration block and the delegation rule
         # from the paper.
         .peer("Jules").program("""
@@ -50,8 +54,10 @@ def main() -> None:
 
     # Run the network of peers until nothing moves any more.
     print("running to convergence:")
-    summary = deployment.run()
-    print(f"converged in {summary.round_count} rounds, "
+    summary = deployment.converge()
+    print(f"converged in {summary.round_count} cycles "
+          f"({summary.total_stages()} peer stages, scheduler "
+          f"{summary.scheduler!r}), "
           f"{deployment.stats.messages_sent} messages exchanged\n")
 
     print("Rule installed at Émilien by delegation:")
@@ -66,7 +72,7 @@ def main() -> None:
     # Deselecting Émilien retracts the delegation and empties the view —
     # the same query handle reflects the change.
     deployment.peer("Jules").delete('selectedAttendee@Jules("Emilien")')
-    deployment.run()
+    deployment.converge()
     print("\nafter deselecting Émilien:")
     print(f"  attendeePictures@Jules = {view.facts()}")
     print(f"  delegations at Émilien = "

@@ -11,8 +11,12 @@ This package is the public facade over all of them:
                     .peer("bob").wrapper(FacebookUserWrapper(...))
                     .build())
 
-* :class:`System` / :class:`PeerHandle` — the built deployment: ``run()``,
-  ``query()``, ``subscribe()``, stats and totals, per-peer operations.
+* :class:`System` / :class:`PeerHandle` — the built deployment:
+  ``converge()`` / ``step()`` / ``await aconverge()`` (driven by the
+  scheduler chosen with ``system().scheduler("reactive")`` — lockstep
+  rounds, event-driven activation, or asyncio; see
+  :mod:`repro.runtime.scheduler`), ``query()``, ``subscribe()``, stats and
+  totals, per-peer operations.
 * :class:`Transport` — the protocol the runtime moves messages through, with
   :class:`InMemoryTransport` (deterministic rounds) and
   :class:`RecordingTransport` (event-logging decorator) shipped here; pass
@@ -27,6 +31,14 @@ deprecated as a public entry point; new code should start from
 """
 
 from repro.runtime.inmemory import InMemoryTransport, NetworkStats
+from repro.runtime.scheduler import (
+    AsyncScheduler,
+    LockstepScheduler,
+    ReactiveScheduler,
+    RoundReport,
+    RunSummary,
+    Scheduler,
+)
 from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
 from repro.api.builder import BuildError, PeerBuilder, SystemBuilder, system
 from repro.api.facade import PeerHandle, ProcessSystem, System
@@ -45,6 +57,12 @@ __all__ = [
     "InMemoryTransport",
     "RecordingTransport",
     "NetworkStats",
+    "Scheduler",
+    "LockstepScheduler",
+    "ReactiveScheduler",
+    "AsyncScheduler",
+    "RoundReport",
+    "RunSummary",
     "QueryHandle",
     "Subscription",
     "FactCallback",

@@ -35,6 +35,7 @@ from repro.core.rules import Rule
 from repro.core.schema import RelationSchema
 from repro.runtime.inmemory import InMemoryTransport
 from repro.runtime.processes import ProcessNetwork
+from repro.runtime.scheduler import Scheduler, resolve_scheduler
 from repro.runtime.system import WebdamLogSystem
 from repro.runtime.transport import Transport
 from repro.api.facade import PeerHandle, ProcessSystem, System
@@ -81,6 +82,7 @@ class SystemBuilder:
         self._auto_accept = True
         self._strict_stage_inputs = False
         self._backend = "inmemory"
+        self._scheduler: Optional[Scheduler] = None
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -138,6 +140,17 @@ class SystemBuilder:
         self._backend = name
         return self
 
+    def scheduler(self, scheduler: Union[str, Scheduler]) -> "SystemBuilder":
+        """Choose the execution driver: ``"lockstep"`` (default), ``"reactive"``
+        or ``"async"`` — or pass any :class:`~repro.runtime.scheduler.Scheduler`
+        instance.  See the README's *Execution model* section for how to pick.
+        """
+        try:
+            self._scheduler = resolve_scheduler(scheduler)
+        except ValueError as exc:
+            raise BuildError(str(exc)) from exc
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -173,6 +186,7 @@ class SystemBuilder:
             auto_accept_delegations=self._auto_accept,
             strict_stage_inputs=self._strict_stage_inputs,
             transport=transport,
+            scheduler=self._scheduler,
         )
         built = System(runtime)
         for spec in self._specs:
@@ -200,6 +214,12 @@ class SystemBuilder:
     def _build_processes(self) -> ProcessSystem:
         if self._transport is not None:
             raise BuildError("the processes backend manages its own transport")
+        if self._scheduler is not None:
+            raise BuildError(
+                "the processes backend manages its own scheduling (each worker "
+                "process drives its own engine); scheduler(...) requires the "
+                "in-memory backend"
+            )
         network = ProcessNetwork()
         try:
             for spec in self._specs:

@@ -14,14 +14,16 @@ processes — that proves the builder's backend seam.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.facts import Fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema, SchemaRegistry
 from repro.runtime.inmemory import NetworkStats
-from repro.runtime.peer import Peer
+from repro.runtime.peer import Peer, PeerStageReport
 from repro.runtime.processes import ProcessNetwork
+from repro.runtime.scheduler import DEFAULT_MAX_STEPS, LockstepScheduler, settled
 from repro.runtime.system import RoundReport, RunSummary, WebdamLogSystem
 from repro.runtime.transport import Transport
 from repro.api.query import FactCallback, QueryHandle, Subscription
@@ -82,11 +84,20 @@ class PeerHandle:
     # -- reading --------------------------------------------------------- #
 
     def query(self, relation: str, peer: Optional[str] = None) -> QueryHandle:
-        """A live handle over ``relation`` as visible at this peer."""
+        """A live handle over ``relation`` as visible at this peer.
+
+        The handle supports :meth:`~repro.api.query.QueryHandle.iter_facts`
+        when it watches a relation hosted here: iteration then streams facts
+        as the system's scheduler derives them.
+        """
         name = self._peer.name
+        stream = None
+        if peer is None or peer == name:
+            stream = lambda: self._system.stream_facts(name, relation)
         return QueryHandle(
             source=lambda: self._peer.query(relation, peer),
             description=f"{relation}@{peer or name} as seen by {name}",
+            stream=stream,
         )
 
     def facts(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
@@ -155,7 +166,7 @@ class System:
         self.runtime = runtime
         self._handles: Dict[str, PeerHandle] = {}
         self._subscriptions: List[Subscription] = []
-        runtime.add_round_observer(self._after_round)
+        runtime.add_stage_observer(self._on_stage)
 
     # -- topology --------------------------------------------------------- #
 
@@ -197,22 +208,52 @@ class System:
 
     # -- execution --------------------------------------------------------- #
 
+    def converge(self, max_steps: Optional[int] = None,
+                 extra_rounds: int = 0) -> RunSummary:
+        """Drive the deployment to a fixpoint with its configured scheduler.
+
+        This is the primary execution verb: under the default lockstep
+        scheduler it is exactly the historical round loop; under the
+        reactive or async schedulers only peers with pending work run
+        stages.  Pending ``include_existing`` subscription deliveries are
+        flushed before execution resumes.
+        """
+        self._flush_subscription_backlogs()
+        return self.runtime.converge(max_steps=max_steps, extra_rounds=extra_rounds)
+
+    def step(self) -> RoundReport:
+        """Execute one scheduling cycle of the configured scheduler."""
+        self._flush_subscription_backlogs()
+        return self.runtime.step()
+
+    async def aconverge(self, max_steps: Optional[int] = None,
+                        extra_rounds: int = 0) -> RunSummary:
+        """Asynchronously drive the deployment to a fixpoint (asyncio driver)."""
+        self._flush_subscription_backlogs()
+        return await self.runtime.aconverge(max_steps=max_steps,
+                                            extra_rounds=extra_rounds)
+
     def run(self, max_rounds: int = 100, extra_rounds: int = 0) -> RunSummary:
-        """Run rounds until the whole system converges (or ``max_rounds``)."""
-        return self.runtime.run_until_quiescent(max_rounds=max_rounds,
-                                                extra_rounds=extra_rounds)
+        """Alias of :meth:`converge` (historical name and signature)."""
+        return self.converge(max_steps=max_rounds, extra_rounds=extra_rounds)
 
     def run_round(self) -> RoundReport:
-        """Execute exactly one round."""
-        return self.runtime.run_round()
+        """Execute exactly one lockstep round (every peer runs one stage).
+
+        Prefer :meth:`step`, which respects the configured scheduler; this
+        method always drives a full lockstep round, matching its historical
+        contract.
+        """
+        self._flush_subscription_backlogs()
+        return LockstepScheduler().step(self.runtime)
 
     def run_rounds(self, count: int) -> List[RoundReport]:
-        """Execute ``count`` rounds unconditionally."""
-        return self.runtime.run_rounds(count)
+        """Execute ``count`` lockstep rounds unconditionally (see :meth:`run_round`)."""
+        return [self.run_round() for _ in range(count)]
 
     @property
     def current_round(self) -> int:
-        """Number of rounds executed so far."""
+        """Number of scheduling cycles executed so far."""
         return self.runtime.current_round
 
     # -- reading ----------------------------------------------------------- #
@@ -228,12 +269,17 @@ class System:
 
         ``peer`` restricts the watch to one hosting peer (default: every
         peer).  Facts already visible at subscription time are skipped unless
-        ``include_existing=True`` — in which case they fire at the end of the
-        next round.  Subscriptions are evaluated at round boundaries, the
-        paper's unit of observable change.
+        ``include_existing=True`` — in which case they are queued and fire
+        when execution resumes.  Deliveries are **delta-driven**: the
+        callback fires as soon as the stage that made a fact visible
+        completes, fed from that stage's
+        :attr:`~repro.core.engine.StageResult.visible_delta` — never from a
+        relation re-scan.
         """
         subscription = Subscription(relation, callback, peer=peer)
-        if not include_existing:
+        if include_existing:
+            subscription.enqueue_existing(self.runtime.peers)
+        else:
             subscription.prime(self.runtime.peers)
         self._subscriptions.append(subscription)
         return subscription
@@ -246,12 +292,44 @@ class System:
         except ValueError:
             pass
 
-    def _after_round(self, report: RoundReport) -> None:
+    def _on_stage(self, name: str, report: PeerStageReport) -> None:
+        """Stage observer: push the stage's visible delta to the subscriptions."""
+        delta = report.stage_result.visible_delta
         for subscription in tuple(self._subscriptions):
             if not subscription.active:
                 self._subscriptions.remove(subscription)
                 continue
-            subscription.poll(self.runtime.peers)
+            subscription.notify_stage(name, delta)
+
+    def _flush_subscription_backlogs(self) -> None:
+        for subscription in tuple(self._subscriptions):
+            subscription.flush_backlog()
+
+    def stream_facts(self, at: str, relation: str,
+                     max_steps: Optional[int] = None) -> Iterator[Fact]:
+        """Stream ``relation`` at peer ``at`` while driving the system to fixpoint.
+
+        Yields the facts already visible, then steps the configured scheduler
+        and yields each fact as the stage that derived it completes, until
+        the system converges (or ``max_steps`` cycles ran).  This is the
+        engine behind :meth:`QueryHandle.iter_facts`.
+        """
+        buffer: deque = deque()
+        subscription = self.subscribe(relation, buffer.append, peer=at,
+                                      include_existing=True)
+        limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        try:
+            subscription.flush_backlog()
+            while buffer:
+                yield buffer.popleft()
+            for _ in range(limit):
+                report = self.runtime.step()
+                while buffer:
+                    yield buffer.popleft()
+                if settled(self.runtime, report):
+                    break
+        finally:
+            self.unsubscribe(subscription)
 
     # -- transport and reporting ------------------------------------------- #
 
@@ -280,6 +358,7 @@ class System:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"System({len(self.runtime)} peers, "
                 f"round {self.runtime.current_round}, "
+                f"scheduler {self.runtime.scheduler.name}, "
                 f"transport {type(self.runtime.transport).__name__})")
 
 
@@ -329,6 +408,10 @@ class ProcessSystem:
     def run(self, max_rounds: int = 50) -> int:
         """Run rounds until every process is quiescent; returns the round count."""
         return self.network.run_until_quiescent(max_rounds=max_rounds)
+
+    def converge(self, max_steps: Optional[int] = None) -> int:
+        """Scheduler-API name for :meth:`run` (same verb as :class:`System`)."""
+        return self.run(max_rounds=50 if max_steps is None else max_steps)
 
     # -- reading ------------------------------------------------------------ #
 

@@ -5,20 +5,26 @@ see what a peer derived.  The two classes here replace that:
 
 * :class:`QueryHandle` — a re-runnable, lazily evaluated view over one
   relation at one peer.  Every read reflects the current state of the system,
-  so a handle created before a run can be read after it.
+  so a handle created before a run can be read after it.  Handles attached
+  to a live :class:`~repro.api.facade.System` additionally support
+  :meth:`QueryHandle.iter_facts` — a **streaming** iterator that drives the
+  system's scheduler step by step and yields each fact as the stage that
+  derived it completes.
 * :class:`Subscription` — a callback fired **exactly once per fact** that
-  becomes visible in a watched relation.  Subscriptions are polled at round
-  boundaries by the :class:`~repro.api.facade.System` facade (through the
-  orchestrator's round-observer hook), so they see precisely what the
-  round-based semantics of the paper make observable — no engine internals
-  involved.
+  becomes visible in a watched relation.  Subscriptions are **delta-driven**:
+  the :class:`~repro.api.facade.System` facade feeds them the
+  :attr:`~repro.core.engine.StageResult.visible_delta` of every completed
+  stage (through the orchestrator's stage-observer hook), so a callback costs
+  O(changes) per stage instead of an O(total facts) relation re-scan per
+  round, and fires as soon as the deriving stage completes rather than at
+  the next round boundary.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.core.facts import Fact
+from repro.core.facts import Delta, Fact
 
 #: Signature of a subscription callback: it receives each newly visible fact.
 FactCallback = Callable[[Fact], None]
@@ -31,8 +37,10 @@ class QueryHandle:
     same handle can be consulted before and after runs.
     """
 
-    def __init__(self, source: Callable[[], Tuple[Fact, ...]], description: str):
+    def __init__(self, source: Callable[[], Tuple[Fact, ...]], description: str,
+                 stream: Optional[Callable[[], Iterator[Fact]]] = None):
         self._source = source
+        self._stream = stream
         self.description = description
 
     def facts(self) -> Tuple[Fact, ...]:
@@ -51,6 +59,20 @@ class QueryHandle:
         """The first visible fact, or ``None`` when the relation is empty."""
         facts = self.facts()
         return facts[0] if facts else None
+
+    def iter_facts(self) -> Iterator[Fact]:
+        """Stream the relation: yield facts while driving the system to fixpoint.
+
+        On a handle attached to a live system this iterates the facts already
+        visible, then **steps the system's scheduler** and yields each new
+        fact as the stage that made it visible completes — interleaving
+        consumption with execution, the way a client tails a live feed.  On a
+        detached handle (e.g. over the process backend) it degrades to a plain
+        iteration of the currently visible facts.
+        """
+        if self._stream is None:
+            return iter(self.facts())
+        return self._stream()
 
     def __iter__(self) -> Iterator[Fact]:
         return iter(self.facts())
@@ -72,6 +94,12 @@ class Subscription:
     hosting peer), so each fact fires the callback exactly once — even across
     multiple runs — until it is retracted; a fact that is retracted and later
     re-derived fires again, mirroring the visible change.
+
+    Deliveries are driven by stage deltas (:meth:`on_delta`): the facade
+    pushes every completed stage's visible delta to the active subscriptions.
+    Facts that were already visible at subscription time are either marked
+    seen (:meth:`prime`, the default) or queued for delivery
+    (:meth:`enqueue_existing`, for ``include_existing=True``).
     """
 
     def __init__(self, relation: str, callback: FactCallback,
@@ -82,18 +110,90 @@ class Subscription:
         self.active = True
         self.delivered = 0
         self._seen: Dict[str, Set[Fact]] = {}
+        self._backlog: Dict[str, List[Fact]] = {}
 
     def cancel(self) -> None:
         """Stop firing; the subscription can not be re-activated."""
         self.active = False
+        self._backlog.clear()
+
+    # ------------------------------------------------------------------ #
+    # initial visibility
+    # ------------------------------------------------------------------ #
 
     def prime(self, peers: Dict[str, "object"]) -> None:
         """Mark every currently visible fact as already seen (no firing)."""
         for name, peer in self._targets(peers):
             self._seen[name] = set(peer.query(self.relation))
 
+    def enqueue_existing(self, peers: Dict[str, "object"]) -> None:
+        """Queue every currently visible fact for delivery (``include_existing``).
+
+        The queued facts fire when the backlog is flushed — at the host
+        peer's next completed stage, or when the facade resumes execution.
+        """
+        for name, peer in self._targets(peers):
+            facts = sorted(peer.query(self.relation), key=str)
+            if facts:
+                self._backlog.setdefault(name, []).extend(facts)
+
+    def flush_backlog(self, host: Optional[str] = None) -> int:
+        """Deliver queued existing facts (for ``host``, or every host)."""
+        if not self.active:
+            self._backlog.clear()
+            return 0
+        hosts = [host] if host is not None else list(self._backlog)
+        fired = 0
+        for name in hosts:
+            for fact in self._backlog.pop(name, ()):
+                fired += self._fire(name, fact)
+        self.delivered += fired
+        return fired
+
+    # ------------------------------------------------------------------ #
+    # delta-driven delivery
+    # ------------------------------------------------------------------ #
+
+    def on_delta(self, host: str, delta: Delta) -> int:
+        """Process the visible delta of one completed stage at ``host``.
+
+        Insertions of the watched relation fire the callback (once per fact);
+        deletions clear the fact from the seen set, so a later re-derivation
+        fires again.  Returns the number of callbacks fired.
+        """
+        if not self.active or (self.peer is not None and host != self.peer):
+            return 0
+        flushed = self.flush_backlog(host)
+        fired = 0
+        for fact in sorted(delta.inserted, key=str):
+            if fact.relation == self.relation and fact.peer == host:
+                fired += self._fire(host, fact)
+        for fact in delta.deleted:
+            if fact.relation == self.relation:
+                self._seen.get(host, set()).discard(fact)
+        self.delivered += fired
+        return flushed + fired
+
+    def notify_stage(self, host: str, delta: Delta) -> int:
+        """Facade entry point: backlog flush + delta processing for one stage."""
+        if not self.active:
+            return 0
+        if self.peer is not None and host != self.peer:
+            return 0
+        if not delta and not self._backlog:
+            return 0
+        return self.on_delta(host, delta)
+
+    # ------------------------------------------------------------------ #
+    # legacy polling (pre-delta API, kept for external callers)
+    # ------------------------------------------------------------------ #
+
     def poll(self, peers: Dict[str, "object"]) -> int:
-        """Fire the callback for facts that became visible; returns how many."""
+        """Snapshot-diff delivery: fire for facts that became visible.
+
+        Deprecated in favour of :meth:`on_delta`; retained so external code
+        that polled subscriptions by hand keeps working.
+        """
         if not self.active:
             return 0
         fired = 0
@@ -106,6 +206,18 @@ class Subscription:
             self._seen[name] = current
         self.delivered += fired
         return fired
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _fire(self, host: str, fact: Fact) -> int:
+        seen = self._seen.setdefault(host, set())
+        if fact in seen:
+            return 0
+        seen.add(fact)
+        self.callback(fact)
+        return 1
 
     def _targets(self, peers: Dict[str, "object"]) -> List[Tuple[str, "object"]]:
         if self.peer is not None:

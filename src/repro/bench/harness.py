@@ -36,9 +36,12 @@ def _transport_stats(system):
 
 def _standard_metrics(summary, totals, stats, elapsed: float) -> Dict[str, Any]:
     """The counter set shared by every experiment driver."""
+    total_stages = getattr(summary, "total_stages", None)
     return {
         "rounds": summary.round_count,
         "converged": summary.converged,
+        "scheduler": getattr(summary, "scheduler", "lockstep"),
+        "stages": total_stages() if callable(total_stages) else None,
         "messages": stats.messages_sent,
         "payload_items": stats.payload_items,
         "derived_facts": totals["derived_facts"],

@@ -61,6 +61,12 @@ class StageResult:
     outgoing_updates: List[OutgoingUpdate] = field(default_factory=list)
     delegations_to_install: List[Delegation] = field(default_factory=list)
     delegations_to_retract: List[Delegation] = field(default_factory=list)
+    #: Net change of the facts *visible* at the peer during this stage —
+    #: extensional, derived and provided facts combined, with deletions that
+    #: are still visible through another source filtered out.  This is what
+    #: the :mod:`repro.api` subscription machinery consumes, so observers are
+    #: fed from deltas as stages complete instead of re-scanning relations.
+    visible_delta: Delta = field(default_factory=Delta.empty)
 
     def outgoing_fact_count(self) -> int:
         """Total number of facts shipped to remote peers this stage."""
@@ -111,6 +117,10 @@ class WebdamLogEngine:
         # Facts previously shipped to each target as the result of rule
         # derivations; used to avoid re-sending and to retract view facts.
         self._sent_remote: Dict[str, Set[Fact]] = {}
+        # Whether the engine needs a stage for reasons the stores cannot see
+        # (rule or program changes).  Starts ``True``: a freshly built peer
+        # has never evaluated its program.
+        self._dirty = True
 
     # ------------------------------------------------------------------ #
     # program loading and direct updates (the "user" API)
@@ -134,26 +144,33 @@ class WebdamLogEngine:
                 self.send_fact(fact)
         for rule in program.rules:
             self.state.add_rule(rule)
+        self.mark_dirty()
         return program
 
     def declare(self, schema: RelationSchema) -> RelationSchema:
         """Declare a relation schema."""
+        self.mark_dirty()
         return self.state.declare(schema)
 
     def add_rule(self, rule: Union[str, Rule]) -> Rule:
         """Add a rule to the peer's own program (parsed if given as text)."""
         if isinstance(rule, str):
             rule = parse_rule(rule, default_peer=self.peer, author=self.peer)
+        self.mark_dirty()
         return self.state.add_rule(rule)
 
     def remove_rule(self, rule_id: str) -> Optional[Rule]:
         """Remove an own rule by identifier."""
-        return self.state.remove_rule(rule_id)
+        removed = self.state.remove_rule(rule_id)
+        if removed is not None:
+            self.mark_dirty()
+        return removed
 
     def replace_rule(self, rule_id: str, new_rule: Union[str, Rule]) -> Rule:
         """Replace an own rule (the Wepic *customize rules* operation)."""
         if isinstance(new_rule, str):
             new_rule = parse_rule(new_rule, default_peer=self.peer, author=self.peer)
+        self.mark_dirty()
         return self.state.replace_rule(rule_id, new_rule)
 
     def rules(self) -> Tuple[Rule, ...]:
@@ -215,6 +232,27 @@ class WebdamLogEngine:
                 or bool(self._pending_remote_inserts)
                 or bool(self._pending_remote_deletes))
 
+    def mark_dirty(self) -> None:
+        """Flag that the peer's next stage may produce new results.
+
+        Called on program mutations (and by the runtime when wrappers touch
+        the store outside a stage); event-driven schedulers use
+        :meth:`needs_stage` to decide which peers to activate.
+        """
+        self._dirty = True
+
+    def needs_stage(self) -> bool:
+        """``True`` when running a stage could change anything.
+
+        A peer whose program is unchanged, whose stores saw no writes since
+        the last stage, and which has no pending inputs is guaranteed to run
+        a quiescent stage — an event-driven scheduler can safely skip it.
+        """
+        return (self._dirty
+                or self.has_pending_input()
+                or self.state.store.has_pending_changes()
+                or self.state.has_provided_changes())
+
     # ------------------------------------------------------------------ #
     # the computation stage
     # ------------------------------------------------------------------ #
@@ -222,11 +260,10 @@ class WebdamLogEngine:
     def run_stage(self) -> StageResult:
         """Run one three-step computation stage and return its outputs."""
         self.state.stage_counter += 1
+        self._dirty = False
         result = StageResult(peer=self.peer, stage=self.state.stage_counter)
         if self.provenance is not None and hasattr(self.provenance, "notify_stage"):
             self.provenance.notify_stage(self.state.stage_counter)
-
-        previous_derived = self.state.derived.snapshot()
 
         # ---- step 1: load inputs ------------------------------------- #
         result.consumed_inputs = self._consume_inputs()
@@ -245,8 +282,41 @@ class WebdamLogEngine:
             self.state.store.all_facts()
         ))
         result.deferred_local_updates = len(self.state.deferred_updates)
-        result.derived_changed = self.state.derived.snapshot() != previous_derived
+
+        # Delta accounting: the stores accumulated every change since the end
+        # of the previous stage (including user updates made between stages).
+        # Taking the deltas here nets out intra-stage churn — in particular
+        # the clear-and-recompute of the derived store, whose net delta is
+        # exactly "what changed in the derived relations this stage".
+        store_delta = self.state.store.take_delta()
+        derived_delta = self.state.derived.take_delta()
+        provided_delta = self.state.take_provided_delta()
+        result.derived_changed = bool(derived_delta)
+        result.visible_delta = self._visible_delta(store_delta, derived_delta,
+                                                   provided_delta)
         return result
+
+    def _visible_delta(self, store_delta: Delta, derived_delta: Delta,
+                       provided_delta: Delta) -> Delta:
+        """Combine the per-source deltas into one delta of *visible* facts.
+
+        A fact reported deleted by one source may still be visible through
+        another (e.g. a derivation that vanished while the same fact is still
+        provided by a remote sender); such deletions are dropped so the delta
+        describes actual visibility transitions.
+        """
+        combined = store_delta.merge(derived_delta).merge(provided_delta)
+        if not combined.deleted:
+            return combined
+        still_visible = {
+            fact for fact in combined.deleted
+            if fact in self.state.provided
+            or self.state.derived.contains(fact)
+            or self.state.store.contains(fact)
+        }
+        if not still_visible:
+            return combined
+        return Delta(combined.inserted, combined.deleted - still_visible)
 
     def run_to_quiescence(self, max_stages: int = 50) -> List[StageResult]:
         """Run stages until the peer is locally quiescent (single-peer helper).
@@ -329,11 +399,12 @@ class WebdamLogEngine:
         return consumed
 
     def _run_fixpoint(self, result: StageResult) -> RuleOutcome:
-        # Intensional relations are recomputed from scratch at every stage.
+        # Intensional relations are recomputed from scratch at every stage;
+        # the clear-deltas stay pending and net out against the re-derivations,
+        # so the delta taken at the end of the stage is the true derived change.
         for schema in list(self.state.schemas.intensional()):
             if schema.peer == self.peer:
                 self.state.derived.clear_relation(schema.name, schema.peer)
-        self.state.derived.take_delta()
 
         evaluator = RuleEvaluator(
             peer=self.peer,

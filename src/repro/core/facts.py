@@ -369,6 +369,10 @@ class FactStore:
         """Return the accumulated delta without resetting it."""
         return Delta(frozenset(self._pending_inserted), frozenset(self._pending_deleted))
 
+    def has_pending_changes(self) -> bool:
+        """``True`` when changes accumulated since the last :meth:`take_delta`."""
+        return bool(self._pending_inserted or self._pending_deleted)
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

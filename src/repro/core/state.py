@@ -63,6 +63,8 @@ class PeerState:
         self.store = FactStore(self.schemas, owner=peer)
         self.derived = FactStore(self.schemas, owner=peer)
         self.provided: Set[Fact] = set()
+        self._provided_inserted: Set[Fact] = set()
+        self._provided_deleted: Set[Fact] = set()
         self.own_rules: List[Rule] = []
         self.delegations_in = DelegationStore(peer)
         self.delegation_tracker = DelegationTracker(peer)
@@ -160,15 +162,39 @@ class PeerState:
 
     def add_provided(self, fact: Fact) -> None:
         """Record a fact received from a remote peer for a local intensional relation."""
+        if fact in self.provided:
+            return
         self.provided.add(fact)
+        if fact in self._provided_deleted:
+            self._provided_deleted.discard(fact)
+        else:
+            self._provided_inserted.add(fact)
 
     def remove_provided(self, fact: Fact) -> None:
         """Retract a previously provided fact (sender no longer derives it)."""
+        if fact not in self.provided:
+            return
         self.provided.discard(fact)
+        if fact in self._provided_inserted:
+            self._provided_inserted.discard(fact)
+        else:
+            self._provided_deleted.add(fact)
 
     def clear_provided(self) -> None:
         """Drop every provided fact (strict per-stage input semantics)."""
-        self.provided.clear()
+        for fact in list(self.provided):
+            self.remove_provided(fact)
+
+    def has_provided_changes(self) -> bool:
+        """``True`` when the provided set changed since :meth:`take_provided_delta`."""
+        return bool(self._provided_inserted or self._provided_deleted)
+
+    def take_provided_delta(self) -> Delta:
+        """Return and reset the net change of the provided set since the last call."""
+        delta = Delta(frozenset(self._provided_inserted), frozenset(self._provided_deleted))
+        self._provided_inserted = set()
+        self._provided_deleted = set()
+        return delta
 
     # ------------------------------------------------------------------ #
     # the fact view used by the evaluator

@@ -166,6 +166,16 @@ class InMemoryTransport:
             return len(self._in_flight.get(peer, []))
         return sum(len(queue) for queue in self._in_flight.values())
 
+    def due_count(self, peer: str) -> int:
+        """Messages deliverable to ``peer`` at the current round.
+
+        Unlike :meth:`pending_count`, messages still riding out their latency
+        are not counted — event-driven schedulers use this to avoid waking a
+        peer before its messages are actually deliverable.
+        """
+        return sum(1 for deliver_at, _ in self._in_flight.get(peer, ())
+                   if deliver_at <= self._round)
+
     def has_in_flight(self) -> bool:
         """``True`` when at least one message has not been delivered yet."""
         return self.pending_count() > 0

@@ -135,6 +135,18 @@ class Peer:
         attach = getattr(wrapper, "attach", None)
         if attach is not None:
             attach(self)
+        # The wrapper may surface external data at its next before_stage hook.
+        self.engine.mark_dirty()
+
+    def needs_stage(self) -> bool:
+        """``True`` when running a stage at this peer could change anything.
+
+        Event-driven schedulers use this to skip peers that are guaranteed to
+        run a quiescent stage.  Peers with wrappers are never safe to skip on
+        this basis alone — the wrapped external service may have changed —
+        which is why schedulers also consult :attr:`wrappers`.
+        """
+        return self.engine.needs_stage()
 
     def counts(self) -> Dict[str, int]:
         """Combined engine and controller counters."""

@@ -230,6 +230,16 @@ class ProcessNetwork:
                 return round_index
         return max_rounds
 
+    def converge(self, max_steps: Optional[int] = None) -> int:
+        """Scheduler-API name for :meth:`run_until_quiescent`.
+
+        The process backend has no pluggable scheduler (each worker process
+        is its own driver), but exposes the same ``converge`` verb as
+        :class:`~repro.runtime.system.WebdamLogSystem` so callers can switch
+        backends without changing their driving code.
+        """
+        return self.run_until_quiescent(max_rounds=50 if max_steps is None else max_steps)
+
     # -- internals --------------------------------------------------------- #
 
     def _handle(self, peer: str) -> _PeerHandle:

@@ -1,0 +1,384 @@
+"""Execution drivers: *when* peers run their computation stages.
+
+The WebdamLog model is defined over **autonomous** peers — each peer runs a
+local computation stage when inputs arrive, with no global coordination.  The
+original runtime nevertheless drove every peer in global lockstep rounds,
+which costs one stage execution per peer per round even when only two peers
+are exchanging facts.  This module makes the driving policy an injectable
+seam of :class:`~repro.runtime.system.WebdamLogSystem`:
+
+* :class:`Scheduler` — the protocol every driver implements: ``step`` runs
+  one scheduling cycle, ``converge`` cycles until the system reaches a
+  fixpoint.
+* :class:`LockstepScheduler` — the historical semantics (every peer runs a
+  stage every cycle, in deterministic name order).  It remains the default,
+  so existing round-count measurements stay reproducible.
+* :class:`ReactiveScheduler` — event-driven: a cycle activates only the
+  peers that can make progress (due transport messages, pending engine
+  inputs, dirty local state, or an attached wrapper whose external service
+  must be polled).  Cycles with no eligible peer still advance the transport
+  clock, so in-flight messages with ``latency > 1`` are never forgotten:
+  quiescence is only reported when nothing is runnable *and* nothing is in
+  flight.
+* :class:`AsyncScheduler` — an asyncio driver with one mailbox and one
+  worker task per peer, for embedding a deployment in an asynchronous
+  application (``await system.aconverge()``).  Eligibility is the reactive
+  policy; stages within a cycle are dispatched through the per-peer
+  mailboxes and interleave at await points.
+
+All three drivers reach the same fixpoints: a peer whose program is
+unchanged, whose stores saw no writes, and which has no pending input is
+guaranteed to run a quiescent stage, so skipping it cannot lose derivations
+(see :meth:`repro.core.engine.WebdamLogEngine.needs_stage`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+from repro.runtime.peer import PeerStageReport
+
+if TYPE_CHECKING:
+    from repro.runtime.system import WebdamLogSystem
+
+#: Default bound on scheduling cycles used by every ``converge`` driver.
+DEFAULT_MAX_STEPS = 100
+
+
+@dataclass
+class RoundReport:
+    """What happened during one scheduling cycle.
+
+    Under the lockstep driver a cycle is exactly one historical *round* —
+    every peer appears in ``peer_reports``.  Under event-driven drivers only
+    the activated peers appear (possibly none, when the cycle merely advanced
+    the transport clock past in-flight latency).
+    """
+
+    round_number: int
+    peer_reports: Dict[str, PeerStageReport] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+    @property
+    def stages_executed(self) -> int:
+        """Number of peer stages executed during this cycle."""
+        return len(self.peer_reports)
+
+    def is_quiescent(self) -> bool:
+        """``True`` when every activated peer was quiescent this cycle."""
+        return all(report.is_quiescent() for report in self.peer_reports.values())
+
+    def total_derived(self) -> int:
+        """Total intensional facts derived across peers this cycle."""
+        return sum(r.stage_result.derived_intensional for r in self.peer_reports.values())
+
+    def total_delegations_installed(self) -> int:
+        """Total delegation-install messages emitted this cycle."""
+        return sum(len(r.stage_result.delegations_to_install)
+                   for r in self.peer_reports.values())
+
+
+@dataclass
+class RunSummary:
+    """Summary of one ``converge`` execution."""
+
+    rounds: List[RoundReport] = field(default_factory=list)
+    converged: bool = False
+    scheduler: str = "lockstep"
+
+    @property
+    def round_count(self) -> int:
+        """Number of scheduling cycles executed."""
+        return len(self.rounds)
+
+    @property
+    def rounds_to_convergence(self) -> int:
+        """Number of cycles in which real work happened (delivery or derivation).
+
+        This is the index (1-based) of the last non-quiescent cycle; trailing
+        quiescent cycles needed only to *detect* convergence are not counted.
+        """
+        last_active = 0
+        for index, report in enumerate(self.rounds, start=1):
+            if not report.is_quiescent():
+                last_active = index
+        return last_active
+
+    def total_messages(self) -> int:
+        """Total messages sent across all cycles."""
+        return sum(report.messages_sent for report in self.rounds)
+
+    def total_derived(self) -> int:
+        """Total intensional derivations across all cycles and peers."""
+        return sum(report.total_derived() for report in self.rounds)
+
+    def total_stages(self) -> int:
+        """Total peer stage executions across all cycles.
+
+        The headline number of the event-driven drivers: lockstep executes
+        ``peers × cycles`` stages, a reactive run only as many as activations
+        were warranted.
+        """
+        return sum(report.stages_executed for report in self.rounds)
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """What :class:`~repro.runtime.system.WebdamLogSystem` requires of a driver."""
+
+    #: Short identifier (``"lockstep"``, ``"reactive"``, ``"async"``, ...).
+    name: str
+
+    def step(self, system: "WebdamLogSystem") -> RoundReport:
+        """Run one scheduling cycle and return its report."""
+
+    def converge(self, system: "WebdamLogSystem",
+                 max_steps: Optional[int] = None,
+                 extra_rounds: int = 0) -> RunSummary:
+        """Cycle until the system reaches a fixpoint (or ``max_steps`` is hit)."""
+
+
+def settled(system: "WebdamLogSystem", report: RoundReport) -> bool:
+    """``True`` when ``report`` shows a converged system.
+
+    Convergence means: every stage executed this cycle was quiescent, no
+    message remains in flight on the transport (crucial for ``latency > 1``,
+    where a message can be undeliverable for several cycles), and no engine
+    holds unconsumed input.
+    """
+    return (report.is_quiescent()
+            and not system.transport.has_in_flight()
+            and not system.pending_engine_input())
+
+
+def _drive_to_fixpoint(driver: "Scheduler", system: "WebdamLogSystem",
+                       max_steps: Optional[int],
+                       extra_rounds: int) -> RunSummary:
+    """The shared ``converge`` loop: step until :func:`settled` (or the limit)."""
+    limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+    summary = RunSummary(scheduler=driver.name)
+    for _ in range(limit):
+        report = driver.step(system)
+        summary.rounds.append(report)
+        if settled(system, report):
+            summary.converged = True
+            break
+    for _ in range(extra_rounds):
+        summary.rounds.append(driver.step(system))
+    return summary
+
+
+def reactive_eligible(system: "WebdamLogSystem") -> List[str]:
+    """The peers an event-driven cycle must activate, in deterministic order.
+
+    A peer is eligible when it has due transport messages, when its engine
+    reports that a stage could change something (pending inputs, dirty rules,
+    store writes since the last stage), or when it hosts a wrapper — wrapped
+    external services can only surface changes through the wrapper's
+    ``before_stage`` poll, so wrapper peers are polled every cycle, exactly
+    as the lockstep driver polled them every round.
+    """
+    eligible: List[str] = []
+    for name in sorted(system.peers):
+        peer = system.peers[name]
+        if peer.wrappers or peer.needs_stage() or system.due_message_count(name):
+            eligible.append(name)
+    return eligible
+
+
+class LockstepScheduler:
+    """The historical driver: every peer runs one stage every cycle.
+
+    Deterministic and reproducible — the round counts and message totals of
+    the paper's benchmarks are defined in terms of this driver — but a cycle
+    costs one stage execution per registered peer regardless of activity.
+    """
+
+    name = "lockstep"
+
+    def step(self, system: "WebdamLogSystem") -> RoundReport:
+        report = system.begin_round()
+        for name in sorted(system.peers):
+            system.activate_peer(name, report)
+        return system.finish_round(report)
+
+    def converge(self, system: "WebdamLogSystem",
+                 max_steps: Optional[int] = None,
+                 extra_rounds: int = 0) -> RunSummary:
+        return _drive_to_fixpoint(self, system, max_steps, extra_rounds)
+
+
+class ReactiveScheduler:
+    """Event-driven driver: activate only peers with something to do.
+
+    Each cycle computes the eligible set (see :func:`reactive_eligible`),
+    runs one stage per eligible peer, and advances the transport clock.  A
+    cycle that activates nobody while messages are in flight simply lets the
+    clock tick — this is what makes quiescence detection sound for
+    ``latency > 1``: convergence is never reported while the transport still
+    holds undelivered messages.
+    """
+
+    name = "reactive"
+
+    def step(self, system: "WebdamLogSystem") -> RoundReport:
+        report = system.begin_round()
+        for name in reactive_eligible(system):
+            system.activate_peer(name, report)
+        return system.finish_round(report)
+
+    def converge(self, system: "WebdamLogSystem",
+                 max_steps: Optional[int] = None,
+                 extra_rounds: int = 0) -> RunSummary:
+        return _drive_to_fixpoint(self, system, max_steps, extra_rounds)
+
+
+class AsyncScheduler:
+    """Asyncio driver: per-peer mailboxes, stages dispatched as tasks.
+
+    Every peer gets a mailbox (an :class:`asyncio.Queue`) and a long-lived
+    worker task.  Each cycle the coordinator posts an activation token to the
+    mailboxes of the eligible peers, awaits the workers draining them, then
+    advances the transport.  Stages are CPU-bound and therefore interleave
+    rather than parallelise, but the driver embeds cleanly in asynchronous
+    applications: ``await system.aconverge()`` yields to the event loop
+    between stages.
+
+    The synchronous :meth:`converge` entry point wraps :meth:`aconverge` in
+    ``asyncio.run`` so the driver also works behind the blocking facade
+    (e.g. ``system().scheduler("async").build().run()``).
+    """
+
+    name = "async"
+
+    def step(self, system: "WebdamLogSystem") -> RoundReport:
+        return asyncio.run(self.astep(system))
+
+    def converge(self, system: "WebdamLogSystem",
+                 max_steps: Optional[int] = None,
+                 extra_rounds: int = 0) -> RunSummary:
+        return asyncio.run(self.aconverge(system, max_steps=max_steps,
+                                          extra_rounds=extra_rounds))
+
+    async def astep(self, system: "WebdamLogSystem") -> RoundReport:
+        """Run one asynchronous cycle (one mailbox round-trip per eligible peer)."""
+        mailboxes = {name: asyncio.Queue() for name in sorted(system.peers)}
+        errors: List[BaseException] = []
+        workers = [asyncio.create_task(self._worker(system, name, box, errors))
+                   for name, box in mailboxes.items()]
+        try:
+            return await self._cycle(system, mailboxes, errors)
+        finally:
+            await self._stop_workers(mailboxes, workers)
+
+    async def aconverge(self, system: "WebdamLogSystem",
+                        max_steps: Optional[int] = None,
+                        extra_rounds: int = 0) -> RunSummary:
+        """Cycle until fixpoint, keeping the per-peer workers alive throughout."""
+        limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        summary = RunSummary(scheduler=self.name)
+        mailboxes: Dict[str, asyncio.Queue] = {
+            name: asyncio.Queue() for name in sorted(system.peers)
+        }
+        errors: List[BaseException] = []
+        workers = [asyncio.create_task(self._worker(system, name, box, errors))
+                   for name, box in mailboxes.items()]
+        try:
+            for _ in range(limit):
+                report = await self._cycle(system, mailboxes, errors)
+                summary.rounds.append(report)
+                if settled(system, report):
+                    summary.converged = True
+                    break
+            for _ in range(extra_rounds):
+                summary.rounds.append(await self._cycle(system, mailboxes, errors))
+        finally:
+            await self._stop_workers(mailboxes, workers)
+        return summary
+
+    async def _cycle(self, system: "WebdamLogSystem",
+                     mailboxes: Dict[str, asyncio.Queue],
+                     errors: List[BaseException]) -> RoundReport:
+        report = system.begin_round()
+        posted = []
+        for name in reactive_eligible(system):
+            box = mailboxes.get(name)
+            if box is None:  # peer added mid-run: give it a mailbox-less stage
+                system.activate_peer(name, report)
+                continue
+            box.put_nowait(report)
+            posted.append(box)
+        for box in posted:
+            await box.join()
+        report = system.finish_round(report)
+        if errors:
+            # A stage (or an observer callback it triggered) raised inside a
+            # worker.  Propagate to the caller, like the synchronous drivers.
+            raise errors[0]
+        return report
+
+    async def _worker(self, system: "WebdamLogSystem", name: str,
+                      mailbox: asyncio.Queue,
+                      errors: List[BaseException]) -> None:
+        while True:
+            token = await mailbox.get()
+            try:
+                if token is None:
+                    return
+                if name in system.peers:
+                    try:
+                        system.activate_peer(name, token)
+                    except BaseException as exc:
+                        # Keep the worker alive: a dead worker would leave
+                        # its mailbox un-joinable and deadlock the cycle.
+                        # The coordinator re-raises after the cycle joins.
+                        errors.append(exc)
+                await asyncio.sleep(0)
+            finally:
+                mailbox.task_done()
+
+    @staticmethod
+    async def _stop_workers(mailboxes: Dict[str, asyncio.Queue],
+                            workers: List["asyncio.Task"]) -> None:
+        for box in mailboxes.values():
+            box.put_nowait(None)
+        await asyncio.gather(*workers, return_exceptions=True)
+
+
+#: Scheduler names accepted by :func:`resolve_scheduler` (and the builder's
+#: ``.scheduler(...)`` call).
+SCHEDULERS = {
+    "lockstep": LockstepScheduler,
+    "reactive": ReactiveScheduler,
+    "async": AsyncScheduler,
+}
+
+
+def resolve_scheduler(spec: Union[None, str, Scheduler]) -> Scheduler:
+    """Turn a scheduler spec (name, instance or ``None``) into a driver.
+
+    ``None`` resolves to the default :class:`LockstepScheduler`; a string is
+    looked up in :data:`SCHEDULERS`; anything else is assumed to implement
+    the :class:`Scheduler` protocol and returned as-is.
+    """
+    if spec is None:
+        return LockstepScheduler()
+    if isinstance(spec, str):
+        factory = SCHEDULERS.get(spec)
+        if factory is None:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; choose from {tuple(SCHEDULERS)}"
+            )
+        return factory()
+    return spec

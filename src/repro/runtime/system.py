@@ -1,94 +1,52 @@
-"""The system orchestrator: a network of WebdamLog peers driven round by round.
+"""The system orchestrator: a network of WebdamLog peers plus a scheduler.
 
-A **round** of the system consists of, for every peer in a deterministic
-order:
+The orchestrator owns the topology (peers, trust defaults, the transport)
+and exposes the **primitives** an execution driver composes:
 
-1. deliver the messages addressed to the peer that are due this round,
-2. run one computation stage of the peer's engine,
-3. hand the stage's outgoing messages to the network (they become visible
-   ``latency`` rounds later).
+* :meth:`WebdamLogSystem.begin_round` / :meth:`finish_round` bracket one
+  scheduling cycle (the transport clock advances at ``finish_round``);
+* :meth:`WebdamLogSystem.activate_peer` runs one peer's stage — deliver the
+  due messages, run one computation stage, hand the outgoing messages to the
+  transport — and notifies the stage observers with the stage's deltas.
 
-The orchestrator detects **convergence** (every peer quiescent and no message
-in flight) and accumulates the round/message accounting that the benchmark
-harness reports.
+*Which* peers are activated, and when, is the scheduler's decision: the
+default :class:`~repro.runtime.scheduler.LockstepScheduler` reproduces the
+historical global rounds, while the reactive and async drivers activate only
+peers with pending work (see :mod:`repro.runtime.scheduler`).  Drive the
+system with :meth:`converge` / :meth:`step` (or ``await`` :meth:`aconverge`);
+the historical ``run_round`` / ``run_rounds`` / ``run_until_quiescent``
+methods remain as deprecated lockstep shims.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.acl.trust import TrustStore
 from repro.core.errors import TransportError
 from repro.core.facts import Fact
 from repro.core.schema import SchemaRegistry
 from repro.runtime.inmemory import InMemoryTransport, NetworkStats
-from repro.runtime.messages import Message, PeerJoinMessage
+from repro.runtime.messages import PeerJoinMessage
 from repro.runtime.peer import Peer, PeerStageReport
+from repro.runtime.scheduler import (
+    AsyncScheduler,
+    LockstepScheduler,
+    RoundReport,
+    RunSummary,
+    Scheduler,
+    resolve_scheduler,
+)
 
 if TYPE_CHECKING:
     from repro.runtime.transport import Transport
 
-
-@dataclass
-class RoundReport:
-    """What happened during one system round."""
-
-    round_number: int
-    peer_reports: Dict[str, PeerStageReport] = field(default_factory=dict)
-    messages_sent: int = 0
-    messages_delivered: int = 0
-
-    def is_quiescent(self) -> bool:
-        """``True`` when every peer was quiescent this round."""
-        return all(report.is_quiescent() for report in self.peer_reports.values())
-
-    def total_derived(self) -> int:
-        """Total intensional facts derived across peers this round."""
-        return sum(r.stage_result.derived_intensional for r in self.peer_reports.values())
-
-    def total_delegations_installed(self) -> int:
-        """Total delegation-install messages emitted this round."""
-        return sum(len(r.stage_result.delegations_to_install)
-                   for r in self.peer_reports.values())
-
-
-@dataclass
-class RunSummary:
-    """Summary of a :meth:`WebdamLogSystem.run_until_quiescent` execution."""
-
-    rounds: List[RoundReport] = field(default_factory=list)
-    converged: bool = False
-
-    @property
-    def round_count(self) -> int:
-        """Number of rounds executed."""
-        return len(self.rounds)
-
-    @property
-    def rounds_to_convergence(self) -> int:
-        """Number of rounds in which real work happened (delivery or derivation).
-
-        This is the index (1-based) of the last non-quiescent round; trailing
-        quiescent rounds needed only to *detect* convergence are not counted.
-        """
-        last_active = 0
-        for index, report in enumerate(self.rounds, start=1):
-            if not report.is_quiescent():
-                last_active = index
-        return last_active
-
-    def total_messages(self) -> int:
-        """Total messages sent across all rounds."""
-        return sum(report.messages_sent for report in self.rounds)
-
-    def total_derived(self) -> int:
-        """Total intensional derivations across all rounds and peers."""
-        return sum(report.total_derived() for report in self.rounds)
+__all__ = ["WebdamLogSystem", "RoundReport", "RunSummary"]
 
 
 class WebdamLogSystem:
-    """A set of peers connected by a round-based transport.
+    """A set of peers connected by a transport and driven by a scheduler.
 
     The orchestrator depends only on the
     :class:`~repro.runtime.transport.Transport` protocol; pass any conforming
@@ -114,6 +72,10 @@ class WebdamLogSystem:
     transport:
         An explicit :class:`~repro.runtime.transport.Transport`.  When given,
         ``latency``/``drop_probability``/``seed`` are ignored.
+    scheduler:
+        The execution driver: a :class:`~repro.runtime.scheduler.Scheduler`
+        instance or one of the names ``"lockstep"`` (default), ``"reactive"``,
+        ``"async"``.
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
@@ -121,10 +83,12 @@ class WebdamLogSystem:
                  default_trusted: Sequence[str] = (),
                  auto_accept_delegations: bool = True,
                  strict_stage_inputs: bool = False,
-                 transport: Optional["Transport"] = None):
+                 transport: Optional["Transport"] = None,
+                 scheduler: Union[None, str, Scheduler] = None):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
+        self.scheduler: Scheduler = resolve_scheduler(scheduler)
         self.peers: Dict[str, Peer] = {}
         self.default_trusted = tuple(default_trusted)
         self.auto_accept_delegations = auto_accept_delegations
@@ -132,24 +96,43 @@ class WebdamLogSystem:
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
+        self._stage_observers: List[Callable[[str, PeerStageReport], None]] = []
 
     @property
     def network(self) -> "Transport":
         """Deprecated alias of :attr:`transport` (pre-protocol name)."""
         return self.transport
 
-    def add_round_observer(self, observer: Callable[[RoundReport], None]) -> None:
-        """Call ``observer(report)`` after every executed round.
+    # ------------------------------------------------------------------ #
+    # observers
+    # ------------------------------------------------------------------ #
 
-        This is the hook the :mod:`repro.api` subscription machinery uses to
-        watch derivations without reaching into engine state.
-        """
+    def add_round_observer(self, observer: Callable[[RoundReport], None]) -> None:
+        """Call ``observer(report)`` after every scheduling cycle."""
         self._round_observers.append(observer)
 
     def remove_round_observer(self, observer: Callable[[RoundReport], None]) -> None:
         """Stop calling a previously added observer (no-op when unknown)."""
         try:
             self._round_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def add_stage_observer(self, observer: Callable[[str, PeerStageReport], None]) -> None:
+        """Call ``observer(peer_name, report)`` after every executed peer stage.
+
+        This is the hook the :mod:`repro.api` subscription machinery uses:
+        each report carries the stage's
+        :attr:`~repro.core.engine.StageResult.visible_delta`, so observers
+        see derivations as stages complete — no relation re-scanning, no
+        waiting for a round boundary.
+        """
+        self._stage_observers.append(observer)
+
+    def remove_stage_observer(self, observer: Callable[[str, PeerStageReport], None]) -> None:
+        """Stop calling a previously added stage observer (no-op when unknown)."""
+        try:
+            self._stage_observers.remove(observer)
         except ValueError:
             pass
 
@@ -215,73 +198,162 @@ class WebdamLogSystem:
         return len(self.peers)
 
     # ------------------------------------------------------------------ #
-    # execution
+    # scheduling primitives (composed by the drivers in runtime.scheduler)
     # ------------------------------------------------------------------ #
 
     @property
     def current_round(self) -> int:
-        """Number of rounds executed so far."""
+        """Number of scheduling cycles executed so far."""
         return self._round
 
-    def run_round(self) -> RoundReport:
-        """Execute one round: every peer consumes its messages and runs one stage."""
+    def begin_round(self) -> RoundReport:
+        """Open a new scheduling cycle and return its (empty) report."""
         self._round += 1
-        report = RoundReport(round_number=self._round)
-        for name in sorted(self.peers):
-            peer = self.peers[name]
-            incoming = self.transport.receive(name)
-            delivered = peer.deliver_all(incoming)
-            stage_result, outgoing = peer.run_stage()
-            sent = 0
-            for message in outgoing:
-                try:
-                    if self.transport.send(message):
-                        sent += 1
-                except TransportError:
-                    # Destination unknown to the network (e.g. a wrapper-only
-                    # pseudo-peer): the message is counted but not delivered.
-                    pass
-            report.peer_reports[name] = PeerStageReport(
-                peer=name,
-                stage_result=stage_result,
-                delivered_messages=delivered,
-                sent_messages=sent,
-                pending_delegations=len(peer.pending_delegations()),
-            )
+        return RoundReport(round_number=self._round)
+
+    def activate_peer(self, name: str,
+                      report: Optional[RoundReport] = None) -> PeerStageReport:
+        """Run one stage at ``name``: deliver due messages, compute, send.
+
+        The resulting :class:`~repro.runtime.peer.PeerStageReport` is folded
+        into ``report`` (when given) and pushed to the stage observers.
+        """
+        peer = self.peers[name]
+        incoming = self.transport.receive(name)
+        delivered = peer.deliver_all(incoming)
+        stage_result, outgoing = peer.run_stage()
+        sent = 0
+        for message in outgoing:
+            try:
+                if self.transport.send(message):
+                    sent += 1
+            except TransportError:
+                # Destination unknown to the network (e.g. a wrapper-only
+                # pseudo-peer): the message is counted but not delivered.
+                pass
+        stage_report = PeerStageReport(
+            peer=name,
+            stage_result=stage_result,
+            delivered_messages=delivered,
+            sent_messages=sent,
+            pending_delegations=len(peer.pending_delegations()),
+        )
+        if report is not None:
+            report.peer_reports[name] = stage_report
             report.messages_sent += sent
             report.messages_delivered += delivered
+        for observer in tuple(self._stage_observers):
+            observer(name, stage_report)
+        return stage_report
+
+    def finish_round(self, report: RoundReport) -> RoundReport:
+        """Close a scheduling cycle: advance the transport clock, notify observers."""
         self.transport.advance_round()
         self.history.append(report)
         for observer in tuple(self._round_observers):
             observer(report)
         return report
 
+    def due_message_count(self, name: str) -> int:
+        """Messages deliverable to ``name`` at the current transport round.
+
+        Transports that track latency expose an exact ``due_count``; for any
+        other implementation the (conservative) total pending count is used,
+        which may activate a peer early but never starves one.
+        """
+        due = getattr(self.transport, "due_count", None)
+        if due is not None:
+            return due(name)
+        return self.transport.pending_count(name)
+
+    def pending_engine_input(self) -> bool:
+        """``True`` while any engine holds unconsumed input."""
+        return any(peer.engine.has_pending_input() for peer in self.peers.values())
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def converge(self, max_steps: Optional[int] = None, extra_rounds: int = 0,
+                 scheduler: Union[None, str, Scheduler] = None) -> RunSummary:
+        """Drive the system to a fixpoint with the configured scheduler.
+
+        Convergence means: a cycle in which every executed stage was
+        quiescent, no message remains in flight, and no engine holds pending
+        input.  ``max_steps`` bounds the scheduling cycles (default 100);
+        ``extra_rounds`` additional cycles are run afterwards (useful when a
+        test wants to check stability).  Pass ``scheduler`` to override the
+        configured driver for this call only.
+        """
+        driver = self.scheduler if scheduler is None else resolve_scheduler(scheduler)
+        return driver.converge(self, max_steps=max_steps, extra_rounds=extra_rounds)
+
+    def step(self) -> RoundReport:
+        """Execute one scheduling cycle of the configured scheduler."""
+        return self.scheduler.step(self)
+
+    async def aconverge(self, max_steps: Optional[int] = None,
+                        extra_rounds: int = 0) -> RunSummary:
+        """Asynchronously drive the system to a fixpoint.
+
+        Uses the configured scheduler when it is an
+        :class:`~repro.runtime.scheduler.AsyncScheduler`, otherwise a fresh
+        one — so ``await system.aconverge()`` works regardless of how the
+        system was built.
+        """
+        driver = (self.scheduler if isinstance(self.scheduler, AsyncScheduler)
+                  else AsyncScheduler())
+        return await driver.aconverge(self, max_steps=max_steps,
+                                      extra_rounds=extra_rounds)
+
+    # ------------------------------------------------------------------ #
+    # deprecated round-based shims (pre-scheduler API)
+    # ------------------------------------------------------------------ #
+
+    def run_round(self) -> RoundReport:
+        """Deprecated: execute one lockstep round (every peer runs one stage).
+
+        .. deprecated::
+           Use :meth:`step` (with the scheduler of your choice) or
+           :meth:`converge`.
+        """
+        warnings.warn(
+            "WebdamLogSystem.run_round() is deprecated; use step() or "
+            "converge() with a scheduler (see repro.runtime.scheduler)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return LockstepScheduler().step(self)
+
     def run_rounds(self, count: int) -> List[RoundReport]:
-        """Execute ``count`` rounds unconditionally."""
-        return [self.run_round() for _ in range(count)]
+        """Deprecated: execute ``count`` lockstep rounds unconditionally.
+
+        .. deprecated::
+           Use :meth:`step` (with the scheduler of your choice) or
+           :meth:`converge`.
+        """
+        warnings.warn(
+            "WebdamLogSystem.run_rounds() is deprecated; use step() or "
+            "converge() with a scheduler (see repro.runtime.scheduler)",
+            DeprecationWarning, stacklevel=2,
+        )
+        driver = LockstepScheduler()
+        return [driver.step(self) for _ in range(count)]
 
     def run_until_quiescent(self, max_rounds: int = 100,
                             extra_rounds: int = 0) -> RunSummary:
-        """Run rounds until the whole system converges (or ``max_rounds`` is hit).
+        """Deprecated: run lockstep rounds until the whole system converges.
 
-        Convergence means: a round in which every peer was quiescent *and* no
-        message remains in flight.  ``extra_rounds`` additional rounds are run
-        afterwards (useful when a test wants to check stability).
+        .. deprecated::
+           Use :meth:`converge` (equivalent under the default lockstep
+           scheduler, and scheduler-aware otherwise).
         """
-        summary = RunSummary()
-        for _ in range(max_rounds):
-            report = self.run_round()
-            summary.rounds.append(report)
-            if report.is_quiescent() and not self.transport.has_in_flight() \
-                    and not self._any_pending_engine_input():
-                summary.converged = True
-                break
-        for _ in range(extra_rounds):
-            summary.rounds.append(self.run_round())
-        return summary
-
-    def _any_pending_engine_input(self) -> bool:
-        return any(peer.engine.has_pending_input() for peer in self.peers.values())
+        warnings.warn(
+            "WebdamLogSystem.run_until_quiescent() is deprecated; use "
+            "converge() (see repro.runtime.scheduler)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return LockstepScheduler().converge(self, max_steps=max_rounds,
+                                            extra_rounds=extra_rounds)
 
     # ------------------------------------------------------------------ #
     # reporting

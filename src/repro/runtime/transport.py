@@ -70,7 +70,14 @@ class Transport(Protocol):
         """Messages still in flight (optionally for one recipient)."""
 
     def has_in_flight(self) -> bool:
-        """``True`` while at least one message is undelivered."""
+        """``True`` while at least one message is undelivered.
+
+        Optional extension: transports that model latency may additionally
+        expose ``due_count(peer) -> int`` — the messages deliverable *now* —
+        which event-driven schedulers use for exact peer activation.  It is
+        not part of the protocol so minimal transports stay conformant; the
+        schedulers fall back to :meth:`pending_count`.
+        """
 
     # -- stats --------------------------------------------------------- #
 
@@ -142,6 +149,12 @@ class RecordingTransport:
         return self._round
 
     def pending_count(self, peer: Optional[str] = None) -> int:
+        return self.inner.pending_count(peer)
+
+    def due_count(self, peer: str) -> int:
+        inner_due = getattr(self.inner, "due_count", None)
+        if inner_due is not None:
+            return inner_due(peer)
         return self.inner.pending_count(peer)
 
     def has_in_flight(self) -> bool:

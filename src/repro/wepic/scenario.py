@@ -71,8 +71,12 @@ class DemoScenario:
         return tuple(sorted(self.apps))
 
     def run(self, max_rounds: int = 60) -> RunSummary:
-        """Run the system until it converges."""
-        return self.system.run_until_quiescent(max_rounds=max_rounds)
+        """Run the system until it converges (with its configured scheduler)."""
+        return self.api.converge(max_steps=max_rounds)
+
+    def converge(self, max_steps: Optional[int] = None) -> RunSummary:
+        """Scheduler-API name for :meth:`run`."""
+        return self.api.converge(max_steps=max_steps)
 
     def stats(self) -> NetworkStats:
         """The transport's accumulated counters."""
@@ -128,7 +132,8 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
                         publish_to_sigmod: bool = True,
                         with_facebook: bool = True,
                         seed: Optional[int] = 0,
-                        transport: Optional[Transport] = None) -> DemoScenario:
+                        transport: Optional[Transport] = None,
+                        scheduler: Optional[object] = None) -> DemoScenario:
     """Build the Figure-2 deployment through :mod:`repro.api`.
 
     Parameters
@@ -156,6 +161,10 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
     transport:
         An explicit :class:`repro.api.Transport`; overrides ``latency`` and
         ``seed`` (e.g. a :class:`repro.api.RecordingTransport` for tracing).
+    scheduler:
+        Execution driver of the deployment: ``"lockstep"`` (default),
+        ``"reactive"``, ``"async"`` or a
+        :class:`~repro.runtime.scheduler.Scheduler` instance.
     """
     rules = WepicRules(sigmod_peer=SIGMOD_PEER, group_peer=SIGMOD_FB_PEER)
     facebook = FacebookService()
@@ -169,6 +178,8 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
         builder.transport(transport)
     else:
         builder.latency(latency).seed(seed)
+    if scheduler is not None:
+        builder.scheduler(scheduler)
 
     # --- the sigmod cloud peer ---------------------------------------- #
     sigmod_builder = builder.peer(SIGMOD_PEER).auto_accept_delegations(True)

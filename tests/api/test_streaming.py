@@ -1,0 +1,144 @@
+"""Streaming queries and delta-driven subscriptions."""
+
+import pytest
+
+from repro.api import system
+
+JULES = """
+collection extensional persistent selectedAttendee@Jules(attendee);
+collection intensional attendeePictures@Jules(id, name);
+fact selectedAttendee@Jules("Emilien");
+rule attendeePictures@Jules($id, $n) :-
+    selectedAttendee@Jules($a), pictures@$a($id, $n);
+"""
+
+EMILIEN = """
+collection extensional persistent pictures@Emilien(id, name);
+fact pictures@Emilien(1, "sea.jpg");
+fact pictures@Emilien(2, "boat.jpg");
+"""
+
+
+def build_quickstart(scheduler="lockstep"):
+    return (system()
+            .scheduler(scheduler)
+            .peer("Jules").program(JULES)
+            .peer("Emilien").program(EMILIEN)
+            .build())
+
+
+class TestIterFacts:
+    @pytest.mark.parametrize("scheduler", ["lockstep", "reactive"])
+    def test_streams_facts_while_converging(self, scheduler):
+        built = build_quickstart(scheduler)
+        view = built.query("Jules", "attendeePictures")
+        streamed = list(view.iter_facts())
+        assert sorted(f.values for f in streamed) == [(1, "sea.jpg"), (2, "boat.jpg")]
+        # The stream drove the system to its fixpoint.
+        assert len(view) == 2
+
+    def test_streams_existing_facts_on_a_converged_system(self):
+        built = build_quickstart()
+        built.converge()
+        streamed = list(built.query("Jules", "attendeePictures").iter_facts())
+        assert sorted(f.values for f in streamed) == [(1, "sea.jpg"), (2, "boat.jpg")]
+
+    def test_stream_interleaves_with_execution(self):
+        built = build_quickstart()
+        rounds_at_yield = []
+        for _ in built.query("Jules", "attendeePictures").iter_facts():
+            rounds_at_yield.append(built.current_round)
+        # Facts arrive mid-run, before the convergence-detection cycles end.
+        assert rounds_at_yield
+        final_round = built.current_round
+        assert all(r < final_round for r in rounds_at_yield)
+
+    def test_iteration_stops_at_fixpoint(self):
+        built = build_quickstart()
+        assert len(list(built.query("Jules", "attendeePictures").iter_facts())) == 2
+        # A second stream over the converged system terminates immediately
+        # with the same facts (include-existing), not a hung iterator.
+        assert len(list(built.query("Jules", "attendeePictures").iter_facts())) == 2
+
+    def test_detached_handle_falls_back_to_current_facts(self):
+        built = build_quickstart()
+        built.converge()
+        handle = built.peer("Emilien").query("pictures", peer="Emilien")
+        assert len(list(handle.iter_facts())) == 2
+
+
+class TestDeltaDrivenSubscriptions:
+    """Callbacks are fed from stage deltas, not round-boundary re-scans."""
+
+    @pytest.mark.parametrize("scheduler", ["lockstep", "reactive"])
+    def test_exactly_once_per_scheduler(self, scheduler):
+        built = build_quickstart(scheduler)
+        fired = []
+        sub = built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.converge()
+        built.converge()
+        assert sorted(f.values for f in fired) == [(1, "sea.jpg"), (2, "boat.jpg")]
+        assert sub.delivered == 2
+
+    def test_callback_fires_during_the_run_not_after(self):
+        built = build_quickstart()
+        rounds_at_fire = []
+        built.subscribe("attendeePictures",
+                        lambda fact: rounds_at_fire.append(built.current_round),
+                        peer="Jules")
+        summary = built.converge()
+        assert len(rounds_at_fire) == 2
+        # Delivered while converging, strictly before the final cycle.
+        assert all(r < summary.rounds[-1].round_number for r in rounds_at_fire)
+
+    def test_retraction_then_rederivation_fires_again_under_reactive(self):
+        built = build_quickstart("reactive")
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules")
+        built.converge()
+        jules = built.peer("Jules")
+        jules.delete('selectedAttendee@Jules("Emilien")')
+        built.converge()
+        assert len(built.query("Jules", "attendeePictures")) == 0
+        jules.insert('selectedAttendee@Jules("Emilien")')
+        built.converge()
+        assert len(fired) == 4
+
+    def test_include_existing_fires_when_execution_resumes(self):
+        built = build_quickstart("reactive")
+        built.converge()
+        fired = []
+        built.subscribe("attendeePictures", fired.append, peer="Jules",
+                        include_existing=True)
+        built.converge()
+        assert len(fired) == 2
+
+    def test_stage_scoped_delivery_reports_visible_deltas_only(self):
+        built = build_quickstart()
+        deltas = []
+        built.runtime.add_stage_observer(
+            lambda name, report: deltas.append((name, report.stage_result.visible_delta)))
+        built.converge()
+        jules_inserted = [f for name, d in deltas if name == "Jules"
+                          for f in d.inserted if f.relation == "attendeePictures"]
+        assert sorted(f.values for f in jules_inserted) == \
+            [(1, "sea.jpg"), (2, "boat.jpg")]
+
+
+class TestBuilderScheduler:
+    def test_builder_configures_the_scheduler(self):
+        built = build_quickstart("reactive")
+        assert built.runtime.scheduler.name == "reactive"
+        summary = built.converge()
+        assert summary.scheduler == "reactive"
+
+    def test_unknown_scheduler_is_a_build_error(self):
+        from repro.api import BuildError
+        with pytest.raises(BuildError, match="unknown scheduler"):
+            system().scheduler("eager")
+
+    def test_processes_backend_rejects_scheduler(self):
+        from repro.api import BuildError
+        with pytest.raises(BuildError, match="processes backend"):
+            (system().backend("processes").scheduler("reactive")
+             .peer("a").build())
