@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""ENGINE-FIXPOINT — naive clear-and-recompute vs the incremental engine.
+
+The per-peer fixpoint is the innermost loop of every scenario: the seed
+engine cleared every intensional relation at each stage and recomputed it
+from scratch, matching body literals by scanning whole relations.  This
+benchmark drives three variants of :class:`~repro.core.engine.WebdamLogEngine`
+through identical workloads:
+
+* ``seed``         — naive recompute, full relation scans (the seed engine);
+* ``indexed``      — naive recompute through the incremental hash indexes;
+* ``incremental``  — seminaive delta evaluation + scoped delete-and-rederive
+                     (the default engine).
+
+Workloads:
+
+* **transitive_closure** — a link chain, then incremental edge insertions,
+  each followed by a stage (recursive joins; the seminaive showcase);
+* **wepic_ranking**      — WEPIC-style visibility/recommendation joins over
+  pictures, friendships and likes, with likes streaming in;
+* **churn_deletions**    — link/block churn with deletions and a negated
+  literal, exercising the scoped delete-and-rederive path.
+
+Per workload and variant the report carries best-of-N wall clock,
+``substitutions_explored`` and ``fixpoint_iterations``; final snapshots are
+compared fact-for-fact across variants before anything is written.
+
+Run as a script (also smoke-run in CI)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_fixpoint.py
+
+Writes ``BENCH_engine_fixpoint.json`` next to this file (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+from pathlib import Path
+
+from repro.bench.harness import bench_metadata, time_repeated
+from repro.bench.reporting import format_table
+from repro.core.engine import WebdamLogEngine
+from repro.core.facts import Fact
+
+VARIANTS = {
+    "seed": dict(evaluation_mode="naive", use_indexes=False),
+    "indexed": dict(evaluation_mode="naive", use_indexes=True),
+    "incremental": dict(evaluation_mode="incremental", use_indexes=True),
+}
+
+TC_PROGRAM = """
+collection extensional persistent link@bench(src, dst);
+collection intensional tc@bench(src, dst);
+rule tc@bench($x, $y) :- link@bench($x, $y);
+rule tc@bench($x, $z) :- link@bench($x, $y), tc@bench($y, $z);
+"""
+
+RANKING_PROGRAM = """
+collection extensional persistent pictures@bench(id, owner);
+collection extensional persistent friend@bench(viewer, owner);
+collection extensional persistent liked@bench(id, user);
+collection intensional visible@bench(id, viewer);
+collection intensional recommended@bench(id, viewer);
+rule visible@bench($id, $v) :- friend@bench($v, $o), pictures@bench($id, $o);
+rule recommended@bench($id, $v) :- visible@bench($id, $v), friend@bench($v, $u), liked@bench($id, $u);
+"""
+
+CHURN_PROGRAM = """
+collection extensional persistent link@bench(src, dst);
+collection extensional persistent blocked@bench(node);
+collection intensional tc@bench(src, dst);
+collection intensional ok@bench(src, dst);
+rule tc@bench($x, $y) :- link@bench($x, $y);
+rule tc@bench($x, $z) :- link@bench($x, $y), tc@bench($y, $z);
+rule ok@bench($x, $y) :- tc@bench($x, $y), not blocked@bench($x);
+"""
+
+
+def _engine(variant: str) -> WebdamLogEngine:
+    return WebdamLogEngine("bench", **VARIANTS[variant])
+
+
+def transitive_closure(variant: str, chain: int, inserts: int) -> WebdamLogEngine:
+    """A chain of links, then ``inserts`` incremental edges, one stage each."""
+    engine = _engine(variant)
+    engine.load_program(TC_PROGRAM)
+    for i in range(chain - 1):
+        engine.insert_fact(Fact("link", "bench", (i, i + 1)))
+    engine.run_to_quiescence(max_stages=10)
+    for i in range(inserts):
+        engine.insert_fact(Fact("link", "bench", (chain + i, i % chain)))
+        engine.run_to_quiescence(max_stages=10)
+    return engine
+
+
+def wepic_ranking(variant: str, users: int, pictures: int, likes: int) -> WebdamLogEngine:
+    """WEPIC-style ranking joins with a stream of incoming likes."""
+    engine = _engine(variant)
+    engine.load_program(RANKING_PROGRAM)
+    for picture in range(pictures):
+        engine.insert_fact(Fact("pictures", "bench",
+                                (picture, f"user{picture % users}")))
+    for viewer in range(users):
+        for offset in (1, 2):
+            engine.insert_fact(Fact("friend", "bench",
+                                    (f"user{viewer}", f"user{(viewer + offset) % users}")))
+    engine.run_to_quiescence(max_stages=10)
+    rng = random.Random(1729)
+    for _ in range(likes):
+        engine.insert_fact(Fact("liked", "bench",
+                                (rng.randrange(pictures),
+                                 f"user{rng.randrange(users)}")))
+        engine.run_to_quiescence(max_stages=10)
+    return engine
+
+
+def churn_deletions(variant: str, nodes: int, steps: int) -> WebdamLogEngine:
+    """Insert/delete churn over links and blocks (negation + rederive path)."""
+    engine = _engine(variant)
+    engine.load_program(CHURN_PROGRAM)
+    rng = random.Random(4242)
+    for step in range(steps):
+        roll = rng.random()
+        a, b = rng.randrange(nodes), rng.randrange(nodes)
+        if roll < 0.5:
+            engine.insert_fact(Fact("link", "bench", (a, b)))
+        elif roll < 0.75:
+            engine.delete_fact(Fact("link", "bench", (a, b)))
+        elif roll < 0.9:
+            engine.insert_fact(Fact("blocked", "bench", (a,)))
+        else:
+            engine.delete_fact(Fact("blocked", "bench", (a,)))
+        engine.run_to_quiescence(max_stages=30)
+    return engine
+
+
+def measure(workload, repeats: int) -> dict:
+    """Run ``workload`` per variant (best of ``repeats``); verify snapshots."""
+    measurements = {}
+    snapshots = {}
+    for variant in VARIANTS:
+        timing, engine = time_repeated(lambda v=variant: workload(v), repeats)
+        counters = engine.eval_counters
+        snapshots[variant] = engine.snapshot()
+        measurements[variant] = {
+            **timing,
+            "substitutions_explored": counters["substitutions_explored"],
+            "fixpoint_iterations": counters["fixpoint_iterations"],
+            "rules_evaluated": counters["rules_evaluated"],
+            "stage_paths": {
+                path: counters[f"stages_{path}"]
+                for path in ("full", "delta", "rederive", "skip")
+            },
+        }
+    identical = all(snapshots[v] == snapshots["seed"] for v in VARIANTS)
+    if not identical:
+        raise AssertionError(
+            "engine divergence: variants reached different fixpoints"
+        )
+    seed = measurements["seed"]
+    incremental = measurements["incremental"]
+    measurements["substitutions_reduction"] = round(
+        seed["substitutions_explored"] / max(1, incremental["substitutions_explored"]), 2)
+    measurements["speedup"] = round(
+        seed["best_seconds"] / max(1e-9, incremental["best_seconds"]), 2)
+    measurements["snapshots_identical"] = True
+    return measurements
+
+
+def run_benchmark(args) -> dict:
+    workloads = {
+        "transitive_closure": lambda v: transitive_closure(v, args.chain, args.inserts),
+        "wepic_ranking": lambda v: wepic_ranking(v, args.users, args.pictures,
+                                                 args.likes),
+        "churn_deletions": lambda v: churn_deletions(v, args.nodes, args.steps),
+    }
+    results = {name: measure(workload, args.repeats)
+               for name, workload in workloads.items()}
+    return {
+        "experiment": "ENGINE-FIXPOINT",
+        "metadata": bench_metadata(
+            repeats=args.repeats,
+            parameters={
+                "chain": args.chain, "inserts": args.inserts,
+                "users": args.users, "pictures": args.pictures,
+                "likes": args.likes, "nodes": args.nodes, "steps": args.steps,
+            },
+        ),
+        "workloads": results,
+        "substitutions_reduction_tc": results["transitive_closure"][
+            "substitutions_reduction"],
+        "speedup_tc": results["transitive_closure"]["speedup"],
+        "snapshots_identical": all(
+            r["snapshots_identical"] for r in results.values()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chain", type=int, default=30,
+                        help="chain length of the transitive-closure workload")
+    parser.add_argument("--inserts", type=int, default=8,
+                        help="incremental edge insertions after the chain")
+    parser.add_argument("--users", type=int, default=8,
+                        help="users in the WEPIC ranking workload")
+    parser.add_argument("--pictures", type=int, default=60,
+                        help="pictures in the WEPIC ranking workload")
+    parser.add_argument("--likes", type=int, default=25,
+                        help="streamed like insertions")
+    parser.add_argument("--nodes", type=int, default=10,
+                        help="nodes of the churn workload graph")
+    parser.add_argument("--steps", type=int, default=40,
+                        help="insert/delete operations in the churn workload")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing runs per variant (best-of-N is reported)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "BENCH_engine_fixpoint.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    report = run_benchmark(args)
+
+    for name, result in report["workloads"].items():
+        columns = ["variant", "best (s)", "mean (s)", "substitutions",
+                   "iterations"]
+        rows = [
+            [variant,
+             result[variant]["best_seconds"],
+             result[variant]["mean_seconds"],
+             result[variant]["substitutions_explored"],
+             result[variant]["fixpoint_iterations"]]
+            for variant in VARIANTS
+        ]
+        print(format_table(columns, rows, title=f"[ENGINE-FIXPOINT] {name}"))
+        print(f"  substitutions reduction: {result['substitutions_reduction']}x, "
+              f"speedup: {result['speedup']}x "
+              f"(snapshots identical: {result['snapshots_identical']})")
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 
 from repro.api import system
+from repro.bench.harness import bench_metadata
 from repro.bench.reporting import format_table
 
 CHATTY_A = "chatty_a"
@@ -110,6 +111,8 @@ def run_benchmark(peers: int, waves: int) -> dict:
              if reactive["stage_executions"] else float("inf"))
     return {
         "experiment": "SPARSE-ACTIVATION",
+        "metadata": bench_metadata(repeats=1,
+                                   parameters={"peers": peers, "waves": waves}),
         "lockstep": lockstep,
         "reactive": reactive,
         "stage_reduction_factor": round(ratio, 2),

@@ -83,6 +83,7 @@ class SystemBuilder:
         self._strict_stage_inputs = False
         self._backend = "inmemory"
         self._scheduler: Optional[Scheduler] = None
+        self._evaluation_mode = "incremental"
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -151,6 +152,19 @@ class SystemBuilder:
             raise BuildError(str(exc)) from exc
         return self
 
+    def evaluation(self, mode: str) -> "SystemBuilder":
+        """Choose the per-peer fixpoint strategy: ``"incremental"`` (default,
+        seminaive + hash indexes) or ``"naive"`` (the historical
+        clear-and-recompute, kept as a differential/benchmark baseline).
+        """
+        if mode not in ("incremental", "naive"):
+            raise BuildError(
+                f"unknown evaluation mode {mode!r}; choose from "
+                "('incremental', 'naive')"
+            )
+        self._evaluation_mode = mode
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -187,6 +201,7 @@ class SystemBuilder:
             strict_stage_inputs=self._strict_stage_inputs,
             transport=transport,
             scheduler=self._scheduler,
+            evaluation_mode=self._evaluation_mode,
         )
         built = System(runtime)
         for spec in self._specs:

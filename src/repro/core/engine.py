@@ -18,16 +18,130 @@ a stage are returned in a :class:`StageResult` for the caller to deliver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.delegation import Delegation, DelegationDiff
 from repro.core.errors import EvaluationError, SchemaError
 from repro.core.evaluation import RuleEvaluator, RuleOutcome, stratify_local_rules
 from repro.core.facts import Delta, Fact
 from repro.core.parser import ParsedProgram, parse_fact, parse_program, parse_rule
-from repro.core.rules import Rule
+from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
 from repro.core.state import PeerState
+
+#: Predicate marker for atoms whose relation or peer position is still a
+#: variable at analysis time — they may read from (or derive into) any
+#: relation, so dependency analysis treats them as depending on everything.
+_WILDCARD = "*any*"
+
+
+def _predicate_of(atom: Atom) -> str:
+    relation = atom.relation_constant()
+    peer = atom.peer_constant()
+    if relation is None or peer is None:
+        return _WILDCARD
+    return f"{relation}@{peer}"
+
+
+class _ProgramAnalysis:
+    """Precomputed dependency structure of a peer's current program.
+
+    Cached on the engine and rebuilt whenever the rule set changes (own
+    rules added/removed/replaced, delegations installed or retracted) — the
+    cache is validated by object identity against ``state.all_rules()``, so
+    any mutation path invalidates it, including ones that bypass the engine
+    API (e.g. the delegation controller installing an approved rule).
+    """
+
+    __slots__ = ("rules", "strata", "body_predicates", "negated_predicates",
+                 "head_predicate")
+
+    def __init__(self, peer: str, rules: Tuple[Rule, ...]):
+        self.rules = rules
+        self.strata = stratify_local_rules(peer, list(rules))
+        self.body_predicates: Dict[Rule, FrozenSet[str]] = {}
+        self.head_predicate: Dict[Rule, str] = {}
+        self.negated_predicates: Set[str] = set()
+        for rule in rules:
+            predicates = set()
+            for atom in rule.body:
+                predicate = _predicate_of(atom)
+                predicates.add(predicate)
+                if atom.negated:
+                    self.negated_predicates.add(predicate)
+            self.body_predicates[rule] = frozenset(predicates)
+            self.head_predicate[rule] = _predicate_of(rule.head)
+
+    def matches(self, rules: Tuple[Rule, ...]) -> bool:
+        """``True`` when the analysis still describes exactly these rules."""
+        return len(self.rules) == len(rules) and all(
+            cached is current for cached, current in zip(self.rules, rules))
+
+    def triggered(self, rule: Rule, delta_predicates: Set[str]) -> bool:
+        """``True`` when a delta over these predicates can re-fire ``rule``."""
+        body = self.body_predicates[rule]
+        return _WILDCARD in body or not delta_predicates.isdisjoint(body)
+
+    def touches_negation(self, delta_predicates: Set[str]) -> bool:
+        """``True`` when the delta reaches a negated body occurrence."""
+        negated = self.negated_predicates
+        if not negated:
+            return False
+        return _WILDCARD in negated or not delta_predicates.isdisjoint(negated)
+
+    def derivation_closure(self, seed_predicates: Set[str]) -> Optional[Set[str]]:
+        """Every predicate the seed predicates can derive into, transitively.
+
+        Follows rule bodies forward to heads only (unlike
+        :meth:`affected_closure` it does not pull in sibling definitions of
+        reached heads — it answers "what can this delta change", not "what
+        must be recomputed").  Returns ``None`` when a wildcard-headed rule
+        is reachable, meaning the delta could derive anywhere.
+        """
+        reachable = set(seed_predicates)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                head = self.head_predicate[rule]
+                if head in reachable:
+                    continue
+                body = self.body_predicates[rule]
+                if _WILDCARD in body or not reachable.isdisjoint(body):
+                    if head == _WILDCARD:
+                        return None
+                    reachable.add(head)
+                    changed = True
+        return reachable
+
+    def affected_closure(self, seed_predicates: Set[str]
+                         ) -> Tuple[Set[str], Set[Rule], bool]:
+        """Predicates and rules transitively reachable from a delta.
+
+        A rule is affected when its body reads an affected predicate *or*
+        its head derives into one (every definition of a cleared predicate
+        must re-fire, not only the ones the delta touched).  The returned
+        flag is ``True`` when a wildcard-headed rule is affected, in which
+        case the caller must fall back to a full recompute.
+        """
+        affected = set(seed_predicates)
+        affected_rules: Set[Rule] = set()
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                if rule in affected_rules:
+                    continue
+                body = self.body_predicates[rule]
+                head = self.head_predicate[rule]
+                if (_WILDCARD in body or not affected.isdisjoint(body)
+                        or head in affected):
+                    affected_rules.add(rule)
+                    changed = True
+                    if head == _WILDCARD:
+                        return set(), set(), True
+                    affected.add(head)
+        return affected, affected_rules, False
 
 
 @dataclass(frozen=True)
@@ -58,6 +172,12 @@ class StageResult:
     derived_intensional: int = 0
     derived_changed: bool = False
     deferred_local_updates: int = 0
+    #: Which fixpoint strategy the stage used: ``"full"`` (clear everything
+    #: and recompute — program/schema change, naive mode, or provenance
+    #: attached), ``"delta"`` (seminaive over the input delta), ``"rederive"``
+    #: (scoped delete-and-rederive of the affected predicate closure) or
+    #: ``"skip"`` (no input delta — nothing evaluated at all).
+    evaluation_path: str = "full"
     outgoing_updates: List[OutgoingUpdate] = field(default_factory=list)
     delegations_to_install: List[Delegation] = field(default_factory=list)
     delegations_to_retract: List[Delegation] = field(default_factory=list)
@@ -98,7 +218,14 @@ class WebdamLogEngine:
     """The WebdamLog engine of a single peer."""
 
     def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None,
-                 strict_stage_inputs: bool = False):
+                 strict_stage_inputs: bool = False,
+                 evaluation_mode: str = "incremental",
+                 use_indexes: bool = True):
+        if evaluation_mode not in ("incremental", "naive"):
+            raise ValueError(
+                f"unknown evaluation_mode {evaluation_mode!r}; "
+                "expected 'incremental' or 'naive'"
+            )
         self.peer = peer
         self.state = PeerState(peer, schemas)
         # Strict per-stage semantics (facts received for local intensional
@@ -106,9 +233,19 @@ class WebdamLogEngine:
         # the default keeps them until the sender retracts them, which is the
         # behaviour the Wepic demo relies on.
         self.strict_stage_inputs = strict_stage_inputs
+        # ``"incremental"`` runs the seminaive / scoped-rederive fixpoint;
+        # ``"naive"`` forces the historical clear-and-recompute at every
+        # stage (the differential tests and benchmarks use it as baseline).
+        self.evaluation_mode = evaluation_mode
+        # When False the evaluator falls back to full relation scans instead
+        # of the incrementally-maintained hash indexes (seed behaviour).
+        self.use_indexes = use_indexes
         # Optional provenance tracker (see :mod:`repro.provenance`): when set,
         # every derivation of the fixpoint is recorded through its ``record``
-        # method, which the access-control view policies build upon.
+        # method, which the access-control view policies build upon.  A
+        # provenance-tracked engine always runs the full fixpoint, because
+        # both per-stage and cumulative graphs expect every stage to re-record
+        # its derivations.
         self.provenance = None
         # Facts addressed to remote peers by the local user (or wrappers),
         # flushed at the next stage.
@@ -121,6 +258,34 @@ class WebdamLogEngine:
         # (rule or program changes).  Starts ``True``: a freshly built peer
         # has never evaluated its program.
         self._dirty = True
+        # --- incremental-fixpoint state --------------------------------- #
+        # Cached dependency analysis of the current program (rebuilt when the
+        # rule set changes); explicit invalidation points are add_rule /
+        # remove_rule / replace_rule / load_program and delegation installs,
+        # with an identity check against state.all_rules() as the backstop.
+        self._analysis: Optional[_ProgramAnalysis] = None
+        # Set by declare(): a schema (re)declaration can change how head
+        # facts are classified, which the rule-set identity check cannot see.
+        self._schema_changed = False
+        # Per-rule cumulative outputs (remote facts, delegations, deferred
+        # extensional updates) of the last fixpoint.  The stage outcome fed
+        # to _emit_outputs is the union over the current rules, so skipping
+        # un-affected rules never loses (or spuriously retracts) outputs.
+        self._rule_memo: Dict[Rule, RuleOutcome] = {}
+        # Deletions performed by end-of-stage housekeeping (non-persistent
+        # relation clears, strict provided clears) that the next fixpoint
+        # must treat as part of its input delta.
+        self._carryover_delta: Delta = Delta.empty()
+        # Lifetime work counters across all stages (benchmark / test probes).
+        self.eval_counters: Dict[str, int] = {
+            "substitutions_explored": 0,
+            "fixpoint_iterations": 0,
+            "rules_evaluated": 0,
+            "stages_full": 0,
+            "stages_delta": 0,
+            "stages_rederive": 0,
+            "stages_skip": 0,
+        }
 
     # ------------------------------------------------------------------ #
     # program loading and direct updates (the "user" API)
@@ -144,11 +309,14 @@ class WebdamLogEngine:
                 self.send_fact(fact)
         for rule in program.rules:
             self.state.add_rule(rule)
+        self._invalidate_program_cache()
+        self._schema_changed = True
         self.mark_dirty()
         return program
 
     def declare(self, schema: RelationSchema) -> RelationSchema:
         """Declare a relation schema."""
+        self._schema_changed = True
         self.mark_dirty()
         return self.state.declare(schema)
 
@@ -156,6 +324,7 @@ class WebdamLogEngine:
         """Add a rule to the peer's own program (parsed if given as text)."""
         if isinstance(rule, str):
             rule = parse_rule(rule, default_peer=self.peer, author=self.peer)
+        self._invalidate_program_cache()
         self.mark_dirty()
         return self.state.add_rule(rule)
 
@@ -163,6 +332,7 @@ class WebdamLogEngine:
         """Remove an own rule by identifier."""
         removed = self.state.remove_rule(rule_id)
         if removed is not None:
+            self._invalidate_program_cache()
             self.mark_dirty()
         return removed
 
@@ -170,8 +340,13 @@ class WebdamLogEngine:
         """Replace an own rule (the Wepic *customize rules* operation)."""
         if isinstance(new_rule, str):
             new_rule = parse_rule(new_rule, default_peer=self.peer, author=self.peer)
+        self._invalidate_program_cache()
         self.mark_dirty()
         return self.state.replace_rule(rule_id, new_rule)
+
+    def _invalidate_program_cache(self) -> None:
+        """Drop the cached program analysis (rule set is about to change)."""
+        self._analysis = None
 
     def rules(self) -> Tuple[Rule, ...]:
         """The peer's own rules."""
@@ -274,14 +449,29 @@ class WebdamLogEngine:
         # ---- step 3: emit updates and delegations ---------------------- #
         self._emit_outputs(outcome, result)
 
-        # End-of-stage housekeeping.
+        # End-of-stage housekeeping.  The deletions these clears perform are
+        # carried over into the next fixpoint's input delta: the facts were
+        # visible to *this* stage's evaluation, so their consequences must be
+        # retracted by the next one.
+        housekeeping = Delta.empty()
         if self.strict_stage_inputs:
-            self.state.clear_provided()
-        self.state.store.clear_nonpersistent()
-        self.state.deferred_updates = Delta.insertion(outcome.local_extensional - set(
-            self.state.store.all_facts()
-        ))
+            housekeeping = housekeeping.merge(self.state.clear_provided())
+        housekeeping = housekeeping.merge(self.state.store.clear_nonpersistent())
+        self._carryover_delta = self._carryover_delta.merge(housekeeping)
+        if outcome.local_extensional:
+            deferred = {fact for fact in outcome.local_extensional
+                        if not self.state.store.contains(fact)}
+        else:
+            deferred = set()
+        self.state.deferred_updates = Delta.insertion(deferred)
         result.deferred_local_updates = len(self.state.deferred_updates)
+
+        # Lifetime work accounting (benchmarks and tests read these).
+        counters = self.eval_counters
+        counters["substitutions_explored"] += result.substitutions_explored
+        counters["fixpoint_iterations"] += result.fixpoint_iterations
+        counters["rules_evaluated"] += result.rules_evaluated
+        counters[f"stages_{result.evaluation_path}"] += 1
 
         # Delta accounting: the stores accumulated every change since the end
         # of the previous stage (including user updates made between stages).
@@ -349,8 +539,10 @@ class WebdamLogEngine:
         return self.state.snapshot()
 
     def counts(self) -> Dict[str, int]:
-        """Size counters of the peer state."""
-        return self.state.counts()
+        """Size counters of the peer state plus lifetime work counters."""
+        combined = self.state.counts()
+        combined.update(self.eval_counters)
+        return combined
 
     # ------------------------------------------------------------------ #
     # internals
@@ -386,8 +578,10 @@ class WebdamLogEngine:
         for sender, delegation_id, rule in pending.delegations_to_install:
             consumed += 1
             self.state.delegations_in.install(delegation_id, sender, rule)
+            self._invalidate_program_cache()
         for sender, delegation_id in pending.delegations_to_retract:
             consumed += 1
+            self._invalidate_program_cache()
             installed = self.state.delegations_in.retract(delegation_id)
             if installed is not None and installed.delegator != sender:
                 # Only the original delegator may retract; re-install otherwise.
@@ -399,36 +593,189 @@ class WebdamLogEngine:
         return consumed
 
     def _run_fixpoint(self, result: StageResult) -> RuleOutcome:
-        # Intensional relations are recomputed from scratch at every stage;
-        # the clear-deltas stay pending and net out against the re-derivations,
-        # so the delta taken at the end of the stage is the true derived change.
-        for schema in list(self.state.schemas.intensional()):
-            if schema.peer == self.peer:
-                self.state.derived.clear_relation(schema.name, schema.peer)
+        """Run the local fixpoint, choosing the cheapest sound strategy.
+
+        * **full** — clear every local intensional relation and recompute
+          (the seed engine's behaviour).  Used when the program or a schema
+          changed, in ``"naive"`` mode, or when provenance is attached.
+        * **skip** — the input delta is empty: nothing can change, the
+          memoised outcome is returned without evaluating anything.
+        * **delta** — the input delta is insert-only and does not reach a
+          negated literal: seminaive evaluation seeds from the delta and
+          re-fires only the rules whose body reads a delta predicate.
+        * **rederive** — the delta contains deletions (or reaches negation):
+          the affected predicate closure is cleared and recomputed; rules and
+          relations outside the closure are untouched.
+
+        In every case the outcome handed to :meth:`_emit_outputs` is the
+        union of the per-rule memo, so remote updates, delegations and
+        deferred extensional writes diff against complete sets — exactly what
+        a full recompute would have produced.
+        """
+        rules = self.state.all_rules()
+        analysis = self._analysis
+        program_changed = analysis is None or not analysis.matches(rules)
+        if program_changed:
+            analysis = self._analysis = _ProgramAnalysis(self.peer, rules)
+
+        input_delta = (self._carryover_delta
+                       .merge(self.state.store.peek_delta())
+                       .merge(self.state.peek_provided_delta()))
+        self._carryover_delta = Delta.empty()
+
+        force_full = (self.evaluation_mode == "naive"
+                      or self.provenance is not None
+                      or program_changed
+                      or self._schema_changed)
+        self._schema_changed = False
+
+        delta_predicates = ({fact.qualified_relation for fact in input_delta.inserted}
+                            | {fact.qualified_relation for fact in input_delta.deleted})
+        if not force_full and not delta_predicates:
+            result.evaluation_path = "skip"
+            return self._memo_outcome(analysis)
 
         evaluator = RuleEvaluator(
             peer=self.peer,
             fact_source=self.state.fact_view,
             kind_resolver=self.state.kind_of,
             on_derivation=self.provenance.record if self.provenance is not None else None,
+            use_indexes=self.use_indexes,
         )
-        total = RuleOutcome()
-        rules = list(self.state.all_rules())
-        strata = stratify_local_rules(self.peer, rules)
-        for stratum in strata:
+        if force_full:
+            result.evaluation_path = "full"
+            return self._fixpoint_rederive(analysis, evaluator, result, None, None)
+
+        # Negation makes insertions non-monotone: check the *derivation
+        # closure* of the delta against the negated predicates — an insert
+        # may only reach a negated occurrence through derived intermediates.
+        reachable = analysis.derivation_closure(delta_predicates)
+        if input_delta.deleted or reachable is None or analysis.touches_negation(reachable):
+            affected_predicates, affected_rules, needs_full = (
+                analysis.affected_closure(delta_predicates))
+            if reachable is None or needs_full:
+                result.evaluation_path = "full"
+                return self._fixpoint_rederive(analysis, evaluator, result, None, None)
+            result.evaluation_path = "rederive"
+            return self._fixpoint_rederive(analysis, evaluator, result,
+                                           affected_predicates, affected_rules)
+
+        result.evaluation_path = "delta"
+        return self._fixpoint_seminaive(analysis, evaluator, result,
+                                        input_delta.inserted)
+
+    def _fixpoint_seminaive(self, analysis: _ProgramAnalysis,
+                            evaluator: RuleEvaluator, result: StageResult,
+                            inserted: FrozenSet[Fact]) -> RuleOutcome:
+        """Seminaive pass over an insert-only input delta.
+
+        The derived store is *not* cleared: previous derivations stay valid
+        under insertions (negation is excluded by the caller).  Each stratum
+        drains a delta of facts new this stage; rules re-fire only when their
+        body reads a delta predicate, restricted to the delta facts.
+        """
+        accumulated: Dict[str, Set[Fact]] = {}
+        for fact in inserted:
+            accumulated.setdefault(fact.qualified_relation, set()).add(fact)
+
+        for stratum in analysis.strata:
+            delta = {predicate: set(facts)
+                     for predicate, facts in accumulated.items()}
+            while delta:
+                result.fixpoint_iterations += 1
+                delta_predicates = set(delta)
+                new_facts: Set[Fact] = set()
+                for rule in stratum:
+                    if not analysis.triggered(rule, delta_predicates):
+                        continue
+                    result.rules_evaluated += 1
+                    outcome = evaluator.evaluate_rule_delta(rule, delta)
+                    result.substitutions_explored += outcome.substitutions_explored
+                    self._memo_merge(rule, outcome)
+                    for fact in outcome.local_intensional:
+                        insert_delta = self.state.derived.insert(fact)
+                        if insert_delta.deleted:
+                            # Primary-key replacement on a derived relation:
+                            # the insertion displaced an existing fact, which
+                            # is no longer monotone — fall back to a full
+                            # recompute for this stage.
+                            result.evaluation_path = "full"
+                            return self._fixpoint_rederive(analysis, evaluator,
+                                                           result, None, None)
+                        if insert_delta:
+                            result.derived_intensional += 1
+                            new_facts.add(fact)
+                delta = {}
+                for fact in new_facts:
+                    delta.setdefault(fact.qualified_relation, set()).add(fact)
+                    accumulated.setdefault(fact.qualified_relation, set()).add(fact)
+        return self._memo_outcome(analysis)
+
+    def _fixpoint_rederive(self, analysis: _ProgramAnalysis,
+                           evaluator: RuleEvaluator, result: StageResult,
+                           affected_predicates: Optional[Set[str]],
+                           affected_rules: Optional[Set[Rule]]) -> RuleOutcome:
+        """Delete-and-rederive: clear the affected derived relations and
+        recompute their defining rules stratum by stratum.
+
+        ``affected_* = None`` means *everything* — the seed engine's
+        clear-and-recompute.  The clear-deltas stay pending and net out
+        against the re-derivations, so the delta taken at the end of the
+        stage is still the true derived change.
+        """
+        full = affected_rules is None
+        for schema in list(self.state.schemas.intensional()):
+            if schema.peer != self.peer:
+                continue
+            if full or f"{schema.name}@{schema.peer}" in affected_predicates:
+                self.state.derived.clear_relation(schema.name, schema.peer)
+        if full:
+            self._rule_memo = {}
+        else:
+            for rule in affected_rules:
+                self._rule_memo.pop(rule, None)
+
+        for stratum in analysis.strata:
+            selected = stratum if full else [r for r in stratum if r in affected_rules]
+            if not selected:
+                continue
             changed = True
             while changed:
                 changed = False
                 result.fixpoint_iterations += 1
-                outcome = evaluator.evaluate_rules(stratum)
-                result.rules_evaluated += len(stratum)
-                result.substitutions_explored += outcome.substitutions_explored
-                total.merge(outcome)
-                for fact in outcome.local_intensional:
-                    delta = self.state.derived.insert(fact)
-                    if delta:
-                        changed = True
-                        result.derived_intensional += 1
+                for rule in selected:
+                    result.rules_evaluated += 1
+                    outcome = evaluator.evaluate_rule(rule)
+                    result.substitutions_explored += outcome.substitutions_explored
+                    self._memo_merge(rule, outcome)
+                    for fact in outcome.local_intensional:
+                        if self.state.derived.insert(fact):
+                            changed = True
+                            result.derived_intensional += 1
+        return self._memo_outcome(analysis)
+
+    def _memo_merge(self, rule: Rule, outcome: RuleOutcome) -> None:
+        """Fold one evaluation's non-intensional outputs into the rule's memo.
+
+        Local intensional facts live in the derived store (which *is* their
+        memo); only the outputs that :meth:`_emit_outputs` diffs are kept.
+        """
+        entry = self._rule_memo.get(rule)
+        if entry is None:
+            entry = self._rule_memo[rule] = RuleOutcome()
+        entry.local_extensional |= outcome.local_extensional
+        entry.remote_facts |= outcome.remote_facts
+        entry.delegations |= outcome.delegations
+
+    def _memo_outcome(self, analysis: _ProgramAnalysis) -> RuleOutcome:
+        """The stage outcome: the union of every current rule's memo."""
+        total = RuleOutcome()
+        for rule in analysis.rules:
+            entry = self._rule_memo.get(rule)
+            if entry is not None:
+                total.local_extensional |= entry.local_extensional
+                total.remote_facts |= entry.remote_facts
+                total.delegations |= entry.delegations
         return total
 
     def _emit_outputs(self, outcome: RuleOutcome, result: StageResult) -> None:

@@ -18,23 +18,60 @@ update, or a fact destined for a remote peer.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.core.delegation import Delegation
 from repro.core.errors import EvaluationError
-from repro.core.facts import Fact
+from repro.core.facts import Fact, fact_matches_bindings
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind
 from repro.core.terms import Constant, Term, Variable
 from repro.core.unification import Substitution, match_atom_fact
 
 #: Callable giving the evaluator access to local facts:
-#: ``fact_source(relation_name, peer_name)`` returns an iterable of facts.
-FactSource = Callable[[str, str], Iterable[Fact]]
+#: ``fact_source(relation_name, peer_name, bindings)`` returns an iterable of
+#: facts; ``bindings`` is an optional ``{argument position: value}`` map the
+#: source may use to answer from a hash index instead of a scan.  Legacy
+#: two-argument sources are adapted transparently (the evaluator filters the
+#: bindings itself).
+FactSource = Callable[..., Iterable[Fact]]
 
 #: Callable classifying a relation: returns a :class:`RelationKind` (or None if unknown).
 KindResolver = Callable[[str, str], Optional[RelationKind]]
+
+
+def _adapt_fact_source(source: FactSource) -> FactSource:
+    """Wrap a legacy two-argument fact source into the bindings-aware protocol.
+
+    Sources that already accept ``(relation, peer, bindings)`` are returned
+    unchanged; two-argument sources are wrapped so the bindings filter is
+    applied on the evaluator side, keeping indexed and legacy sources
+    observationally identical.
+    """
+    try:
+        parameters = inspect.signature(source).parameters.values()
+    except (TypeError, ValueError):  # builtins / exotic callables
+        parameters = ()
+    accepts_bindings = sum(
+        1 for p in parameters
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ) >= 3 or any(p.kind == p.VAR_POSITIONAL for p in parameters)
+    if accepts_bindings:
+        return source
+
+    def adapted(relation: str, peer: str,
+                bindings: Optional[Dict[int, object]] = None) -> Iterator[Fact]:
+        facts = source(relation, peer)
+        if not bindings:
+            yield from facts
+            return
+        for fact in facts:
+            if fact_matches_bindings(fact, bindings):
+                yield fact
+
+    return adapted
 
 
 @dataclass
@@ -92,14 +129,19 @@ class RuleEvaluator:
     def __init__(self, peer: str, fact_source: FactSource,
                  kind_resolver: Optional[KindResolver] = None,
                  allow_delegation: bool = True,
-                 on_derivation: Optional[Callable[[Fact, Rule, Tuple[Fact, ...]], None]] = None):
+                 on_derivation: Optional[Callable[[Fact, Rule, Tuple[Fact, ...]], None]] = None,
+                 use_indexes: bool = True):
         self.peer = peer
-        self.fact_source = fact_source
+        self.fact_source = _adapt_fact_source(fact_source)
         self.kind_resolver = kind_resolver or (lambda relation, peer_name: None)
         self.allow_delegation = allow_delegation
         # Optional provenance hook: called with (derived fact, rule, supporting facts)
         # for every head emitted locally or for a remote peer.
         self.on_derivation = on_derivation
+        # When False the evaluator never passes bindings to the fact source —
+        # every literal match is a full relation scan, reproducing the seed
+        # engine's behaviour exactly (used as the benchmark baseline).
+        self.use_indexes = use_indexes
 
     # ------------------------------------------------------------------ #
 
@@ -116,10 +158,45 @@ class RuleEvaluator:
             outcome.merge(self.evaluate_rule(rule))
         return outcome
 
+    def evaluate_rule_delta(self, rule: Rule,
+                            delta: Mapping[str, Set[Fact]]) -> RuleOutcome:
+        """Seminaive evaluation of one rule against a delta.
+
+        ``delta`` maps qualified relation names (``"rel@peer"``) to the facts
+        that became visible since the rule last fired.  The rule is evaluated
+        once per positive body occurrence of a delta predicate, with that
+        occurrence restricted to the delta facts — every derivation that uses
+        at least one delta fact is found, old derivations using only
+        pre-existing facts are not re-explored.  Body literals whose relation
+        or peer position is still a variable match any delta predicate and
+        are restricted to the union of all delta facts.
+        """
+        outcome = RuleOutcome()
+        union: Optional[Set[Fact]] = None
+        for index, literal in enumerate(rule.body):
+            if literal.negated:
+                continue
+            relation = literal.relation_constant()
+            peer_name = literal.peer_constant()
+            if relation is None or peer_name is None:
+                if union is None:
+                    union = set()
+                    for facts in delta.values():
+                        union |= facts
+                restricted: Set[Fact] = union
+            else:
+                restricted = delta.get(f"{relation}@{peer_name}", set())
+            if not restricted:
+                continue
+            self._evaluate_from(rule, 0, {}, outcome, (),
+                                restrict=(index, restricted))
+        return outcome
+
     # ------------------------------------------------------------------ #
 
     def _evaluate_from(self, rule: Rule, index: int, substitution: Substitution,
-                       outcome: RuleOutcome, support: Tuple[Fact, ...]) -> None:
+                       outcome: RuleOutcome, support: Tuple[Fact, ...],
+                       restrict: Optional[Tuple[int, Set[Fact]]] = None) -> None:
         outcome.substitutions_explored += 1
         if index == len(rule.body):
             self._emit_head(rule, substitution, outcome, support)
@@ -144,13 +221,33 @@ class RuleEvaluator:
 
         if literal.negated:
             if not self._has_match(literal):
-                self._evaluate_from(rule, index + 1, substitution, outcome, support)
+                self._evaluate_from(rule, index + 1, substitution, outcome, support,
+                                    restrict)
             return
 
-        for fact in self.fact_source(relation_name, peer_name):
-            extended = match_atom_fact(literal.positive(), fact, substitution)
+        positive = literal.positive()
+        if restrict is not None and index == restrict[0]:
+            candidates: Iterable[Fact] = restrict[1]
+        else:
+            candidates = self.fact_source(relation_name, peer_name,
+                                          self._bindings_of(positive))
+        for fact in candidates:
+            extended = match_atom_fact(positive, fact, substitution)
             if extended is not None:
-                self._evaluate_from(rule, index + 1, extended, outcome, support + (fact,))
+                self._evaluate_from(rule, index + 1, extended, outcome,
+                                    support + (fact,), restrict)
+
+    def _bindings_of(self, literal: Atom) -> Optional[Dict[int, object]]:
+        """Bound argument positions of an already-substituted literal."""
+        if not self.use_indexes:
+            return None
+        bindings: Optional[Dict[int, object]] = None
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Constant):
+                if bindings is None:
+                    bindings = {}
+                bindings[position] = term.value
+        return bindings
 
     def _resolve_peer(self, literal: Atom, rule: Rule) -> str:
         peer_name = literal.peer_constant()
@@ -166,7 +263,14 @@ class RuleEvaluator:
         peer_name = literal.peer_constant()
         assert relation_name is not None and peer_name is not None
         positive = literal.positive()
-        for fact in self.fact_source(relation_name, peer_name):
+        bindings = self._bindings_of(positive)
+        candidates = self.fact_source(relation_name, peer_name, bindings)
+        if bindings is not None and len(bindings) == positive.arity:
+            # Fully ground literal: every candidate from the indexed source
+            # already matches all argument positions, so existence reduces to
+            # a non-empty probe with an arity check — no substitution is built.
+            return any(fact.arity == positive.arity for fact in candidates)
+        for fact in candidates:
             if match_atom_fact(positive, fact, {}) is not None:
                 return True
         return False

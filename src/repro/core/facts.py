@@ -82,6 +82,22 @@ class Fact:
         return cls(rel.name, rel.peer, tuple(values))
 
 
+def fact_matches_bindings(fact: Fact, bindings: Dict[int, ConstantValue]) -> bool:
+    """``True`` when every bound position matches the fact's value exactly.
+
+    Type-strict, mirroring :class:`~repro.core.terms.Constant` equality and
+    the hash-index keys (``True`` stays distinct from ``1``); a bound
+    position beyond the fact's arity never matches.  This is the one
+    definition of positional matching shared by the indexed stores, the
+    provided-fact filter and the legacy fact-source adapter.
+    """
+    values = fact.values
+    return all(position < len(values)
+               and type(values[position]) is type(value)
+               and values[position] == value
+               for position, value in bindings.items())
+
+
 @dataclass(frozen=True)
 class Delta:
     """A set of insertions and deletions produced by one operation or one stage."""
@@ -120,9 +136,11 @@ class Delta:
 class _RelationTable:
     """Hash-indexed storage for one relation.
 
-    Tuples are stored in a set; secondary hash indexes on individual columns
-    are built lazily the first time a bound-column lookup is issued, and
-    maintained incrementally afterwards.
+    Tuples are stored in a set; secondary hash indexes keyed by *subsets of
+    columns* are built lazily the first time a lookup with that bound-column
+    set is issued, and maintained incrementally on every insert/delete
+    afterwards — an indexed lookup never rescans the relation and never
+    post-filters, it is an exact hash probe.
     """
 
     __slots__ = ("schema", "_tuples", "_indexes")
@@ -130,7 +148,9 @@ class _RelationTable:
     def __init__(self, schema: RelationSchema):
         self.schema = schema
         self._tuples: Set[Tuple[ConstantValue, ...]] = set()
-        self._indexes: Dict[int, Dict[ConstantValue, Set[Tuple[ConstantValue, ...]]]] = {}
+        # {(col, col, ...): {key-tuple: rows}} — one hash index per bound-column subset.
+        self._indexes: Dict[Tuple[int, ...],
+                            Dict[Tuple, Set[Tuple[ConstantValue, ...]]]] = {}
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -141,13 +161,15 @@ class _RelationTable:
     def __iter__(self) -> Iterator[Tuple[ConstantValue, ...]]:
         return iter(self._tuples)
 
-    def _index_for(self, column: int) -> Dict[ConstantValue, Set[Tuple[ConstantValue, ...]]]:
-        index = self._indexes.get(column)
+    def _index_for(self, positions: Tuple[int, ...]
+                   ) -> Dict[Tuple, Set[Tuple[ConstantValue, ...]]]:
+        index = self._indexes.get(positions)
         if index is None:
             index = {}
             for row in self._tuples:
-                index.setdefault(self._index_key(row[column]), set()).add(row)
-            self._indexes[column] = index
+                key = tuple(self._index_key(row[p]) for p in positions)
+                index.setdefault(key, set()).add(row)
+            self._indexes[positions] = index
         return index
 
     @staticmethod
@@ -191,17 +213,19 @@ class _RelationTable:
 
     def _add(self, values: Tuple[ConstantValue, ...]) -> None:
         self._tuples.add(values)
-        for column, index in self._indexes.items():
-            index.setdefault(self._index_key(values[column]), set()).add(values)
+        for positions, index in self._indexes.items():
+            key = tuple(self._index_key(values[p]) for p in positions)
+            index.setdefault(key, set()).add(values)
 
     def _remove(self, values: Tuple[ConstantValue, ...]) -> None:
         self._tuples.discard(values)
-        for column, index in self._indexes.items():
-            bucket = index.get(self._index_key(values[column]))
+        for positions, index in self._indexes.items():
+            key = tuple(self._index_key(values[p]) for p in positions)
+            bucket = index.get(key)
             if bucket is not None:
                 bucket.discard(values)
                 if not bucket:
-                    del index[self._index_key(values[column])]
+                    del index[key]
 
     def clear(self) -> List[Tuple[ConstantValue, ...]]:
         """Remove every tuple; return the removed rows."""
@@ -214,32 +238,19 @@ class _RelationTable:
              ) -> Iterator[Tuple[ConstantValue, ...]]:
         """Iterate over tuples matching the given ``{column: value}`` bindings.
 
-        With no bindings this is a full scan.  With bindings, the most
-        selective single-column hash index is used and remaining bindings are
-        checked by filtering.
+        With no bindings this is a full scan.  With bindings, the hash index
+        on exactly that column subset is probed — every returned row matches
+        all bindings, no post-filtering happens.
         """
         if not bindings:
             yield from self._tuples
             return
-        # Choose the bound column whose index bucket is smallest.
-        best_column = None
-        best_bucket: Optional[Set[Tuple[ConstantValue, ...]]] = None
-        for column, value in bindings.items():
-            bucket = self._index_for(column).get(self._index_key(value), set())
-            if best_bucket is None or len(bucket) < len(best_bucket):
-                best_column, best_bucket = column, bucket
-        assert best_bucket is not None
-        for row in best_bucket:
-            matched = True
-            for column, value in bindings.items():
-                if column == best_column:
-                    continue
-                cell = row[column]
-                if type(cell) is not type(value) or cell != value:
-                    matched = False
-                    break
-            if matched:
-                yield row
+        positions = tuple(sorted(bindings))
+        if positions[-1] >= self.schema.arity:
+            # A bound position beyond the relation's arity can never match.
+            return
+        key = tuple(self._index_key(bindings[p]) for p in positions)
+        yield from self._index_for(positions).get(key, ())
 
 
 class FactStore:

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.delegation import DelegationStore, DelegationTracker, InstalledDelegation
 from repro.core.errors import SchemaError
-from repro.core.facts import Delta, Fact, FactStore
+from repro.core.facts import Delta, Fact, FactStore, fact_matches_bindings
 from repro.core.rules import Rule
 from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
 
@@ -63,6 +63,7 @@ class PeerState:
         self.store = FactStore(self.schemas, owner=peer)
         self.derived = FactStore(self.schemas, owner=peer)
         self.provided: Set[Fact] = set()
+        self._provided_by_relation: Dict[Tuple[str, str], Set[Fact]] = {}
         self._provided_inserted: Set[Fact] = set()
         self._provided_deleted: Set[Fact] = set()
         self.own_rules: List[Rule] = []
@@ -165,6 +166,7 @@ class PeerState:
         if fact in self.provided:
             return
         self.provided.add(fact)
+        self._provided_by_relation.setdefault((fact.relation, fact.peer), set()).add(fact)
         if fact in self._provided_deleted:
             self._provided_deleted.discard(fact)
         else:
@@ -175,15 +177,28 @@ class PeerState:
         if fact not in self.provided:
             return
         self.provided.discard(fact)
+        bucket = self._provided_by_relation.get((fact.relation, fact.peer))
+        if bucket is not None:
+            bucket.discard(fact)
+            if not bucket:
+                del self._provided_by_relation[(fact.relation, fact.peer)]
         if fact in self._provided_inserted:
             self._provided_inserted.discard(fact)
         else:
             self._provided_deleted.add(fact)
 
-    def clear_provided(self) -> None:
-        """Drop every provided fact (strict per-stage input semantics)."""
-        for fact in list(self.provided):
+    def clear_provided(self) -> Delta:
+        """Drop every provided fact (strict per-stage input semantics).
+
+        Returns the deletion delta of everything that was provided — even
+        facts that only arrived this stage, because the fixpoint may already
+        have derived from them (the incremental engine feeds this into the
+        next stage's rederive pass).
+        """
+        removed = tuple(self.provided)
+        for fact in removed:
             self.remove_provided(fact)
+        return Delta.deletion(removed)
 
     def has_provided_changes(self) -> bool:
         """``True`` when the provided set changed since :meth:`take_provided_delta`."""
@@ -196,25 +211,38 @@ class PeerState:
         self._provided_deleted = set()
         return delta
 
+    def peek_provided_delta(self) -> Delta:
+        """The accumulated provided-set delta, without resetting it."""
+        return Delta(frozenset(self._provided_inserted), frozenset(self._provided_deleted))
+
     # ------------------------------------------------------------------ #
     # the fact view used by the evaluator
     # ------------------------------------------------------------------ #
 
-    def fact_view(self, relation: str, peer: str) -> Iterator[Fact]:
+    def fact_view(self, relation: str, peer: str,
+                  bindings: Optional[Dict[int, object]] = None) -> Iterator[Fact]:
         """Facts visible to rule evaluation for ``relation@peer``.
 
         The view is the union of the extensional store, the provided facts
         and the intensional facts derived so far in the current stage.  Facts
         of relations located at remote peers are never visible locally (they
-        can only be reached through delegation).
+        can only be reached through delegation).  ``bindings`` (a
+        ``{position: value}`` map of argument positions already bound by the
+        evaluator) routes the stored and derived facts through the incremental
+        hash indexes instead of a relation scan.
         """
         if peer != self.peer:
             return
-        yield from self.store.facts(relation, peer)
-        yield from self.derived.facts(relation, peer)
-        for fact in self.provided:
-            if fact.relation == relation and fact.peer == peer:
-                yield fact
+        yield from self.store.facts(relation, peer, bindings)
+        yield from self.derived.facts(relation, peer, bindings)
+        provided = self._provided_by_relation.get((relation, peer))
+        if provided:
+            if not bindings:
+                yield from provided
+            else:
+                for fact in provided:
+                    if fact_matches_bindings(fact, bindings):
+                        yield fact
 
     def query(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
         """Facts of ``relation`` visible at this peer (stored, derived or provided)."""

@@ -22,29 +22,38 @@ class RelationIndex:
     def __init__(self, rows: Iterable[Tuple], positions: Tuple[int, ...]):
         self.positions = positions
         self._buckets: Dict[Tuple, List[Tuple]] = {}
+        self._count = 0
         for row in rows:
-            key = tuple(row[i] for i in positions)
-            self._buckets.setdefault(key, []).append(row)
+            self.add(row)
+
+    def add(self, row: Tuple) -> None:
+        """Add one row to the index (callers must not add duplicates)."""
+        key = tuple(row[i] for i in self.positions)
+        self._buckets.setdefault(key, []).append(row)
+        self._count += 1
 
     def lookup(self, key: Tuple) -> List[Tuple]:
         """Rows whose indexed positions equal ``key``."""
         return self._buckets.get(tuple(key), [])
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return self._count
 
 
 class IndexPool:
-    """Cache of :class:`RelationIndex` instances for one evaluation pass.
+    """Cache of :class:`RelationIndex` instances over one database.
 
-    Indexes are keyed by ``(predicate, positions)`` and built lazily from a
-    snapshot of the database, so they remain valid for the duration of one
-    iteration even if the underlying database is updated afterwards.
+    Indexes are keyed by ``(predicate, positions)``, built lazily from the
+    database's current contents and maintained incrementally afterwards:
+    callers notify the pool of every newly inserted row via :meth:`add_row`,
+    so the pool stays valid across fixpoint iterations instead of being
+    rebuilt per pass.
     """
 
     def __init__(self, database: Database):
         self._database = database
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], RelationIndex] = {}
+        self._by_predicate: Dict[str, List[RelationIndex]] = {}
 
     def index(self, predicate: str, positions: Tuple[int, ...]) -> RelationIndex:
         """Return (building if necessary) the index on ``positions`` of ``predicate``."""
@@ -53,11 +62,23 @@ class IndexPool:
         if existing is None:
             existing = RelationIndex(self._database.relation(predicate), positions)
             self._indexes[key] = existing
+            self._by_predicate.setdefault(predicate, []).append(existing)
         return existing
 
+    def add_row(self, predicate: str, row: Tuple) -> None:
+        """Maintain every cached index of ``predicate`` after an insertion.
+
+        Call exactly once per row that was actually added to the database
+        (i.e. when ``database.add`` returned ``True``), so buckets never hold
+        duplicates.
+        """
+        for index in self._by_predicate.get(predicate, ()):
+            index.add(row)
+
     def invalidate(self) -> None:
-        """Drop every cached index (call after the database changes)."""
+        """Drop every cached index (call after non-insert database changes)."""
         self._indexes.clear()
+        self._by_predicate.clear()
 
 
 def match_atom(atom: DatalogAtom, rows_source: Database, bindings: Bindings,

@@ -50,21 +50,25 @@ class SeminaiveEvaluator:
         stats = EvaluationStats()
         stratum_idb: Set[str] = {r.head.predicate for r in rules}
 
+        # One pool for the whole stratum: indexes are built lazily and then
+        # maintained from the delta (every accepted insertion is pushed into
+        # the cached indexes) instead of being rebuilt every iteration.
+        pool = IndexPool(database)
+
         # --- iteration 0: naive pass over all rules --------------------- #
         stats.iterations += 1
-        pool = IndexPool(database)
         delta: Dict[str, Set[Tuple]] = {}
         for r in rules:
             stats.rule_firings += 1
             for head in evaluate_rule(r, database, pool):
                 if database.add_atom(head):
                     stats.derived_facts += 1
+                    pool.add_row(head.predicate, head.terms)
                     delta.setdefault(head.predicate, set()).add(head.terms)
 
         # --- subsequent iterations: delta-restricted passes -------------- #
         while delta:
             stats.iterations += 1
-            pool = IndexPool(database)
             new_delta: Dict[str, Set[Tuple]] = {}
             for r in rules:
                 relevant_predicates = {
@@ -85,6 +89,7 @@ class SeminaiveEvaluator:
                     for head in produced:
                         if database.add_atom(head):
                             stats.derived_facts += 1
+                            pool.add_row(head.predicate, head.terms)
                             new_delta.setdefault(head.predicate, set()).add(head.terms)
             delta = new_delta
         return stats
@@ -112,9 +117,9 @@ def incremental_insert(program: DatalogProgram, database: Database,
             delta.setdefault(predicate, set()).add(tuple(row))
             stats.derived_facts += 1
 
+    pool = IndexPool(database)
     while delta:
         stats.iterations += 1
-        pool = IndexPool(database)
         new_delta: Dict[str, Set[Tuple]] = {}
         for r in program.rules:
             relevant = {
@@ -132,6 +137,7 @@ def incremental_insert(program: DatalogProgram, database: Database,
                 for head in produced:
                     if database.add_atom(head):
                         stats.derived_facts += 1
+                        pool.add_row(head.predicate, head.terms)
                         new_delta.setdefault(head.predicate, set()).add(head.terms)
         delta = new_delta
     return stats

@@ -56,10 +56,12 @@ class Peer:
     def __init__(self, name: str, trust: Optional[TrustStore] = None,
                  auto_accept_delegations: bool = False,
                  strict_stage_inputs: bool = False,
-                 schemas: Optional[SchemaRegistry] = None):
+                 schemas: Optional[SchemaRegistry] = None,
+                 evaluation_mode: str = "incremental"):
         self.name = name
         self.engine = WebdamLogEngine(name, schemas=schemas,
-                                      strict_stage_inputs=strict_stage_inputs)
+                                      strict_stage_inputs=strict_stage_inputs,
+                                      evaluation_mode=evaluation_mode)
         self.controller = DelegationController(
             self.engine,
             trust=trust if trust is not None else TrustStore(name),

@@ -88,6 +88,11 @@ class RoundReport:
         return sum(len(r.stage_result.delegations_to_install)
                    for r in self.peer_reports.values())
 
+    def total_substitutions(self) -> int:
+        """Total substitutions explored by the fixpoints run this cycle."""
+        return sum(r.stage_result.substitutions_explored
+                   for r in self.peer_reports.values())
+
 
 @dataclass
 class RunSummary:
@@ -131,6 +136,15 @@ class RunSummary:
         were warranted.
         """
         return sum(report.stages_executed for report in self.rounds)
+
+    def total_substitutions(self) -> int:
+        """Total substitutions explored across all cycles and peers.
+
+        The headline number of the incremental engine: the naive
+        clear-and-recompute fixpoint re-explores every derivation at every
+        stage, the seminaive engine only what the input deltas reach.
+        """
+        return sum(report.total_substitutions() for report in self.rounds)
 
 
 @runtime_checkable

@@ -76,6 +76,10 @@ class WebdamLogSystem:
         The execution driver: a :class:`~repro.runtime.scheduler.Scheduler`
         instance or one of the names ``"lockstep"`` (default), ``"reactive"``,
         ``"async"``.
+    evaluation_mode:
+        The per-peer fixpoint strategy: ``"incremental"`` (default — the
+        seminaive, index-accelerated engine) or ``"naive"`` (the historical
+        clear-and-recompute, kept as the differential baseline).
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
@@ -84,7 +88,8 @@ class WebdamLogSystem:
                  auto_accept_delegations: bool = True,
                  strict_stage_inputs: bool = False,
                  transport: Optional["Transport"] = None,
-                 scheduler: Union[None, str, Scheduler] = None):
+                 scheduler: Union[None, str, Scheduler] = None,
+                 evaluation_mode: str = "incremental"):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
@@ -93,6 +98,7 @@ class WebdamLogSystem:
         self.default_trusted = tuple(default_trusted)
         self.auto_accept_delegations = auto_accept_delegations
         self.strict_stage_inputs = strict_stage_inputs
+        self.evaluation_mode = evaluation_mode
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
@@ -159,7 +165,8 @@ class WebdamLogSystem:
         auto = (self.auto_accept_delegations if auto_accept_delegations is None
                 else auto_accept_delegations)
         peer = Peer(name, trust=trust, auto_accept_delegations=auto,
-                    strict_stage_inputs=self.strict_stage_inputs, schemas=schemas)
+                    strict_stage_inputs=self.strict_stage_inputs, schemas=schemas,
+                    evaluation_mode=self.evaluation_mode)
         self.peers[name] = peer
         self.transport.register(name)
         if program:
@@ -383,6 +390,14 @@ class WebdamLogSystem:
         )
         totals["pending_delegations"] = sum(
             len(peer.pending_delegations()) for peer in self.peers.values()
+        )
+        totals["substitutions_explored"] = sum(
+            peer.engine.eval_counters["substitutions_explored"]
+            for peer in self.peers.values()
+        )
+        totals["fixpoint_iterations"] = sum(
+            peer.engine.eval_counters["fixpoint_iterations"]
+            for peer in self.peers.values()
         )
         return totals
 
