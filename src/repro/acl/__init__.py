@@ -23,6 +23,7 @@ from repro.acl.delegation_control import (
 from repro.acl.policies import (
     AccessControlPolicy,
     Grant,
+    PolicyEngine,
     Privilege,
     ViewPolicy,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "PendingDelegation",
     "AccessControlPolicy",
     "Grant",
+    "PolicyEngine",
     "Privilege",
     "ViewPolicy",
 ]

@@ -67,6 +67,9 @@ class AccessControlPolicy:
         self.owner = owner
         self._grants: Set[Grant] = set()
         self._declassified: Dict[str, Set[str]] = {}
+        #: Bumped on every grant/revoke/declassify; :class:`PolicyEngine`
+        #: keys its decision caches off it.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # discretionary grants
@@ -86,7 +89,9 @@ class AccessControlPolicy:
             )
         created = Grant(relation=relation, grantee=grantee, privilege=privilege,
                         grantor=grantor)
-        self._grants.add(created)
+        if created not in self._grants:
+            self._grants.add(created)
+            self.version += 1
         return created
 
     def revoke(self, relation: str, grantee: str,
@@ -97,7 +102,9 @@ class AccessControlPolicy:
             if g.relation == relation and g.grantee == grantee
             and (privilege is None or g.privilege == privilege)
         }
-        self._grants -= to_remove
+        if to_remove:
+            self._grants -= to_remove
+            self.version += 1
         return len(to_remove)
 
     def grants(self) -> Tuple[Grant, ...]:
@@ -128,7 +135,14 @@ class AccessControlPolicy:
 
     def declassify(self, view_relation: str, grantee: str = PUBLIC) -> None:
         """Override the provenance-derived policy of ``view_relation`` for ``grantee``."""
-        self._declassified.setdefault(view_relation, set()).add(grantee)
+        grantees = self._declassified.setdefault(view_relation, set())
+        if grantee not in grantees:
+            grantees.add(grantee)
+            self.version += 1
+
+    def declassified_grantees(self, view_relation: str) -> FrozenSet[str]:
+        """The grantees benefiting from a declassification of ``view_relation``."""
+        return frozenset(self._declassified.get(view_relation, ()))
 
     def is_declassified(self, view_relation: str, peer: str) -> bool:
         """``True`` when ``peer`` benefits from a declassification of the view."""
@@ -194,3 +208,117 @@ class ViewPolicy:
             if all(policy.can_read(base, peer) for base in self.base_relations):
                 allowed.append(peer)
         return tuple(sorted(allowed))
+
+
+class PolicyEngine:
+    """Cached access-control decisions over a maintained provenance graph.
+
+    :meth:`AccessControlPolicy.can_read_fact` re-derives the lineage of a
+    fact on every check; this engine is the scalable front-end for query
+    filtering: per-fact checks probe the provenance graph's maintained
+    lineage index (O(1) amortised) and the resulting decisions are cached by
+    ``(peer, base-relation set)``.  Both caches are **delta-invalidated**:
+
+    * grant / revoke / declassify bumps
+      :attr:`AccessControlPolicy.version` — decision and view-policy caches
+      are dropped;
+    * any provenance mutation bumps
+      :attr:`~repro.provenance.graph.ProvenanceGraph.version` — the derived
+      :class:`ViewPolicy` cache is dropped (per-fact decisions stay valid:
+      they are keyed by the base-relation set, which the graph's own lineage
+      index already re-derives precisely).
+
+    ``provenance`` may be a :class:`~repro.provenance.graph.ProvenanceGraph`,
+    a :class:`~repro.provenance.graph.ProvenanceTracker` (its graph is used)
+    or ``None`` (every fact is treated as a base fact).
+    """
+
+    def __init__(self, policy: AccessControlPolicy, provenance=None):
+        self.policy = policy
+        self.provenance = provenance
+        self._policy_version = policy.version
+        self._graph_version: Optional[int] = None
+        # (peer, frozenset of base relations) -> decision; policy-dependent only.
+        self._decisions: Dict[Tuple[str, FrozenSet[str]], bool] = {}
+        # (relation, peer) -> discretionary READ decision; policy-dependent only.
+        self._relation_reads: Dict[Tuple[str, str], bool] = {}
+        # view relation -> derived ViewPolicy; graph- and policy-dependent.
+        self._view_policies: Dict[str, ViewPolicy] = {}
+
+    def _graph(self) -> Optional[ProvenanceGraph]:
+        return getattr(self.provenance, "graph", self.provenance)
+
+    def _sync(self) -> Optional[ProvenanceGraph]:
+        """Drop stale caches when the policy or the graph changed."""
+        if self.policy.version != self._policy_version:
+            self._policy_version = self.policy.version
+            self._decisions.clear()
+            self._relation_reads.clear()
+            self._view_policies.clear()
+        graph = self._graph()
+        graph_version = None if graph is None else graph.version
+        if graph_version != self._graph_version:
+            self._graph_version = graph_version
+            self._view_policies.clear()
+        return graph
+
+    def _can_read_relation(self, relation: str, peer: str) -> bool:
+        key = (relation, peer)
+        decision = self._relation_reads.get(key)
+        if decision is None:
+            decision = self._relation_reads[key] = self.policy.can_read(relation, peer)
+        return decision
+
+    def can_read_fact(self, fact: Fact, peer: str) -> bool:
+        """Decide whether ``peer`` may read ``fact`` (same semantics as
+        :meth:`AccessControlPolicy.can_read_fact`, at O(1) per fact)."""
+        graph = self._sync()
+        relation = fact.qualified_relation
+        if graph is None or not graph.is_derived(fact):
+            return self._can_read_relation(relation, peer)
+        if self.policy.is_declassified(relation, peer):
+            return peer == self.policy.owner or self._can_read_relation(relation, peer)
+        bases = graph.base_relations(fact)
+        key = (peer, bases)
+        decision = self._decisions.get(key)
+        if decision is None:
+            decision = self._decisions[key] = all(
+                self._can_read_relation(base, peer) for base in bases)
+        return decision
+
+    def filter_readable(self, facts: Iterable[Fact], peer: str) -> Tuple[Fact, ...]:
+        """Filter ``facts`` down to those ``peer`` may read."""
+        return tuple(fact for fact in facts if self.can_read_fact(fact, peer))
+
+    def view_policy(self, view_relation: str,
+                    facts: Optional[Iterable[Fact]] = None) -> ViewPolicy:
+        """The effective :class:`ViewPolicy` of ``view_relation``, cached.
+
+        Derived from the provenance of ``facts`` (default: every fact of the
+        view currently in the graph) and re-derived only after a provenance
+        or policy delta invalidated it.  A policy derived from an explicit
+        ``facts`` subset describes only that subset and is **not** cached —
+        caching it would silently narrow the base-relation set later
+        whole-view calls decide with.
+        """
+        graph = self._sync()
+        whole_view = facts is None
+        if whole_view:
+            cached = self._view_policies.get(view_relation)
+            if cached is not None:
+                return cached
+        if graph is None:
+            derived = ViewPolicy(
+                view_relation=view_relation, base_relations=frozenset(),
+                declassified_for=self.policy.declassified_grantees(view_relation),
+            )
+        else:
+            if whole_view:
+                facts = graph.facts_of(view_relation)
+            derived = ViewPolicy.derive(
+                view_relation, graph, facts,
+                declassified_for=self.policy.declassified_grantees(view_relation),
+            )
+        if whole_view:
+            self._view_policies[view_relation] = derived
+        return derived

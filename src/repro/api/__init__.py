@@ -39,6 +39,7 @@ from repro.runtime.scheduler import (
     RunSummary,
     Scheduler,
 )
+from repro.provenance.graph import Explanation
 from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
 from repro.api.builder import BuildError, PeerBuilder, SystemBuilder, system
 from repro.api.facade import PeerHandle, ProcessSystem, System
@@ -66,4 +67,5 @@ __all__ = [
     "QueryHandle",
     "Subscription",
     "FactCallback",
+    "Explanation",
 ]

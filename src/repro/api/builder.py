@@ -84,6 +84,7 @@ class SystemBuilder:
         self._backend = "inmemory"
         self._scheduler: Optional[Scheduler] = None
         self._evaluation_mode = "incremental"
+        self._provenance = False
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -165,6 +166,18 @@ class SystemBuilder:
         self._evaluation_mode = mode
         return self
 
+    def provenance(self, enabled: bool = True) -> "SystemBuilder":
+        """Track why-provenance at every peer of the deployment.
+
+        Each peer gets a :class:`~repro.provenance.graph.ProvenanceTracker`
+        maintained incrementally by the engine; fact updates ship their
+        derivations across peers, ``deployment.explain(peer, fact)`` answers
+        why/lineage queries, and the :mod:`repro.acl` view policies can
+        filter query results by lineage.
+        """
+        self._provenance = enabled
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -202,6 +215,7 @@ class SystemBuilder:
             transport=transport,
             scheduler=self._scheduler,
             evaluation_mode=self._evaluation_mode,
+            provenance=self._provenance,
         )
         built = System(runtime)
         for spec in self._specs:
@@ -235,7 +249,7 @@ class SystemBuilder:
                 "process drives its own engine); scheduler(...) requires the "
                 "in-memory backend"
             )
-        network = ProcessNetwork()
+        network = ProcessNetwork(provenance=self._provenance)
         try:
             for spec in self._specs:
                 if spec.wrappers or spec.schemas or spec.trusted or spec.trust_all:

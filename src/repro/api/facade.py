@@ -18,8 +18,10 @@ from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.facts import Fact
+from repro.core.parser import parse_fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema, SchemaRegistry
+from repro.provenance.graph import Explanation
 from repro.runtime.inmemory import NetworkStats
 from repro.runtime.peer import Peer, PeerStageReport
 from repro.runtime.processes import ProcessNetwork
@@ -107,6 +109,10 @@ class PeerHandle:
     def subscribe(self, relation: str, callback: FactCallback) -> Subscription:
         """Watch ``relation`` at this peer (see :meth:`System.subscribe`)."""
         return self._system.subscribe(relation, callback, peer=self._peer.name)
+
+    def explain(self, fact: Union[str, Fact]) -> Explanation:
+        """Why/lineage story of ``fact`` (see :meth:`System.explain`)."""
+        return self._system.explain(self._peer.name, fact)
 
     def snapshot(self) -> Dict[str, Tuple[Fact, ...]]:
         """Every non-empty relation visible at this peer."""
@@ -284,6 +290,22 @@ class System:
         self._subscriptions.append(subscription)
         return subscription
 
+    def explain(self, at: str, fact: Union[str, Fact]) -> Explanation:
+        """Why/lineage story of ``fact`` as known at peer ``at``.
+
+        Requires the deployment to have been built with
+        ``system().provenance()``.  Returns an
+        :class:`~repro.provenance.graph.Explanation` — the alternative
+        immediate supports (*why*), the transitive lineage down to base
+        facts, the base relations the lineage draws from (the input of the
+        access-control view policy) and every peer that contributed.
+        Derivations received from remote peers are included, so lineage
+        crosses peer boundaries.
+        """
+        if isinstance(fact, str):
+            fact = parse_fact(fact, default_peer=at)
+        return self.runtime.peer(at).explain(fact)
+
     def unsubscribe(self, subscription: Subscription) -> None:
         """Cancel and forget a subscription."""
         subscription.cancel()
@@ -425,6 +447,27 @@ class ProcessSystem:
     def counts(self, peer: str) -> Dict[str, int]:
         """Counters of one peer process."""
         return self.network.counts(peer)
+
+    def explain(self, at: str, fact: Union[str, Fact]) -> Explanation:
+        """Why/lineage story of ``fact`` as recorded in peer ``at``'s process.
+
+        Requires ``system().provenance().backend("processes")``.  Derivations
+        are shipped between the worker processes on the wire encoding, so the
+        lineage crosses process boundaries.  Returns the same
+        :class:`~repro.provenance.graph.Explanation` as :meth:`System.explain`,
+        so code written against one backend runs on the other.
+        """
+        if isinstance(fact, str):
+            fact = parse_fact(fact, default_peer=at)
+        decoded = self.network.explain(at, fact)
+        return Explanation(
+            fact=fact,
+            derived=decoded["derived"],
+            why=tuple(decoded["why"]),
+            lineage=decoded["lineage"],
+            base_relations=decoded["base_relations"],
+            peers=decoded["peers"],
+        )
 
     @property
     def messages_routed(self) -> int:

@@ -173,10 +173,10 @@ class StageResult:
     derived_changed: bool = False
     deferred_local_updates: int = 0
     #: Which fixpoint strategy the stage used: ``"full"`` (clear everything
-    #: and recompute — program/schema change, naive mode, or provenance
-    #: attached), ``"delta"`` (seminaive over the input delta), ``"rederive"``
-    #: (scoped delete-and-rederive of the affected predicate closure) or
-    #: ``"skip"`` (no input delta — nothing evaluated at all).
+    #: and recompute — program/schema change or naive mode), ``"delta"``
+    #: (seminaive over the input delta), ``"rederive"`` (scoped
+    #: delete-and-rederive of the affected predicate closure) or ``"skip"``
+    #: (no input delta — nothing evaluated at all).
     evaluation_path: str = "full"
     outgoing_updates: List[OutgoingUpdate] = field(default_factory=list)
     delegations_to_install: List[Delegation] = field(default_factory=list)
@@ -243,9 +243,11 @@ class WebdamLogEngine:
         # Optional provenance tracker (see :mod:`repro.provenance`): when set,
         # every derivation of the fixpoint is recorded through its ``record``
         # method, which the access-control view policies build upon.  A
-        # provenance-tracked engine always runs the full fixpoint, because
-        # both per-stage and cumulative graphs expect every stage to re-record
-        # its derivations.
+        # tracker exposing the maintenance hooks (``on_base_deleted`` /
+        # ``on_rederive`` / ``on_full_recompute``) rides the incremental
+        # evaluation paths — the graph is kept consistent along delta and
+        # rederive stages; a hook-less recorder (or per-stage mode) falls
+        # back to the historical full recompute every stage.
         self.provenance = None
         # Facts addressed to remote peers by the local user (or wrappers),
         # flushed at the next stage.
@@ -592,12 +594,27 @@ class WebdamLogEngine:
         pending.clear()
         return consumed
 
+    def _provenance_incremental(self) -> bool:
+        """``True`` when the attached tracker can ride the incremental paths.
+
+        Requires the maintenance hooks (``on_base_deleted`` / ``on_rederive``
+        / ``on_full_recompute``) and cumulative mode: a per-stage tracker
+        expects every stage to re-record all derivations, which only the
+        historical full recompute provides.
+        """
+        provenance = self.provenance
+        if provenance is None or getattr(provenance, "per_stage", False):
+            return False
+        return all(hasattr(provenance, hook) for hook in
+                   ("on_base_deleted", "on_rederive", "on_full_recompute"))
+
     def _run_fixpoint(self, result: StageResult) -> RuleOutcome:
         """Run the local fixpoint, choosing the cheapest sound strategy.
 
         * **full** — clear every local intensional relation and recompute
           (the seed engine's behaviour).  Used when the program or a schema
-          changed, in ``"naive"`` mode, or when provenance is attached.
+          changed, in ``"naive"`` mode, or when a legacy provenance recorder
+          (no maintenance hooks, or per-stage mode) is attached.
         * **skip** — the input delta is empty: nothing can change, the
           memoised outcome is returned without evaluating anything.
         * **delta** — the input delta is insert-only and does not reach a
@@ -623,11 +640,19 @@ class WebdamLogEngine:
                        .merge(self.state.peek_provided_delta()))
         self._carryover_delta = Delta.empty()
 
+        provenance_incremental = self._provenance_incremental()
         force_full = (self.evaluation_mode == "naive"
-                      or self.provenance is not None
+                      or (self.provenance is not None and not provenance_incremental)
                       or program_changed
                       or self._schema_changed)
         self._schema_changed = False
+
+        # Deleted input facts die in the provenance graph regardless of the
+        # evaluation path chosen below: their derivations (and transitive
+        # dependents) are retracted, and the rederive/full pass re-records
+        # whatever is still derivable.
+        if provenance_incremental and input_delta.deleted:
+            self.provenance.on_base_deleted(input_delta.deleted)
 
         delta_predicates = ({fact.qualified_relation for fact in input_delta.inserted}
                             | {fact.qualified_relation for fact in input_delta.deleted})
@@ -724,6 +749,14 @@ class WebdamLogEngine:
         stage is still the true derived change.
         """
         full = affected_rules is None
+        if self._provenance_incremental():
+            # Mirror the store clears in the provenance graph: the cleared
+            # predicates' derivations die here and are re-recorded by the
+            # re-evaluation below, so the graph tracks exact derivability.
+            if full:
+                self.provenance.on_full_recompute()
+            else:
+                self.provenance.on_rederive(affected_predicates)
         for schema in list(self.state.schemas.intensional()):
             if schema.peer != self.peer:
                 continue

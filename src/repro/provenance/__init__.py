@@ -6,6 +6,11 @@ machinery that model is built on, and is also used by the tests to check
 which base facts support which derived facts.
 """
 
-from repro.provenance.graph import Derivation, ProvenanceGraph, ProvenanceTracker
+from repro.provenance.graph import (
+    Derivation,
+    Explanation,
+    ProvenanceGraph,
+    ProvenanceTracker,
+)
 
-__all__ = ["Derivation", "ProvenanceGraph", "ProvenanceTracker"]
+__all__ = ["Derivation", "Explanation", "ProvenanceGraph", "ProvenanceTracker"]

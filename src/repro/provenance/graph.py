@@ -1,4 +1,4 @@
-"""Provenance graphs for derived facts.
+"""Incrementally maintained provenance graphs for derived facts.
 
 Each time the engine's fixpoint derives a fact, the :class:`ProvenanceTracker`
 records a :class:`Derivation`: the rule that fired and the facts that matched
@@ -12,11 +12,29 @@ derivations) from which why-provenance and lineage queries are answered:
   fact draws from (the input of the access-control view policy);
 * :meth:`ProvenanceGraph.depends_on_peer` — whether any supporting fact came
   from a given peer's relations.
+
+Unlike the original passive recorder, the graph is **maintained**: it is a
+support-counted structure that the engine's incremental evaluation paths keep
+in sync with the current derivability state.
+
+* a derivation dies when any of its supporting facts dies
+  (:meth:`ProvenanceGraph.remove_support`);
+* a fact dies when its last derivation dies (the removal cascades);
+* :meth:`ProvenanceGraph.base_relations` and
+  :meth:`ProvenanceGraph.depends_on_peer` are answered from a per-fact
+  lineage index (frozen set of base relations / peers), built on demand and
+  invalidated precisely — only the entries of facts whose lineage a mutation
+  can reach — so repeated access-control probes are O(1) per fact instead of
+  a transitive walk.
+
+Retracted or overwritten facts therefore drop out of the graph instead of
+accumulating for the lifetime of the run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.facts import Fact
@@ -32,36 +50,238 @@ class Derivation:
     support: Tuple[Fact, ...]
     author: Optional[str] = None
 
+    def key(self) -> Tuple[Fact, str, Tuple[Fact, ...]]:
+        """Dedup identity shared by the graph, the shipped-derivation memory
+        and the per-target shipping memos: ``author`` is provenance metadata,
+        not identity."""
+        return (self.fact, self.rule_id, self.support)
+
     def __str__(self) -> str:
         supports = ", ".join(str(f) for f in self.support)
         return f"{self.fact} <= [{self.rule_id}] {supports}"
 
 
+@dataclass(frozen=True)
+class Explanation:
+    """The full provenance story of one fact (what ``explain`` returns).
+
+    ``why`` is the why-provenance (alternative sets of immediate supporting
+    facts), ``lineage`` the transitive support down to base facts,
+    ``base_relations`` the qualified names of the base relations the lineage
+    draws from, and ``peers`` every peer whose facts contributed (including
+    the fact's own hosting peer).
+    """
+
+    fact: Fact
+    derived: bool
+    why: Tuple[FrozenSet[Fact], ...]
+    lineage: FrozenSet[Fact]
+    base_relations: FrozenSet[str]
+    peers: FrozenSet[str]
+
+    def __str__(self) -> str:
+        if not self.derived:
+            return f"{self.fact}: base fact of {self.fact.qualified_relation}"
+        alternatives = " | ".join(
+            "{" + ", ".join(sorted(str(f) for f in alt)) + "}" for alt in self.why
+        )
+        return (f"{self.fact} <= {alternatives} "
+                f"(bases: {', '.join(sorted(self.base_relations))})")
+
+
 class ProvenanceGraph:
-    """Accumulated derivations, indexed by derived fact."""
+    """Support-counted derivations, indexed by derived and supporting fact.
+
+    Every mutation bumps :attr:`version` (consumers such as the ACL layer's
+    :class:`~repro.acl.policies.PolicyEngine` use it to invalidate their own
+    caches on deltas only).
+    """
 
     def __init__(self):
+        # Derived fact -> its alternative derivations (the support count of a
+        # fact is the length of this list; the fact dies when it reaches 0).
         self._derivations: Dict[Fact, List[Derivation]] = {}
-        self._all: List[Derivation] = []
+        # Supporting fact -> the derivations it participates in (reverse
+        # edges; drives remove_support cascades and index invalidation).
+        self._supported: Dict[Fact, List[Derivation]] = {}
+        # Qualified relation -> its derived facts, so the scoped rederive
+        # clear is proportional to the cleared predicates, not the graph.
+        self._by_relation: Dict[str, Set[Fact]] = {}
+        self._count = 0
+        #: Bumped on every mutation; external caches key off it.
+        self.version = 0
+        # The incremental lineage index: per-fact frozen sets, built on first
+        # probe and invalidated for exactly the facts a mutation can reach.
+        self._bases_index: Dict[Fact, FrozenSet[str]] = {}
+        self._peers_index: Dict[Fact, FrozenSet[str]] = {}
 
     def __len__(self) -> int:
-        return len(self._all)
+        return self._count
 
-    def add(self, derivation: Derivation) -> None:
-        """Record one derivation (duplicates are kept out)."""
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, derivation: Derivation) -> bool:
+        """Record one derivation; returns ``False`` for a known duplicate."""
         existing = self._derivations.setdefault(derivation.fact, [])
+        key = derivation.key()
         for known in existing:
-            if known.rule_id == derivation.rule_id and known.support == derivation.support:
-                return
+            if known.key() == key:
+                return False
+        self._invalidate([derivation.fact])
         existing.append(derivation)
-        self._all.append(derivation)
+        self._by_relation.setdefault(
+            derivation.fact.qualified_relation, set()).add(derivation.fact)
+        for supporting in set(derivation.support):
+            self._supported.setdefault(supporting, []).append(derivation)
+        self._count += 1
+        self.version += 1
+        return True
+
+    def remove_support(self, fact: Fact) -> int:
+        """``fact`` no longer holds: kill every derivation it supports.
+
+        A derivation dies when any of its supporting facts dies; a derived
+        fact dies when its last derivation dies, which cascades into the
+        derivations *it* supported.  Returns how many derivations died.
+        """
+        self._invalidate([fact])
+        removed = 0
+        frontier: List[Fact] = [fact]
+        while frontier:
+            dead = frontier.pop()
+            for derivation in self._supported.pop(dead, ()):  # type: ignore[arg-type]
+                if self._discard(derivation, skip_support=dead):
+                    removed += 1
+                    head = derivation.fact
+                    if head not in self._derivations:
+                        frontier.append(head)
+        return removed
+
+    def retract_fact(self, fact: Fact) -> int:
+        """``fact`` was deleted: drop its derivations and cascade its support.
+
+        Used for retracted base facts, overwritten (primary-key displaced)
+        facts and provided facts the sender withdrew.  Returns how many
+        derivations died.
+        """
+        self._invalidate([fact])
+        removed = 0
+        for derivation in list(self._derivations.get(fact, ())):
+            if self._discard(derivation):
+                removed += 1
+        return removed + self.remove_support(fact)
+
+    def remove_derivation(self, derivation: Derivation) -> bool:
+        """Remove one specific derivation; cascade if its fact thereby dies.
+
+        Returns ``False`` when the derivation was not (or no longer) in the
+        graph.
+        """
+        self._invalidate([derivation.fact])
+        if not self._discard(derivation):
+            return False
+        if derivation.fact not in self._derivations:
+            self.remove_support(derivation.fact)
+        return True
+
+    def retract_predicates(self, predicates: Iterable[str]) -> int:
+        """Drop every derivation whose derived fact is in ``predicates``.
+
+        Mirror of the engine's scoped delete-and-rederive: the affected
+        predicate closure is cleared here exactly as the derived store is,
+        and re-evaluation re-records what is still derivable.  No cascade is
+        performed — every fact a dead support can reach is, by construction
+        of the closure, itself in ``predicates``.
+        """
+        doomed = [fact for predicate in set(predicates)
+                  for fact in self._by_relation.get(predicate, ())]
+        if not doomed:
+            return 0
+        self._invalidate(doomed)
+        removed = 0
+        for fact in doomed:
+            for derivation in list(self._derivations.get(fact, ())):
+                if self._discard(derivation):
+                    removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Forget every derivation."""
+        self._derivations.clear()
+        self._supported.clear()
+        self._by_relation.clear()
+        self._bases_index.clear()
+        self._peers_index.clear()
+        self._count = 0
+        self.version += 1
+
+    def _discard(self, derivation: Derivation,
+                 skip_support: Optional[Fact] = None) -> bool:
+        """Remove one derivation from both indexes (``False`` if already gone)."""
+        bucket = self._derivations.get(derivation.fact)
+        if bucket is None or derivation not in bucket:
+            return False
+        bucket.remove(derivation)
+        if not bucket:
+            del self._derivations[derivation.fact]
+            relation = derivation.fact.qualified_relation
+            siblings = self._by_relation.get(relation)
+            if siblings is not None:
+                siblings.discard(derivation.fact)
+                if not siblings:
+                    del self._by_relation[relation]
+        for supporting in set(derivation.support):
+            if supporting == skip_support:
+                continue  # its reverse bucket is being drained by the caller
+            reverse = self._supported.get(supporting)
+            if reverse is not None:
+                try:
+                    reverse.remove(derivation)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not reverse:
+                    del self._supported[supporting]
+        self._count -= 1
+        self.version += 1
+        return True
+
+    def _invalidate(self, roots: Iterable[Fact]) -> None:
+        """Drop the lineage-index entries of ``roots`` and every dependent.
+
+        Walks the reverse (supported-by) edges transitively *before* the
+        mutation happens, so every fact whose lineage could include a root is
+        reached while the edges still exist.
+        """
+        if not self._bases_index and not self._peers_index:
+            return
+        stack = list(roots)
+        seen: Set[Fact] = set()
+        while stack:
+            fact = stack.pop()
+            if fact in seen:
+                continue
+            seen.add(fact)
+            self._bases_index.pop(fact, None)
+            self._peers_index.pop(fact, None)
+            for derivation in self._supported.get(fact, ()):
+                stack.append(derivation.fact)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
 
     def derivations_of(self, fact: Fact) -> Tuple[Derivation, ...]:
         """Every recorded derivation of ``fact``."""
         return tuple(self._derivations.get(fact, ()))
 
+    def derivation_count(self, fact: Fact) -> int:
+        """How many alternative derivations currently support ``fact``."""
+        return len(self._derivations.get(fact, ()))
+
     def is_derived(self, fact: Fact) -> bool:
-        """``True`` when at least one derivation of ``fact`` was recorded."""
+        """``True`` when at least one live derivation of ``fact`` is recorded."""
         return fact in self._derivations
 
     def why(self, fact: Fact) -> Tuple[FrozenSet[Fact], ...]:
@@ -88,49 +308,142 @@ class ProvenanceGraph:
         return frozenset(f for f in self.lineage(fact) if not self.is_derived(f))
 
     def base_relations(self, fact: Fact) -> FrozenSet[str]:
-        """Qualified names of the base relations the lineage of ``fact`` draws from."""
-        return frozenset(f.qualified_relation for f in self.base_facts(fact))
+        """Qualified names of the base relations the lineage of ``fact`` draws from.
+
+        Answered from the maintained lineage index: O(1) once built, rebuilt
+        only after a mutation that can reach ``fact``'s lineage.
+        """
+        cached = self._bases_index.get(fact)
+        if cached is None:
+            cached = frozenset(f.qualified_relation for f in self.base_facts(fact))
+            self._bases_index[fact] = cached
+        return cached
+
+    def lineage_peers(self, fact: Fact) -> FrozenSet[str]:
+        """Peers owning some fact in the lineage of ``fact`` (indexed, O(1))."""
+        cached = self._peers_index.get(fact)
+        if cached is None:
+            cached = frozenset(f.peer for f in self.lineage(fact))
+            self._peers_index[fact] = cached
+        return cached
 
     def depends_on_peer(self, fact: Fact, peer: str) -> bool:
         """``True`` when some fact in the lineage belongs to a relation of ``peer``."""
         if fact.peer == peer and not self.is_derived(fact):
             return True
-        return any(f.peer == peer for f in self.lineage(fact))
+        return peer in self.lineage_peers(fact)
 
     def facts(self) -> Tuple[Fact, ...]:
-        """Every derived fact with at least one recorded derivation."""
+        """Every derived fact with at least one live derivation."""
         return tuple(self._derivations)
 
-    def clear(self) -> None:
-        """Forget every derivation."""
-        self._derivations.clear()
-        self._all.clear()
+    def facts_of(self, relation: str) -> Tuple[Fact, ...]:
+        """The derived facts of one qualified relation (indexed lookup)."""
+        return tuple(self._by_relation.get(relation, ()))
+
+    def explain(self, fact: Fact) -> Explanation:
+        """The full provenance story of ``fact``."""
+        lineage = self.lineage(fact)
+        return Explanation(
+            fact=fact,
+            derived=self.is_derived(fact),
+            why=self.why(fact),
+            lineage=lineage,
+            base_relations=self.base_relations(fact),
+            peers=frozenset({fact.peer}) | self.lineage_peers(fact),
+        )
 
 
 class ProvenanceTracker:
-    """Adapter between the engine's derivation hook and a :class:`ProvenanceGraph`.
+    """Adapter between the engine's derivation hooks and a :class:`ProvenanceGraph`.
 
     Attach it to an engine with::
 
         engine.provenance = ProvenanceTracker()
 
-    after which every stage's derivations are recorded.  By default the graph
-    is *cumulative*; call :meth:`reset_each_stage` to clear it at the start of
-    every stage instead (the engine recomputes intensional relations from
-    scratch each stage, so the cumulative graph can contain derivations whose
-    support has since been deleted — cumulative mode is what the ACL layer
-    wants for auditing, per-stage mode is what exact view policies want).
+    (or build the whole deployment with ``system().provenance()``).  The
+    engine records every derivation through :meth:`record` and keeps the
+    graph consistent along its incremental evaluation paths through the
+    maintenance hooks :meth:`on_base_deleted`, :meth:`on_rederive` and
+    :meth:`on_full_recompute` — the graph always reflects the *current*
+    derivability state, so why/lineage answers match what a full recompute
+    would record, at delta cost.
+
+    Derivations received from remote peers (shipped with fact updates over
+    the wire) are remembered separately via :meth:`record_remote`: local
+    re-evaluation cannot re-derive them, so they survive full recomputes and
+    are dropped only when the shipped fact itself is retracted.
+
+    The historical ``per_stage`` mode (clear the graph at every stage) is
+    deprecated: it relied on every stage re-recording all derivations, which
+    pins the engine to full recomputes.  A tracker in per-stage mode still
+    behaves exactly as before — the engine detects it and falls back to full
+    evaluation.
     """
 
     def __init__(self, per_stage: bool = False):
         self.graph = ProvenanceGraph()
+        if per_stage:
+            warnings.warn(
+                "ProvenanceTracker(per_stage=True) is deprecated; the graph "
+                "is now incrementally maintained, so the cumulative default "
+                "already reflects the current derivability state",
+                DeprecationWarning, stacklevel=2,
+            )
         self.per_stage = per_stage
         self._last_stage_seen: Optional[int] = None
+        # Derivations shipped by remote peers, keyed for idempotent re-adds.
+        self._remote: Dict[Tuple[Fact, str, Tuple[Fact, ...]], Derivation] = {}
+        # The shipped facts themselves (message-inserted heads).  Lineage
+        # intermediates shipped alongside are retained only while reachable
+        # from a live anchor — see :meth:`_sync_remote`.
+        self._remote_anchors: Set[Fact] = set()
+        # Every fact appearing in the shipped memory (heads and supports);
+        # deletions disjoint from it skip the reconciliation pass entirely.
+        self._remote_facts: Set[Fact] = set()
+        # Locally recorded derivations that are new since the last drain —
+        # the runtime peer uses this to ship *alternative* derivations of
+        # facts it already sent (the fact itself produces no update, so no
+        # message would otherwise carry them).  Logging starts at the first
+        # drain, so trackers on engines nobody drains accumulate nothing.
+        self._fresh: List[Derivation] = []
+        self._log_fresh = False
 
     def record(self, fact: Fact, rule: Rule, support: Tuple[Fact, ...]) -> None:
         """Engine hook: record one derivation."""
-        self.graph.add(Derivation(fact=fact, rule_id=rule.rule_id, support=tuple(support),
-                                  author=rule.author))
+        derivation = Derivation(fact=fact, rule_id=rule.rule_id,
+                                support=tuple(support), author=rule.author)
+        if self.graph.add(derivation) and self._log_fresh:
+            self._fresh.append(derivation)
+
+    def drain_new_derivations(self) -> Tuple[Derivation, ...]:
+        """Locally recorded derivations new since the last drain (and reset).
+
+        The first call activates the log (derivations recorded before it are
+        not replayed — they were visible to the caller's own graph walks).
+        Re-records after a rederive/full clear reappear here; consumers
+        dedup against what they already handled (the peer's per-target
+        shipping memo does exactly that).
+        """
+        self._log_fresh = True
+        fresh = tuple(self._fresh)
+        self._fresh.clear()
+        return fresh
+
+    def record_remote(self, derivation: Derivation, anchor: bool = True) -> None:
+        """Record a derivation shipped by a remote peer (survives recomputes).
+
+        ``anchor=True`` marks the derivation's fact as one the sender
+        actually shipped (a message-inserted fact); ``anchor=False`` is for
+        the lineage intermediates that ride along, which live only as long
+        as some anchored fact's lineage reaches them.
+        """
+        self._remote[derivation.key()] = derivation
+        self._remote_facts.add(derivation.fact)
+        self._remote_facts.update(derivation.support)
+        if anchor:
+            self._remote_anchors.add(derivation.fact)
+        self.graph.add(derivation)
 
     def notify_stage(self, stage: int) -> None:
         """Inform the tracker that a new stage started (used in per-stage mode)."""
@@ -139,9 +452,89 @@ class ProvenanceTracker:
         self._last_stage_seen = stage
 
     def reset_each_stage(self) -> "ProvenanceTracker":
-        """Switch to per-stage mode (clears the graph at every new stage)."""
+        """Deprecated: switch to per-stage mode (clears the graph every stage).
+
+        .. deprecated::
+           The graph is incrementally maintained; per-stage clearing forces
+           the engine back to full recomputes and is no longer needed.
+        """
+        warnings.warn(
+            "ProvenanceTracker.reset_each_stage() is deprecated; the graph "
+            "is now incrementally maintained and already reflects the "
+            "current derivability state",
+            DeprecationWarning, stacklevel=2,
+        )
         self.per_stage = True
         return self
+
+    # Engine maintenance hooks (the incremental evaluation paths) ---------- #
+
+    def on_base_deleted(self, facts: Iterable[Fact]) -> None:
+        """Input facts were deleted: their derivations (and dependents) die."""
+        dead = set(facts)
+        for fact in dead:
+            self.graph.retract_fact(fact)
+        # Reconciliation is only needed when the deletions touch the shipped
+        # memory at all (anchors are heads, so they are covered too).
+        if self._remote and not dead.isdisjoint(self._remote_facts):
+            self._remote_anchors -= dead
+            self._sync_remote(dead)
+
+    def _sync_remote(self, dead: Set[Fact]) -> None:
+        """Reconcile the shipped-derivation memory after retractions.
+
+        A remembered entry survives only when (a) its head was not
+        explicitly retracted, (b) the graph's support-count cascade did not
+        kill it (otherwise a later full recompute would resurrect a
+        derivation whose support died), and (c) its head is still reachable
+        from a live anchor through the shipped support edges — lineage
+        intermediates orphaned by an anchor's retraction are garbage
+        collected from the memory *and* the graph.
+        """
+        by_head: Dict[Fact, List[Derivation]] = {}
+        for (head, _, _), derivation in self._remote.items():
+            by_head.setdefault(head, []).append(derivation)
+        reachable: Set[Fact] = set()
+        frontier = [fact for fact in self._remote_anchors if fact not in dead]
+        while frontier:
+            fact = frontier.pop()
+            if fact in reachable:
+                continue
+            reachable.add(fact)
+            for derivation in by_head.get(fact, ()):
+                frontier.extend(derivation.support)
+        survivors: Dict[Tuple[Fact, str, Tuple[Fact, ...]], Derivation] = {}
+        for key, derivation in self._remote.items():
+            head = key[0]
+            if head in dead:
+                continue
+            if head not in reachable:
+                self.graph.remove_derivation(derivation)
+                continue
+            if derivation in self.graph.derivations_of(head):
+                survivors[key] = derivation
+        self._remote = survivors
+        self._remote_anchors &= {key[0] for key in survivors}
+        self._remote_facts = set()
+        for derivation in survivors.values():
+            self._remote_facts.add(derivation.fact)
+            self._remote_facts.update(derivation.support)
+
+    def on_rederive(self, predicates: Iterable[str]) -> None:
+        """The engine clears these predicates and re-fires their rules."""
+        wanted = set(predicates)
+        self.graph.retract_predicates(wanted)
+        # Shipped derivations are not re-derivable locally: restore the ones
+        # the predicate clear swept away.
+        for derivation in self._remote.values():
+            if derivation.fact.qualified_relation in wanted:
+                self.graph.add(derivation)
+
+    def on_full_recompute(self) -> None:
+        """The engine recomputes everything: start from the shipped facts only."""
+        self.graph.clear()
+        for derivation in self._remote.values():
+            self.graph.add(derivation)
 
     # Convenience pass-throughs -------------------------------------------- #
 
@@ -156,3 +549,7 @@ class ProvenanceTracker:
     def base_relations(self, fact: Fact) -> FrozenSet[str]:
         """Base relations in the lineage of ``fact``."""
         return self.graph.base_relations(fact)
+
+    def explain(self, fact: Fact) -> Explanation:
+        """The full provenance story of ``fact``."""
+        return self.graph.explain(fact)

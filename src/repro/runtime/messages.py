@@ -26,6 +26,7 @@ from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 from repro.core.facts import Fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema
+from repro.provenance.graph import Derivation
 from repro.runtime import wire
 
 _message_counter = itertools.count(1)
@@ -63,19 +64,27 @@ class Message:
 
 @dataclass(frozen=True)
 class FactMessage(Message):
-    """Fact insertions/deletions addressed to relations of the recipient."""
+    """Fact insertions/deletions addressed to relations of the recipient.
+
+    ``derivations`` optionally carries the provenance of the inserted facts
+    (the sender's derivations, transitively down to its base facts) so
+    provenance-enabled receivers can answer why/lineage queries — and apply
+    lineage-based access control — across peer boundaries.
+    """
 
     inserted: FrozenSet[Fact] = frozenset()
     deleted: FrozenSet[Fact] = frozenset()
+    derivations: Tuple[Derivation, ...] = ()
 
     def payload_size(self) -> int:
-        """Number of facts carried."""
-        return len(self.inserted) + len(self.deleted)
+        """Number of facts (and attached derivations) carried."""
+        return len(self.inserted) + len(self.deleted) + len(self.derivations)
 
     def to_wire(self) -> Dict[str, Any]:
         encoded = super().to_wire()
         encoded["inserted"] = [wire.encode_fact(f) for f in sorted(self.inserted, key=str)]
         encoded["deleted"] = [wire.encode_fact(f) for f in sorted(self.deleted, key=str)]
+        encoded["derivations"] = [wire.encode_derivation(d) for d in self.derivations]
         return encoded
 
 
@@ -143,6 +152,8 @@ def message_from_wire(encoded: Dict[str, Any]) -> Message:
         return FactMessage(
             inserted=frozenset(wire.decode_fact(f) for f in encoded.get("inserted", [])),
             deleted=frozenset(wire.decode_fact(f) for f in encoded.get("deleted", [])),
+            derivations=tuple(wire.decode_derivation(d)
+                              for d in encoded.get("derivations", [])),
             **common,
         )
     if kind == "DelegationInstallMessage":

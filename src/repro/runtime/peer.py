@@ -26,6 +26,8 @@ from repro.core.engine import StageResult, WebdamLogEngine
 from repro.core.facts import Delta, Fact
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationSchema, SchemaRegistry
+from repro.provenance.graph import Derivation as ProvenanceDerivation
+from repro.provenance.graph import Explanation, ProvenanceTracker
 from repro.runtime.messages import (
     DelegationInstallMessage,
     DelegationRetractMessage,
@@ -57,11 +59,14 @@ class Peer:
                  auto_accept_delegations: bool = False,
                  strict_stage_inputs: bool = False,
                  schemas: Optional[SchemaRegistry] = None,
-                 evaluation_mode: str = "incremental"):
+                 evaluation_mode: str = "incremental",
+                 provenance: bool = False):
         self.name = name
         self.engine = WebdamLogEngine(name, schemas=schemas,
                                       strict_stage_inputs=strict_stage_inputs,
                                       evaluation_mode=evaluation_mode)
+        if provenance:
+            self.engine.provenance = ProvenanceTracker()
         self.controller = DelegationController(
             self.engine,
             trust=trust if trust is not None else TrustStore(name),
@@ -69,6 +74,13 @@ class Peer:
         )
         self.wrappers: List = []
         self.known_peers: Dict[str, str] = {name: name}
+        # Derivations already shipped to each target (keyed like the
+        # tracker's remote memory), so updates carry each one only once —
+        # plus the facts appearing in that shipped lineage, so *alternative*
+        # derivations recorded later for an already-shipped fact can be
+        # routed to the targets that care.
+        self._sent_derivations: Dict[str, set] = {}
+        self._sent_lineage_facts: Dict[str, set] = {}
         self._round = 0
 
     # ------------------------------------------------------------------ #
@@ -140,6 +152,22 @@ class Peer:
         # The wrapper may surface external data at its next before_stage hook.
         self.engine.mark_dirty()
 
+    @property
+    def provenance(self) -> Optional[ProvenanceTracker]:
+        """The engine's provenance tracker (``None`` when not enabled)."""
+        return self.engine.provenance
+
+    def explain(self, fact: Fact) -> Explanation:
+        """Why/lineage story of ``fact`` from the maintained provenance graph."""
+        tracker = self.engine.provenance
+        if tracker is None or not hasattr(tracker, "explain"):
+            raise RuntimeError(
+                f"peer {self.name!r} has no provenance tracker attached; "
+                "enable it with system().provenance() or "
+                "Peer(..., provenance=True)"
+            )
+        return tracker.explain(fact)
+
     def needs_stage(self) -> bool:
         """``True`` when running a stage at this peer could change anything.
 
@@ -164,6 +192,14 @@ class Peer:
         """Dispatch one incoming message to the engine / controller."""
         if isinstance(message, FactMessage):
             self.engine.receive_facts(message.sender, message.inserted, message.deleted)
+            tracker = self.engine.provenance
+            if message.derivations and tracker is not None \
+                    and hasattr(tracker, "record_remote"):
+                for derivation in message.derivations:
+                    # Only the message-inserted facts are anchors; lineage
+                    # intermediates live as long as an anchor reaches them.
+                    tracker.record_remote(
+                        derivation, anchor=derivation.fact in message.inserted)
         elif isinstance(message, DelegationInstallMessage):
             for schema in message.schemas:
                 try:
@@ -210,12 +246,25 @@ class Peer:
 
     def _messages_from(self, result: StageResult) -> List[Message]:
         messages: List[Message] = []
+        shipped: Dict[str, Tuple[ProvenanceDerivation, ...]] = {}
         for update in result.outgoing_updates:
+            shipped[update.target] = self._derivations_for(
+                update.target, update.inserted, update.deleted)
+        extra = self._fresh_derivation_messages()
+        for update in result.outgoing_updates:
+            target = update.target
             messages.append(FactMessage(
                 sender=self.name,
-                recipient=update.target,
+                recipient=target,
                 inserted=frozenset(update.inserted),
                 deleted=frozenset(update.deleted),
+                derivations=shipped[target] + extra.pop(target, ()),
+            ))
+        for target, derivations in extra.items():
+            # Alternative derivations of facts already at the target: the
+            # facts themselves produce no update, so they travel alone.
+            messages.append(FactMessage(
+                sender=self.name, recipient=target, derivations=derivations,
             ))
         for delegation in result.delegations_to_install:
             messages.append(DelegationInstallMessage(
@@ -232,6 +281,97 @@ class Peer:
                 delegation_id=delegation.delegation_id,
             ))
         return messages
+
+    def _derivations_for(self, target: str, inserted: Iterable[Fact],
+                         deleted: Iterable[Fact]
+                         ) -> Tuple[ProvenanceDerivation, ...]:
+        """The sender-side provenance shipped with one outgoing update.
+
+        Walks the transitive derivation closure of the inserted facts in
+        this peer's graph (so the receiver can answer lineage queries down
+        to this peer's base facts) but ships each derivation to a given
+        target only once, and prunes the walk at derivations earlier updates
+        already carried — their closure was walked when they were first
+        shipped, so each update costs its *new* lineage, not the accumulated
+        history.  A deletion resets the target's memo: the receiver
+        garbage-collects the retracted facts' lineage, so later
+        re-insertions must re-ship their closure (re-recording shipped
+        derivations is idempotent on the receiving side).  Empty when
+        provenance is not enabled.
+        """
+        tracker = self.engine.provenance
+        graph = getattr(tracker, "graph", None)
+        if graph is None:
+            return ()
+        sent = self._sent_derivations.setdefault(target, set())
+        lineage = self._sent_lineage_facts.setdefault(target, set())
+        if deleted:
+            sent.clear()
+            lineage.clear()
+        return self._walk_closure(graph, sent, lineage, sorted(inserted, key=str))
+
+    def _walk_closure(self, graph, sent: set, lineage: set,
+                      frontier: List[Fact]) -> Tuple[ProvenanceDerivation, ...]:
+        """Collect the unshipped derivation closure of ``frontier`` facts,
+        updating the target's shipping memo and lineage-fact set."""
+        collected: List[ProvenanceDerivation] = []
+        seen: set = set()
+        while frontier:
+            fact = frontier.pop()
+            if fact in seen:
+                continue
+            seen.add(fact)
+            for derivation in graph.derivations_of(fact):
+                key = derivation.key()
+                if key in sent:
+                    continue
+                sent.add(key)
+                lineage.add(derivation.fact)
+                lineage.update(derivation.support)
+                collected.append(derivation)
+                frontier.extend(derivation.support)
+        return tuple(collected)
+
+    def _fresh_derivation_messages(self) -> Dict[str, Tuple[ProvenanceDerivation, ...]]:
+        """Route newly recorded derivations to targets holding their facts.
+
+        A fact that gains an *alternative* derivation is itself unchanged,
+        so no update message exists to carry the new lineage — without this,
+        a receiver's explain/ACL answers would stay pinned to the first
+        derivation ever shipped.  Each fresh derivation goes to every target
+        whose shipped lineage contains its fact (the per-target memo already
+        holds everything shipped through the normal update path this stage).
+        """
+        tracker = self.engine.provenance
+        graph = getattr(tracker, "graph", None)
+        if graph is None or not hasattr(tracker, "drain_new_derivations"):
+            return {}
+        fresh = tracker.drain_new_derivations()
+        if not fresh:
+            return {}
+        routed: Dict[str, Tuple[ProvenanceDerivation, ...]] = {}
+        for target, lineage in self._sent_lineage_facts.items():
+            relevant = [d for d in fresh
+                        if d.fact in lineage
+                        and d.key() not in self._sent_derivations[target]]
+            if not relevant:
+                continue
+            sent = self._sent_derivations[target]
+            collected: List[ProvenanceDerivation] = []
+            for derivation in relevant:
+                if derivation.key() in sent:
+                    continue
+                sent.add(derivation.key())
+                lineage.add(derivation.fact)
+                lineage.update(derivation.support)
+                collected.append(derivation)
+                # New supports may be facts never shipped: carry their
+                # lineage too, so the receiver reaches base facts.
+                collected.extend(self._walk_closure(
+                    graph, sent, lineage, list(derivation.support)))
+            if collected:
+                routed[target] = tuple(collected)
+        return routed
 
     def _schemas_for(self, delegation: Delegation) -> Tuple[RelationSchema, ...]:
         """Schemas (known locally) of the relations mentioned by a delegated rule."""

@@ -30,13 +30,14 @@ from repro.runtime import wire
 # --------------------------------------------------------------------------- #
 
 def _peer_worker(name: str, command_queue: multiprocessing.Queue,
-                 response_queue: multiprocessing.Queue) -> None:
+                 response_queue: multiprocessing.Queue,
+                 provenance: bool = False) -> None:
     """Entry point of a peer process: serve commands until told to stop."""
     # Imports happen inside the worker so that the module is importable even
     # in spawn-based start methods.
     from repro.runtime.peer import Peer
 
-    peer = Peer(name, auto_accept_delegations=True)
+    peer = Peer(name, auto_accept_delegations=True, provenance=provenance)
     while True:
         command = command_queue.get()
         op = command.get("op")
@@ -76,6 +77,19 @@ def _peer_worker(name: str, command_queue: multiprocessing.Queue,
             elif op == "counts":
                 response_queue.put({"op": "counts", "peer": name,
                                     "counts": peer.counts()})
+            elif op == "explain":
+                explanation = peer.explain(wire.decode_fact(command["fact"]))
+                response_queue.put({
+                    "op": "explanation",
+                    "peer": name,
+                    "derived": explanation.derived,
+                    "why": [[wire.encode_fact(f) for f in sorted(alt, key=str)]
+                            for alt in explanation.why],
+                    "lineage": [wire.encode_fact(f)
+                                for f in sorted(explanation.lineage, key=str)],
+                    "base_relations": sorted(explanation.base_relations),
+                    "peers": sorted(explanation.peers),
+                })
             else:
                 response_queue.put({"op": "error", "peer": name,
                                     "error": f"unknown op {op!r}"})
@@ -120,8 +134,9 @@ class ProcessNetwork:
             facts = net.query("alice", "friends")
     """
 
-    def __init__(self):
+    def __init__(self, provenance: bool = False):
         self._context = multiprocessing.get_context()
+        self.provenance = provenance
         self._handles: Dict[str, _PeerHandle] = {}
         # recipient -> wire-encoded messages waiting for the next round
         self._mailboxes: Dict[str, List[Dict[str, Any]]] = {}
@@ -143,7 +158,8 @@ class ProcessNetwork:
         commands: multiprocessing.Queue = self._context.Queue()
         responses: multiprocessing.Queue = self._context.Queue()
         process = self._context.Process(
-            target=_peer_worker, args=(name, commands, responses), daemon=True,
+            target=_peer_worker,
+            args=(name, commands, responses, self.provenance), daemon=True,
             name=f"webdamlog-peer-{name}",
         )
         process.start()
@@ -195,6 +211,25 @@ class ProcessNetwork:
     def counts(self, peer: str) -> Dict[str, int]:
         """Counters of one peer."""
         return self._handle(peer).request({"op": "counts"})["counts"]
+
+    def explain(self, peer: str, fact) -> Dict[str, Any]:
+        """Why/lineage story of ``fact`` as recorded in ``peer``'s process.
+
+        Returns a decoded dictionary (``derived``, ``why``, ``lineage``,
+        ``base_relations``, ``peers``); requires the network to have been
+        built with ``provenance=True``.
+        """
+        response = self._handle(peer).request({
+            "op": "explain", "fact": wire.encode_fact(fact),
+        })
+        return {
+            "derived": response["derived"],
+            "why": [frozenset(wire.decode_fact(f) for f in alt)
+                    for alt in response["why"]],
+            "lineage": frozenset(wire.decode_fact(f) for f in response["lineage"]),
+            "base_relations": frozenset(response["base_relations"]),
+            "peers": frozenset(response["peers"]),
+        }
 
     # -- execution --------------------------------------------------------- #
 

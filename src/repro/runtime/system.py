@@ -80,6 +80,12 @@ class WebdamLogSystem:
         The per-peer fixpoint strategy: ``"incremental"`` (default — the
         seminaive, index-accelerated engine) or ``"naive"`` (the historical
         clear-and-recompute, kept as the differential baseline).
+    provenance:
+        When ``True`` every peer gets a
+        :class:`~repro.provenance.graph.ProvenanceTracker` whose graph is
+        incrementally maintained by the engine; fact updates then ship their
+        derivations, so why/lineage queries (``peer.explain(fact)``) and
+        lineage-based access control work across peer boundaries.
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
@@ -89,7 +95,8 @@ class WebdamLogSystem:
                  strict_stage_inputs: bool = False,
                  transport: Optional["Transport"] = None,
                  scheduler: Union[None, str, Scheduler] = None,
-                 evaluation_mode: str = "incremental"):
+                 evaluation_mode: str = "incremental",
+                 provenance: bool = False):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
@@ -99,6 +106,7 @@ class WebdamLogSystem:
         self.auto_accept_delegations = auto_accept_delegations
         self.strict_stage_inputs = strict_stage_inputs
         self.evaluation_mode = evaluation_mode
+        self.provenance = provenance
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
@@ -150,7 +158,8 @@ class WebdamLogSystem:
                  trusted: Sequence[str] = (), trust_all: bool = False,
                  auto_accept_delegations: Optional[bool] = None,
                  announce: bool = False,
-                 schemas: Optional[SchemaRegistry] = None) -> Peer:
+                 schemas: Optional[SchemaRegistry] = None,
+                 provenance: Optional[bool] = None) -> Peer:
         """Create and register a new peer.
 
         ``program`` is an optional WebdamLog program text loaded immediately.
@@ -166,7 +175,8 @@ class WebdamLogSystem:
                 else auto_accept_delegations)
         peer = Peer(name, trust=trust, auto_accept_delegations=auto,
                     strict_stage_inputs=self.strict_stage_inputs, schemas=schemas,
-                    evaluation_mode=self.evaluation_mode)
+                    evaluation_mode=self.evaluation_mode,
+                    provenance=self.provenance if provenance is None else provenance)
         self.peers[name] = peer
         self.transport.register(name)
         if program:

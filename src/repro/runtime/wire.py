@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.acl.policies import Grant, Privilege
 from repro.core.facts import Fact
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema
 from repro.core.terms import Constant, Term, Variable
+from repro.provenance.graph import Derivation
 
 
 # --------------------------------------------------------------------------- #
@@ -160,4 +162,53 @@ def decode_schema(encoded: Dict[str, Any]) -> RelationSchema:
         kind=RelationKind(encoded.get("kind", "extensional")),
         persistent=encoded.get("persistent", True),
         key=tuple(encoded.get("key", ())),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# provenance and policy payloads
+# --------------------------------------------------------------------------- #
+
+def encode_derivation(derivation: Derivation) -> Dict[str, Any]:
+    """Encode a provenance :class:`~repro.provenance.graph.Derivation`.
+
+    Peers running with provenance enabled attach derivations to their fact
+    updates, so receivers (including process-backend workers) can answer
+    why/lineage queries across peer boundaries.
+    """
+    return {
+        "fact": encode_fact(derivation.fact),
+        "rule_id": derivation.rule_id,
+        "support": [encode_fact(f) for f in derivation.support],
+        "author": derivation.author,
+    }
+
+
+def decode_derivation(encoded: Dict[str, Any]) -> Derivation:
+    """Inverse of :func:`encode_derivation`."""
+    return Derivation(
+        fact=decode_fact(encoded["fact"]),
+        rule_id=encoded["rule_id"],
+        support=tuple(decode_fact(f) for f in encoded.get("support", [])),
+        author=encoded.get("author"),
+    )
+
+
+def encode_grant(grant: Grant) -> Dict[str, Any]:
+    """Encode an access-control :class:`~repro.acl.policies.Grant`."""
+    return {
+        "relation": grant.relation,
+        "grantee": grant.grantee,
+        "privilege": grant.privilege.value,
+        "grantor": grant.grantor,
+    }
+
+
+def decode_grant(encoded: Dict[str, Any]) -> Grant:
+    """Inverse of :func:`encode_grant`."""
+    return Grant(
+        relation=encoded["relation"],
+        grantee=encoded["grantee"],
+        privilege=Privilege(encoded["privilege"]),
+        grantor=encoded["grantor"],
     )

@@ -133,7 +133,8 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
                         with_facebook: bool = True,
                         seed: Optional[int] = 0,
                         transport: Optional[Transport] = None,
-                        scheduler: Optional[object] = None) -> DemoScenario:
+                        scheduler: Optional[object] = None,
+                        provenance: bool = False) -> DemoScenario:
     """Build the Figure-2 deployment through :mod:`repro.api`.
 
     Parameters
@@ -165,6 +166,11 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
         Execution driver of the deployment: ``"lockstep"`` (default),
         ``"reactive"``, ``"async"`` or a
         :class:`~repro.runtime.scheduler.Scheduler` instance.
+    provenance:
+        When ``True`` every peer tracks why-provenance incrementally;
+        ``scenario.api.explain(peer, fact)`` then answers why/lineage
+        queries (e.g. why a picture appeared on an attendee's wall) and the
+        access-control view policies can filter by lineage.
     """
     rules = WepicRules(sigmod_peer=SIGMOD_PEER, group_peer=SIGMOD_FB_PEER)
     facebook = FacebookService()
@@ -174,6 +180,8 @@ def build_demo_scenario(attendees: Sequence[str] = DEFAULT_ATTENDEES,
     builder = (api_system()
                .default_trusted(SIGMOD_PEER)
                .auto_accept_delegations(not control_delegation))
+    if provenance:
+        builder.provenance()
     if transport is not None:
         builder.transport(transport)
     else:

@@ -1,0 +1,171 @@
+"""Tests of the cached, delta-invalidated :class:`PolicyEngine`."""
+
+from repro.acl.policies import PUBLIC, AccessControlPolicy, PolicyEngine, Privilege
+from repro.core.engine import WebdamLogEngine
+from repro.core.facts import Fact
+from repro.provenance.graph import Derivation, ProvenanceGraph, ProvenanceTracker
+
+
+def make_provenance():
+    graph = ProvenanceGraph()
+    derived = Fact("attendeePictures", "Jules", (1, "sea.jpg"))
+    base_selected = Fact("selectedAttendee", "Jules", ("Emilien",))
+    base_picture = Fact("pictures", "Emilien", (1, "sea.jpg"))
+    graph.add(Derivation(fact=derived, rule_id="rule-1",
+                         support=(base_selected, base_picture)))
+    return graph, derived
+
+
+class TestDecisions:
+    def test_matches_policy_semantics(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        assert not engine.can_read_fact(derived, "Julia")
+        assert engine.can_read_fact(derived, "Julia") == \
+            policy.can_read_fact(derived, "Julia", provenance=graph)
+        policy.grant("pictures@Emilien", "Julia", Privilege.READ)
+        assert engine.can_read_fact(derived, "Julia")
+        assert engine.can_read_fact(derived, "Julia") == \
+            policy.can_read_fact(derived, "Julia", provenance=graph)
+
+    def test_base_fact_uses_discretionary_policy(self):
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, ProvenanceGraph())
+        base = Fact("pictures", "Jules", (1,))
+        assert not engine.can_read_fact(base, "Emilien")
+        policy.grant("pictures@Jules", "Emilien", Privilege.READ)
+        assert engine.can_read_fact(base, "Emilien")
+
+    def test_declassification(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        policy.declassify("attendeePictures@Jules", "Julia")
+        assert not engine.can_read_fact(derived, "Julia")
+        policy.grant("attendeePictures@Jules", "Julia", Privilege.READ)
+        assert engine.can_read_fact(derived, "Julia")
+
+    def test_filter_readable(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        base = Fact("selectedAttendee", "Jules", ("Emilien",))
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        assert engine.filter_readable([derived, base], "Julia") == (base,)
+
+    def test_accepts_tracker_or_graph_or_none(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        tracker = ProvenanceTracker()
+        tracker.graph = graph
+        via_tracker = PolicyEngine(policy, tracker)
+        via_graph = PolicyEngine(policy, graph)
+        without = PolicyEngine(policy, None)
+        assert (via_tracker.can_read_fact(derived, "Jules")
+                == via_graph.can_read_fact(derived, "Jules"))
+        # Without provenance every fact is treated as a base fact.
+        assert not without.can_read_fact(derived, "Mallory")
+
+
+class TestDeltaInvalidation:
+    def test_revoke_invalidates_cached_decision(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        policy.grant("pictures@Emilien", "Julia", Privilege.READ)
+        assert engine.can_read_fact(derived, "Julia")
+        policy.revoke("pictures@Emilien", "Julia")
+        assert not engine.can_read_fact(derived, "Julia")
+
+    def test_provenance_delta_changes_decision(self):
+        """A new derivation widening the lineage flips the cached answer."""
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        policy.grant("selectedAttendee@Jules", "Julia", Privilege.READ)
+        policy.grant("pictures@Emilien", "Julia", Privilege.READ)
+        assert engine.can_read_fact(derived, "Julia")
+        # The support of the selected-attendee fact becomes derived from a
+        # relation Julia may not read: the lineage now includes it.
+        secret = Fact("secrets", "Jules", ("x",))
+        graph.add(Derivation(
+            fact=Fact("selectedAttendee", "Jules", ("Emilien",)),
+            rule_id="rule-2", support=(secret,),
+        ))
+        assert not engine.can_read_fact(derived, "Julia")
+
+    def test_view_policy_cached_until_graph_changes(self):
+        graph, derived = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        first = engine.view_policy("attendeePictures@Jules")
+        assert first.base_relations == frozenset({
+            "selectedAttendee@Jules", "pictures@Emilien"})
+        assert engine.view_policy("attendeePictures@Jules") is first
+        graph.add(Derivation(fact=derived, rule_id="rule-3",
+                             support=(Fact("extra", "Jules", (1,)),)))
+        second = engine.view_policy("attendeePictures@Jules")
+        assert second is not first
+        assert "extra@Jules" in second.base_relations
+
+    def test_subset_view_policy_is_not_cached(self):
+        """A facts= subset must not narrow later whole-view decisions."""
+        graph, derived = make_provenance()
+        other = Fact("attendeePictures", "Jules", (2, "boat.jpg"))
+        graph.add(Derivation(fact=other, rule_id="rule-9",
+                             support=(Fact("private", "Jules", (2,)),)))
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        subset = engine.view_policy("attendeePictures@Jules", facts=[derived])
+        assert "private@Jules" not in subset.base_relations
+        whole = engine.view_policy("attendeePictures@Jules")
+        assert "private@Jules" in whole.base_relations
+
+    def test_view_policy_includes_declassification(self):
+        graph, _ = make_provenance()
+        policy = AccessControlPolicy("Jules")
+        engine = PolicyEngine(policy, graph)
+        assert engine.view_policy("attendeePictures@Jules").declassified_for == frozenset()
+        policy.declassify("attendeePictures@Jules", "Mallory")
+        assert engine.view_policy("attendeePictures@Jules").declassified_for == \
+            frozenset({"Mallory"})
+
+
+class TestLiveEngineIntegration:
+    """PolicyEngine filtering over a provenance-tracked engine's results."""
+
+    PROGRAM = """
+    collection extensional persistent selected@alice(name);
+    collection extensional persistent pictures@alice(id, owner);
+    collection intensional view@alice(id, owner);
+    rule view@alice($id, $o) :- selected@alice($o), pictures@alice($id, $o);
+    """
+
+    def test_filtering_tracks_incremental_updates(self):
+        engine = WebdamLogEngine("alice")
+        tracker = ProvenanceTracker()
+        engine.provenance = tracker
+        engine.load_program(self.PROGRAM)
+        engine.insert_fact('selected@alice("bob")')
+        engine.insert_fact('pictures@alice(1, "bob")')
+        engine.run_to_quiescence()
+
+        policy = AccessControlPolicy("alice")
+        acl = PolicyEngine(policy, tracker)
+        policy.grant("pictures@alice", "carol", Privilege.READ)
+        view = engine.query("view")
+        assert acl.filter_readable(view, "carol") == ()
+        policy.grant("selected@alice", "carol", Privilege.READ)
+        assert acl.filter_readable(view, "carol") == view
+
+        # Incremental update: new picture arrives on the delta path; the
+        # decision for the new fact reuses the cached base-set verdict.
+        engine.insert_fact('pictures@alice(2, "bob")')
+        result = engine.run_stage()
+        assert result.evaluation_path == "delta"
+        view = engine.query("view")
+        assert len(view) == 2
+        assert acl.filter_readable(view, "carol") == view

@@ -104,7 +104,8 @@ class TestEvaluationPaths:
         assert engine.query("b") == ()
         assert {f.values for f in engine.query("a")} == {(1,)}
 
-    def test_provenance_forces_the_full_path(self, engine):
+    def test_provenance_rides_the_delta_path(self, engine):
+        """A maintained tracker no longer pins the engine to full stages."""
         from repro.provenance import ProvenanceTracker
 
         engine.load_program(TC_PROGRAM)
@@ -112,8 +113,26 @@ class TestEvaluationPaths:
         engine.run_to_quiescence()
         engine.insert_fact(Fact("link", "alice", (1, 2)))
         result = engine.run_stage()
-        assert result.evaluation_path == "full"
+        assert result.evaluation_path == "delta"
         assert engine.provenance.why(Fact("tc", "alice", (1, 2)))
+
+    def test_legacy_recorder_still_forces_the_full_path(self, engine):
+        """A hook-less recorder keeps the historical full-recompute contract."""
+
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def record(self, fact, rule, support):
+                self.seen.append((fact, rule.rule_id, support))
+
+        engine.load_program(TC_PROGRAM)
+        engine.provenance = Recorder()
+        engine.run_to_quiescence()
+        engine.insert_fact(Fact("link", "alice", (1, 2)))
+        result = engine.run_stage()
+        assert result.evaluation_path == "full"
+        assert engine.provenance.seen
 
 
 class TestMemoisedOutputs:

@@ -25,12 +25,12 @@ def attendee_view_system(drop_probability=0.0, seed=0, latency=1):
 class TestMessageLoss:
     def test_lossless_baseline_converges_to_full_view(self):
         system, jules, _ = attendee_view_system()
-        assert system.run_until_quiescent().converged
+        assert system.converge().converged
         assert len(jules.query("attendeePictures")) == 5
 
     def test_total_loss_keeps_view_empty_but_system_stable(self):
         system, jules, emilien = attendee_view_system(drop_probability=1.0)
-        summary = system.run_until_quiescent(max_rounds=30)
+        summary = system.converge(max_steps=30)
         assert summary.converged
         assert jules.query("attendeePictures") == ()
         assert len(emilien.installed_delegations()) == 0
@@ -39,7 +39,7 @@ class TestMessageLoss:
     def test_partial_loss_never_yields_wrong_facts(self):
         # Whatever the loss pattern, facts that do arrive are genuine.
         system, jules, _ = attendee_view_system(drop_probability=0.4, seed=7)
-        system.run_until_quiescent(max_rounds=40)
+        system.converge(max_steps=40)
         ids = {f.values[0] for f in jules.query("attendeePictures")}
         assert ids <= {0, 1, 2, 3, 4}
 
@@ -47,21 +47,21 @@ class TestMessageLoss:
 class TestPeerRemoval:
     def test_removed_peer_stops_receiving_but_system_continues(self):
         system, jules, emilien = attendee_view_system()
-        system.run_until_quiescent()
+        system.converge()
         system.remove_peer("Emilien")
         # Jules keeps working; new selections towards the dead peer do not
         # crash rounds, the messages are just undeliverable.
         jules.insert_fact(Fact("selectedAttendee", "Jules", ("Ghost",)))
-        summary = system.run_until_quiescent(max_rounds=20)
+        summary = system.converge(max_steps=20)
         assert summary.converged
         assert "Emilien" not in system
 
     def test_view_survives_with_provided_facts_after_removal(self):
         system, jules, _ = attendee_view_system()
-        system.run_until_quiescent()
+        system.converge()
         assert len(jules.query("attendeePictures")) == 5
         system.remove_peer("Emilien")
-        system.run_until_quiescent(max_rounds=10)
+        system.converge(max_steps=10)
         # Without the sender the provided facts are never retracted: the view
         # keeps its last known content (documented eventual-consistency model).
         assert len(jules.query("attendeePictures")) == 5
@@ -71,7 +71,7 @@ class TestLatency:
     @pytest.mark.parametrize("latency", [1, 2, 4])
     def test_convergence_under_any_latency(self, latency):
         system, jules, _ = attendee_view_system(latency=latency)
-        summary = system.run_until_quiescent(max_rounds=60)
+        summary = system.converge(max_steps=60)
         assert summary.converged
         assert len(jules.query("attendeePictures")) == 5
 
@@ -79,7 +79,7 @@ class TestLatency:
         rounds = []
         for latency in (1, 3):
             system, _, _ = attendee_view_system(latency=latency)
-            rounds.append(system.run_until_quiescent(max_rounds=60).round_count)
+            rounds.append(system.converge(max_steps=60).round_count)
         assert rounds[1] > rounds[0]
 
 

@@ -94,7 +94,7 @@ class TestDistributedConvergenceProperties:
         for src, dst in edge_list:
             owner = a if src % 2 == 0 else b
             owner.insert_fact(Fact("edge", owner.name, (src, dst)))
-        summary = system.run_until_quiescent(max_rounds=60)
+        summary = system.converge(max_steps=60)
         assert summary.converged
         computed = {(f.values[0], f.values[1]) for f in a.query("path")}
         assert computed == reference_closure(set(edge_list))
@@ -121,7 +121,7 @@ class TestDistributedConvergenceProperties:
             owner.insert_fact(Fact("pictures", owner.name, (picture_id,)))
             if owner.name in selected:
                 expected.add(picture_id)
-        summary = system.run_until_quiescent(max_rounds=60)
+        summary = system.converge(max_steps=60)
         assert summary.converged
         got = {f.values[0] for f in viewer.query("attendeePictures")}
         assert got == expected

@@ -1,4 +1,6 @@
-"""Tests of provenance recording and queries."""
+"""Tests of provenance recording, queries and incremental maintenance."""
+
+import pytest
 
 from repro.core.engine import WebdamLogEngine
 from repro.core.facts import Fact
@@ -61,6 +63,77 @@ class TestProvenanceGraph:
         assert len(self.graph) == 0
         assert self.graph.facts() == ()
 
+    def test_version_bumps_on_mutation(self):
+        before = self.graph.version
+        self.graph.add(Derivation(self.p13, "r9", (self.b1, self.b2)))
+        assert self.graph.version > before
+        duplicate = self.graph.version
+        self.graph.add(Derivation(self.p13, "r9", (self.b1, self.b2)))
+        assert self.graph.version == duplicate  # duplicates do not mutate
+
+
+class TestSupportCounting:
+    """A derivation dies with any support; a fact dies with its last derivation."""
+
+    def setup_method(self):
+        self.graph = ProvenanceGraph()
+        self.b1 = Fact("edge", "p", (1, 2))
+        self.b2 = Fact("edge", "p", (2, 3))
+        self.p12 = Fact("path", "p", (1, 2))
+        self.p23 = Fact("path", "p", (2, 3))
+        self.p13 = Fact("path", "p", (1, 3))
+        self.graph.add(Derivation(self.p12, "r1", (self.b1,)))
+        self.graph.add(Derivation(self.p23, "r1", (self.b2,)))
+        self.graph.add(Derivation(self.p13, "r2", (self.p12, self.b2)))
+
+    def test_remove_support_cascades(self):
+        removed = self.graph.remove_support(self.b1)
+        # p12 lost its only derivation and died; p13 lost its derivation too.
+        assert removed == 2
+        assert not self.graph.is_derived(self.p12)
+        assert not self.graph.is_derived(self.p13)
+        assert self.graph.is_derived(self.p23)
+        assert len(self.graph) == 1
+
+    def test_alternative_derivation_keeps_fact_alive(self):
+        self.graph.add(Derivation(self.p13, "r9", (self.b2,)))
+        self.graph.remove_support(self.b1)
+        # p13 had an alternative derivation not using b1: it survives.
+        assert self.graph.is_derived(self.p13)
+        assert self.graph.why(self.p13) == (frozenset({self.b2}),)
+
+    def test_retract_fact_drops_own_and_supported_derivations(self):
+        self.graph.retract_fact(self.p12)
+        assert not self.graph.is_derived(self.p12)
+        assert not self.graph.is_derived(self.p13)
+        assert self.graph.derivation_count(self.p23) == 1
+
+    def test_retract_predicates_scoped_clear(self):
+        removed = self.graph.retract_predicates({"path@p"})
+        assert removed == 3
+        assert len(self.graph) == 0
+        # Base facts were never in the graph; nothing to invalidate.
+        assert self.graph.base_facts(self.b1) == frozenset({self.b1})
+
+    def test_lineage_index_invalidated_on_mutation(self):
+        assert self.graph.base_relations(self.p13) == frozenset({"edge@p"})
+        other = Fact("extra", "p", (9,))
+        self.graph.add(Derivation(self.p12, "r7", (other,)))
+        # The new alternative derivation of p12 must show up in p13's bases.
+        assert self.graph.base_relations(self.p13) == frozenset({"edge@p", "extra@p"})
+        self.graph.remove_support(other)
+        assert self.graph.base_relations(self.p13) == frozenset({"edge@p"})
+
+    def test_lineage_index_handles_cycles(self):
+        a = Fact("tc", "p", (1, 1))
+        b = Fact("tc", "p", (2, 2))
+        base = Fact("edge", "q", (1, 1))
+        self.graph.add(Derivation(a, "c1", (b,)))
+        self.graph.add(Derivation(b, "c2", (a, base)))
+        assert self.graph.base_relations(a) == frozenset({"edge@q"})
+        assert self.graph.depends_on_peer(a, "q")
+        assert not self.graph.depends_on_peer(a, "r")
+
 
 class TestTrackerEngineIntegration:
     PROGRAM = """
@@ -88,9 +161,10 @@ class TestTrackerEngineIntegration:
         assert frozenset({Fact("selected", "alice", ("bob",)),
                           Fact("pictures", "alice", (1, "bob"))}) in supports
 
-    def test_per_stage_mode_clears_between_stages(self):
+    def test_per_stage_mode_is_deprecated_but_still_clears(self):
         engine = WebdamLogEngine("alice")
-        tracker = ProvenanceTracker().reset_each_stage()
+        with pytest.warns(DeprecationWarning, match="reset_each_stage"):
+            tracker = ProvenanceTracker().reset_each_stage()
         engine.provenance = tracker
         engine.load_program(self.PROGRAM)
         engine.run_stage()
@@ -99,6 +173,65 @@ class TestTrackerEngineIntegration:
         engine.run_stage()
         derived = Fact("view", "alice", (1, "bob"))
         assert not tracker.graph.is_derived(derived)
+
+    def test_cascade_killed_remote_derivations_are_not_resurrected(self):
+        """A shipped derivation whose shipped support died stays dead."""
+        tracker = ProvenanceTracker()
+        f1 = Fact("a", "q", (1,))
+        f2 = Fact("b", "q", (2,))
+        tracker.record_remote(Derivation(f1, "r1", ()))
+        tracker.record_remote(Derivation(f2, "r2", (f1,)))
+        tracker.on_base_deleted([f1])
+        assert not tracker.graph.is_derived(f2)
+        tracker.on_full_recompute()
+        assert not tracker.graph.is_derived(f2)
+        assert not tracker.graph.is_derived(f1)
+
+    def test_orphaned_shipped_lineage_is_garbage_collected(self):
+        """Intermediate lineage dies with the anchor that shipped it."""
+        tracker = ProvenanceTracker()
+        wall = Fact("wall", "bob", (1,))
+        album = Fact("album", "alice", (1,))
+        photo = Fact("photos", "alice", (1,))
+        tracker.record_remote(Derivation(wall, "r1", (album,)), anchor=True)
+        tracker.record_remote(Derivation(album, "r2", (photo,)), anchor=False)
+        assert tracker.graph.base_relations(wall) == frozenset({"photos@alice"})
+        tracker.on_base_deleted([wall])
+        assert not tracker.graph.is_derived(album)
+        assert len(tracker.graph) == 0
+        tracker.on_full_recompute()
+        assert len(tracker.graph) == 0
+
+    def test_shared_shipped_lineage_survives_partial_retraction(self):
+        """Lineage reachable from another live anchor is kept."""
+        tracker = ProvenanceTracker()
+        wall1 = Fact("wall", "bob", (1,))
+        wall2 = Fact("wall", "bob", (2,))
+        album = Fact("album", "alice", (1,))
+        photo = Fact("photos", "alice", (1,))
+        tracker.record_remote(Derivation(wall1, "r1", (album,)), anchor=True)
+        tracker.record_remote(Derivation(wall2, "r2", (album,)), anchor=True)
+        tracker.record_remote(Derivation(album, "r3", (photo,)), anchor=False)
+        tracker.on_base_deleted([wall1])
+        assert tracker.graph.is_derived(album)
+        assert tracker.graph.is_derived(wall2)
+        tracker.on_full_recompute()
+        assert tracker.graph.is_derived(wall2)
+        assert tracker.graph.base_relations(wall2) == frozenset({"photos@alice"})
+
+    def test_retraction_maintains_cumulative_graph(self):
+        """The cumulative graph now tracks derivability without full stages."""
+        engine = WebdamLogEngine("alice")
+        tracker = ProvenanceTracker()
+        engine.provenance = tracker
+        engine.load_program(self.PROGRAM)
+        engine.run_to_quiescence()
+        derived = Fact("view", "alice", (1, "bob"))
+        assert tracker.graph.is_derived(derived)
+        engine.delete_fact('selected@alice("bob")')
+        engine.run_to_quiescence()
+        assert not tracker.graph.is_derived(derived)
+        assert engine.query("view") == ()
 
     def test_cumulative_mode_keeps_history(self):
         engine = WebdamLogEngine("alice")

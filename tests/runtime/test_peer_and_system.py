@@ -109,12 +109,12 @@ class TestSystem:
         fact local@alice(1);
         rule mirror@bob($x) :- local@alice($x);
         """)
-        summary = two_peer_system.run_until_quiescent()
+        summary = two_peer_system.converge()
         assert summary.converged
         assert bob.query("mirror") == (Fact("mirror", "bob", (1,)),)
 
     def test_convergence_reported_in_summary(self, two_peer_system):
-        summary = two_peer_system.run_until_quiescent()
+        summary = two_peer_system.converge()
         assert summary.converged
         assert summary.round_count >= 1
         assert summary.total_messages() == 0
@@ -129,19 +129,19 @@ class TestSystem:
             fact local@alice(1);
             rule mirror@bob($x) :- local@alice($x);
             """)
-            return system.run_until_quiescent(max_rounds=50).round_count
+            return system.converge(max_steps=50).round_count
 
         assert build(latency=3) > build(latency=1)
 
-    def test_run_rounds_unconditional(self, two_peer_system):
-        reports = two_peer_system.run_rounds(3)
+    def test_steps_run_unconditionally(self, two_peer_system):
+        reports = [two_peer_system.step() for _ in range(3)]
         assert len(reports) == 3
         assert two_peer_system.current_round == 3
 
     def test_totals_and_snapshot(self, two_peer_system):
         alice = two_peer_system.peer("alice")
         alice.insert_fact(Fact("r", "alice", (1,)))
-        two_peer_system.run_until_quiescent()
+        two_peer_system.converge()
         totals = two_peer_system.totals()
         assert totals["peers"] == 2
         assert totals["extensional_facts"] == 1
@@ -158,7 +158,7 @@ class TestSystem:
         system = WebdamLogSystem()
         system.add_peer("sigmod")
         system.add_peer("newbie", announce=True)
-        system.run_until_quiescent()
+        system.converge()
         assert system.peer("sigmod").known_peers.get("newbie") == "newbie"
 
     def test_message_to_unknown_peer_does_not_crash_round(self):
@@ -166,7 +166,7 @@ class TestSystem:
         alice = system.add_peer("alice")
         alice.add_rule("copy@ghost($x) :- local@alice($x)")
         alice.insert_fact(Fact("local", "alice", (1,)))
-        summary = system.run_until_quiescent()
+        summary = system.converge()
         assert summary.converged
 
 
@@ -181,12 +181,12 @@ class TestSystemDelegationFlow:
                        "selectedAttendee@Jules($a), pictures@$a($id)")
         jules.insert_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
         emilien.insert_fact(Fact("pictures", "Emilien", (7,)))
-        system.run_until_quiescent()
+        system.converge()
         assert jules.query("attendeePictures") == (Fact("attendeePictures", "Jules", (7,)),)
         assert len(emilien.installed_delegations()) == 1
         # Deselect: the delegation is retracted and the view empties.
         jules.delete_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
-        system.run_until_quiescent()
+        system.converge()
         assert jules.query("attendeePictures") == ()
         assert len(emilien.installed_delegations()) == 0
 
@@ -200,8 +200,8 @@ class TestSystemDelegationFlow:
                        "selectedAttendee@Jules($a), pictures@$a($id)")
         jules.insert_fact(Fact("selectedAttendee", "Jules", ("Emilien",)))
         emilien.insert_fact(Fact("pictures", "Emilien", (1,)))
-        system.run_until_quiescent()
+        system.converge()
         emilien.insert_fact(Fact("pictures", "Emilien", (2,)))
-        system.run_until_quiescent()
+        system.converge()
         ids = {f.values[0] for f in jules.query("attendeePictures")}
         assert ids == {1, 2}

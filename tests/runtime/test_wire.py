@@ -3,13 +3,54 @@
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.acl.policies import Grant, Privilege
 from repro.core.facts import Fact
 from repro.core.parser import parse_rule
 from repro.core.rules import Atom
 from repro.core.schema import RelationKind, RelationSchema
 from repro.core.terms import Constant, Variable
+from repro.provenance.graph import Derivation
 from repro.runtime import wire
+from repro.runtime.messages import FactMessage, message_from_wire
+
+#: Every value type the engine stores — including bytes-valued picture
+#: contents, which must survive the hex detour exactly.
+values = st.one_of(
+    st.text(max_size=12),
+    st.integers(min_value=-2**40, max_value=2**40),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.binary(max_size=24),
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu"), max_codepoint=127),
+    min_size=1, max_size=8,
+)
+
+facts = st.builds(
+    Fact,
+    relation=names, peer=names,
+    values=st.tuples(values, values),
+)
+
+derivations = st.builds(
+    Derivation,
+    fact=facts,
+    rule_id=names,
+    support=st.lists(facts, max_size=4).map(tuple),
+    author=st.one_of(st.none(), names),
+)
+
+grants = st.builds(
+    Grant,
+    relation=names, grantee=names, grantor=names,
+    privilege=st.sampled_from(list(Privilege)),
+)
 
 
 class TestValueEncoding:
@@ -87,3 +128,53 @@ class TestAtomAndRuleEncoding:
                                 key=("id",))
         decoded = wire.decode_schema(wire.encode_schema(schema))
         assert decoded == schema
+
+
+class TestDerivationAndGrantEncoding:
+    """Every derivation / policy payload round-trips exactly (property-based)."""
+
+    @given(derivations)
+    @settings(max_examples=100, deadline=None)
+    def test_derivation_roundtrip_exact(self, derivation):
+        encoded = wire.encode_derivation(derivation)
+        json.dumps(encoded)  # must be JSON-serialisable
+        decoded = wire.decode_derivation(encoded)
+        assert decoded == derivation
+        for original, roundtripped in zip(derivation.support, decoded.support):
+            for a, b in zip(original.values, roundtripped.values):
+                assert type(a) is type(b)
+
+    def test_derivation_with_picture_bytes(self):
+        picture = Fact("pictures", "Emilien", (1, "sea.jpg", b"\x89PNG\x00\xff"))
+        derivation = Derivation(
+            fact=Fact("attendeePictures", "Jules", (1, "sea.jpg")),
+            rule_id="rule-1", support=(picture,), author="Jules",
+        )
+        encoded = wire.encode_derivation(derivation)
+        json.dumps(encoded)
+        assert wire.decode_derivation(encoded) == derivation
+
+    @given(grants)
+    @settings(max_examples=50, deadline=None)
+    def test_grant_roundtrip_exact(self, grant):
+        encoded = wire.encode_grant(grant)
+        json.dumps(encoded)
+        assert wire.decode_grant(encoded) == grant
+
+    @given(st.lists(facts, max_size=3), st.lists(facts, max_size=3),
+           st.lists(derivations, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_fact_message_with_derivations_roundtrip(self, inserted, deleted,
+                                                     shipped):
+        message = FactMessage(
+            sender="a", recipient="b",
+            inserted=frozenset(inserted), deleted=frozenset(deleted),
+            derivations=tuple(shipped),
+        )
+        encoded = message.to_wire()
+        json.dumps(encoded)
+        decoded = message_from_wire(encoded)
+        assert decoded.inserted == message.inserted
+        assert decoded.deleted == message.deleted
+        assert decoded.derivations == message.derivations
+        assert decoded.payload_size() == message.payload_size()

@@ -28,7 +28,7 @@ class TestFacebookUserWrapper:
         fb_peer = system.add_peer("EmilienFB")
         wrapper = FacebookUserWrapper(service, "Emilien", peer_name="EmilienFB")
         fb_peer.attach_wrapper(wrapper)
-        system.run_round()
+        system.step()
 
         friends = fb_peer.query("friends")
         pictures = fb_peer.query("pictures")
@@ -47,7 +47,7 @@ class TestFacebookUserWrapper:
         fb_peer.attach_wrapper(FacebookUserWrapper(service, "Emilien", peer_name="EmilienFB"))
         me = system.add_peer("Emilien")
         me.add_rule("friendNames@Emilien($f) :- friends@EmilienFB($me, $f)")
-        system.run_until_quiescent()
+        system.converge()
         assert me.query("friendNames") == (Fact("friendNames", "Emilien", ("Jules",)),)
 
 
@@ -62,7 +62,7 @@ class TestFacebookGroupWrapper:
         system = WebdamLogSystem()
         group = system.add_peer("SigmodFB")
         group.attach_wrapper(FacebookGroupWrapper(service, "sigmod", peer_name="SigmodFB"))
-        system.run_round()
+        system.step()
         assert len(group.query("pictures")) == 1
 
     def test_facts_inserted_by_peers_are_posted_to_group(self):
@@ -72,7 +72,7 @@ class TestFacebookGroupWrapper:
         group.attach_wrapper(FacebookGroupWrapper(service, "sigmod", peer_name="SigmodFB"))
         publisher = system.add_peer("sigmod")
         publisher.insert_fact(Fact("pictures", "SigmodFB", (5, "sea.jpg", "Emilien", "01")))
-        system.run_until_quiescent()
+        system.converge()
         photos = service.photos_in_group("sigmod")
         assert len(photos) == 1
         assert photos[0].owner == "Emilien"
@@ -89,7 +89,7 @@ class TestFacebookGroupWrapper:
         system = WebdamLogSystem()
         group = system.add_peer("SigmodFB")
         group.attach_wrapper(FacebookGroupWrapper(service, "sigmod", peer_name="SigmodFB"))
-        system.run_round()
+        system.step()
         assert len(group.query("comments")) == 1
         assert len(group.query("tags")) == 1
 
@@ -134,7 +134,7 @@ class TestDropboxWrapper:
         system = WebdamLogSystem()
         box = system.add_peer("JulesDropbox")
         box.attach_wrapper(DropboxWrapper(service, "Jules", peer_name="JulesDropbox"))
-        system.run_round()
+        system.step()
         files = box.query("files")
         assert files == (Fact("files", "JulesDropbox", ("/photos/sea.jpg", "sea.jpg", 64)),)
 
@@ -145,7 +145,7 @@ class TestDropboxWrapper:
         box.attach_wrapper(DropboxWrapper(service, "Jules", peer_name="JulesDropbox"))
         uploader = system.add_peer("Jules")
         uploader.insert_fact(Fact("files", "JulesDropbox", ("/backup/a.jpg", "a.jpg", 12)))
-        system.run_until_quiescent()
+        system.converge()
         assert service.get("Jules", "/backup/a.jpg") is not None
 
 
