@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""LIVE-VIEWS — standing, incrementally-maintained views vs per-cycle re-runs.
+
+The paper's demo is interactive: every attendee keeps a handful of pages
+open (their picture wall filtered by owner, the rating board) while the
+conference's data churns underneath.  Before the declarative query API those
+pages were answered by re-running the query per refresh; now they are
+:class:`~repro.api.LiveView` s — compiled into the owning peer's engine once
+and maintained along the delta/rederive paths.
+
+The workload is a WEPIC-style hub: a ``wepic`` peer stores ``pictures`` and
+receives ``rate`` / ``hidden`` updates pushed by ``--users`` attendee peers;
+``--views`` standing pages (per-user rating filters with bound arguments, a
+negation filter, a join page and an aggregate rating summary) stay open over
+``--cycles`` churn cycles (uploads, ratings, hides, retractions).  Two
+deployments run the identical churn:
+
+* **standing** — the views are installed once and simply read per cycle;
+* **scratch** — each view is compiled, installed, converged, read and closed
+  again *every* cycle (the re-run-the-query regime).
+
+Both must produce identical answers every cycle; the headline metric is the
+ratio of substitutions explored (the engine's work counter).
+
+Run as a script (also smoke-run in CI)::
+
+    PYTHONPATH=src python benchmarks/bench_live_views.py
+
+Writes ``BENCH_live_views.json`` next to this file (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.api import system
+from repro.bench.harness import bench_metadata
+from repro.bench.reporting import format_table
+
+HUB = "wepic"
+
+
+def hub_program() -> str:
+    return f"""
+    collection extensional persistent pictures@{HUB}(id, name, owner);
+    collection extensional persistent rate@{HUB}(user, id, stars);
+    collection extensional persistent hidden@{HUB}(id);
+    """
+
+
+def page_queries(users: int, views: int):
+    """The standing pages: per-user filters, a join, negation, aggregates.
+
+    The mix mirrors the demo's open tabs: a couple of cheap filter pages
+    (bound arguments, negation) and a majority of data-wide pages (rating
+    joins, leader boards, per-user profiles) — the ones whose from-scratch
+    re-evaluation sweeps the whole rating history on every refresh.
+    """
+    queries = []
+    for index in range(views):
+        user = f"user{index % users:02d}"
+        kind = index % 6
+        if kind == 0:
+            # Filter page: one user's five-star picks (bound arguments →
+            # answered from the hash indexes).
+            queries.append(
+                f"picks($id, $name) :- rate@{HUB}(\"{user}\", $id, 5), "
+                f"pictures@{HUB}($id, $name, $owner)")
+        elif kind == 1:
+            # Wall page: everything rated by the user that is not hidden.
+            queries.append(
+                f"wall($id, $name, $owner) :- pictures@{HUB}($id, $name, $owner), "
+                f"rate@{HUB}(\"{user}\", $id, $stars), not hidden@{HUB}($id)")
+        elif kind in (2, 3):
+            # Join page: pairs of users agreeing on a rating.
+            queries.append(
+                f"agree($id, $other) :- rate@{HUB}(\"{user}\", $id, $stars), "
+                f"rate@{HUB}($other, $id, $stars)")
+        elif kind == 4:
+            # Ranking page: the aggregate rating summary.
+            queries.append(
+                f"board($id, avg($stars), count($stars)) :- "
+                f"rate@{HUB}($user, $id, $stars)")
+        else:
+            # Profile page: per-user rating envelope.
+            queries.append(
+                f"profile($user, min($stars), max($stars), count($stars)) :- "
+                f"rate@{HUB}($user, $id, $stars)")
+    return queries
+
+
+def build_deployment(users: int):
+    builder = system().peer(HUB).program(hub_program())
+    for index in range(users):
+        builder.peer(f"user{index:02d}")
+    return builder.build()
+
+
+def seed_data(deployment, users: int, pictures: int, ratings: int) -> None:
+    """The pre-existing conference data the pages are opened over."""
+    hub = deployment.peer(HUB)
+    for picture in range(pictures):
+        hub.insert(f'pictures@{HUB}({picture}, "p{picture}.jpg", '
+                   f'"user{picture % users:02d}")')
+    for index in range(ratings):
+        user = f"user{index % users:02d}"
+        deployment.peer(user).insert(
+            f'rate@{HUB}("{user}", {index % pictures}, {index % 5 + 1})')
+
+
+def churn(deployment, users: int, pictures: int, cycle: int) -> None:
+    """One cycle of demo traffic: an upload and a couple of ratings (the
+    insert-heavy regime the demo actually produces — each refresh only
+    touches a sliver of the standing pages' inputs), with occasional hides
+    and retractions so the rederive path is exercised too."""
+    hub = deployment.peer(HUB)
+    picture = pictures + cycle
+    hub.insert(f'pictures@{HUB}({picture}, "p{picture}.jpg", '
+               f'"user{picture % users:02d}")')
+    for offset in range(2):
+        index = (cycle + offset) % users
+        user = f"user{index:02d}"
+        deployment.peer(user).insert(
+            f'rate@{HUB}("{user}", {(cycle * 3 + offset) % picture}, '
+            f'{(cycle + offset) % 5 + 1})')
+    if cycle % 6 == 2:
+        hub.insert(f"hidden@{HUB}({cycle})")
+    if cycle % 6 == 5:
+        # Retract an earlier hide and take down the upload of three cycles
+        # ago — deletions ride the scoped delete-and-rederive path.
+        hub.delete(f"hidden@{HUB}({cycle - 3})")
+        removed = pictures + cycle - 3
+        hub.delete(f'pictures@{HUB}({removed}, "p{removed}.jpg", '
+                   f'"user{removed % users:02d}")')
+
+
+def total_substitutions(deployment) -> int:
+    return sum(peer.engine.eval_counters["substitutions_explored"]
+               for peer in deployment.runtime.peers.values())
+
+
+def run_standing(users: int, views: int, cycles: int, pictures: int,
+                 ratings: int):
+    deployment = build_deployment(users)
+    seed_data(deployment, users, pictures, ratings)
+    deployment.converge()
+    open_views = [deployment.query(HUB, query)
+                  for query in page_queries(users, views)]
+    deployment.converge()
+    start = time.perf_counter()
+    baseline = total_substitutions(deployment)
+    answers = []
+    for cycle in range(1, cycles + 1):
+        churn(deployment, users, pictures, cycle)
+        deployment.converge()
+        answers.append([sorted(view.rows()) for view in open_views])
+    substitutions = total_substitutions(deployment) - baseline
+    elapsed = time.perf_counter() - start
+    for view in open_views:
+        view.close()
+    return answers, substitutions, elapsed
+
+
+def run_scratch(users: int, views: int, cycles: int, pictures: int,
+                ratings: int):
+    deployment = build_deployment(users)
+    seed_data(deployment, users, pictures, ratings)
+    deployment.converge()
+    queries = page_queries(users, views)
+    start = time.perf_counter()
+    baseline = total_substitutions(deployment)
+    answers = []
+    for cycle in range(1, cycles + 1):
+        churn(deployment, users, pictures, cycle)
+        deployment.converge()
+        cycle_answers = []
+        for query in queries:
+            view = deployment.query(HUB, query)
+            deployment.converge()
+            cycle_answers.append(sorted(view.rows()))
+            view.close()
+        answers.append(cycle_answers)
+    substitutions = total_substitutions(deployment) - baseline
+    elapsed = time.perf_counter() - start
+    return answers, substitutions, elapsed
+
+
+def run_benchmark(users: int, views: int, cycles: int, pictures: int,
+                  ratings: int) -> dict:
+    standing_answers, standing_subs, standing_time = run_standing(
+        users, views, cycles, pictures, ratings)
+    scratch_answers, scratch_subs, scratch_time = run_scratch(
+        users, views, cycles, pictures, ratings)
+
+    if standing_answers != scratch_answers:
+        raise AssertionError(
+            "live-view divergence: standing views and per-cycle re-runs "
+            "returned different answers"
+        )
+    ratio = scratch_subs / standing_subs if standing_subs else float("inf")
+    return {
+        "experiment": "LIVE-VIEWS",
+        "metadata": bench_metadata(repeats=1, parameters={
+            "users": users, "views": views, "cycles": cycles,
+            "pictures": pictures, "ratings": ratings,
+        }),
+        "standing": {
+            "substitutions": standing_subs,
+            "elapsed_seconds": round(standing_time, 6),
+        },
+        "scratch": {
+            "substitutions": scratch_subs,
+            "elapsed_seconds": round(scratch_time, 6),
+        },
+        "answers_identical": True,
+        "answers_per_cycle": [sum(len(rows) for rows in cycle)
+                              for cycle in standing_answers],
+        "substitutions_reduction": round(ratio, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=6,
+                        help="attendee peers pushing ratings (default 6)")
+    parser.add_argument("--views", type=int, default=12,
+                        help="standing pages kept open (default 12)")
+    parser.add_argument("--cycles", type=int, default=10,
+                        help="churn cycles (default 10)")
+    parser.add_argument("--pictures", type=int, default=40,
+                        help="seeded pictures at the hub (default 40)")
+    parser.add_argument("--ratings", type=int, default=120,
+                        help="seeded ratings at the hub (default 120)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "BENCH_live_views.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    result = run_benchmark(args.users, args.views, args.cycles,
+                           args.pictures, args.ratings)
+
+    columns = ["regime", "substitutions", "elapsed (s)"]
+    rows = [
+        ["standing views", result["standing"]["substitutions"],
+         result["standing"]["elapsed_seconds"]],
+        ["re-run per cycle", result["scratch"]["substitutions"],
+         result["scratch"]["elapsed_seconds"]],
+    ]
+    print(format_table(columns, rows, title="[LIVE-VIEWS] "
+                       f"{args.views} pages, {args.users} users, "
+                       f"{args.cycles} cycles"))
+    print(f"substitution reduction: {result['substitutions_reduction']}x "
+          f"(answers identical: {result['answers_identical']})")
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

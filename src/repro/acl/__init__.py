@@ -24,6 +24,7 @@ from repro.acl.policies import (
     AccessControlPolicy,
     Grant,
     PolicyEngine,
+    PolicySet,
     Privilege,
     ViewPolicy,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "AccessControlPolicy",
     "Grant",
     "PolicyEngine",
+    "PolicySet",
     "Privilege",
     "ViewPolicy",
 ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.core.errors import AccessControlError
 from repro.core.facts import Fact
@@ -322,3 +322,44 @@ class PolicyEngine:
         if whole_view:
             self._view_policies[view_relation] = derived
         return derived
+
+
+class PolicySet:
+    """Per-owner access-control state of a whole deployment.
+
+    The :mod:`repro.api` facade filters query answers and live views by a
+    ``viewer=`` peer; the decisions are made by the *owning* peer's
+    :class:`AccessControlPolicy`, accelerated by a cached
+    :class:`PolicyEngine` over that peer's (optional) provenance tracker.
+    This registry creates both lazily per owner and keeps each engine bound
+    to the owner's current tracker (``provenance_resolver`` is re-consulted
+    on every access, so enabling provenance after the first query is picked
+    up transparently).
+    """
+
+    def __init__(self, provenance_resolver: Optional[Callable[[str], object]] = None):
+        self._provenance_resolver = provenance_resolver or (lambda owner: None)
+        self._policies: Dict[str, AccessControlPolicy] = {}
+        self._engines: Dict[str, PolicyEngine] = {}
+
+    def policy(self, owner: str) -> AccessControlPolicy:
+        """The discretionary policy of ``owner`` (created on first use)."""
+        policy = self._policies.get(owner)
+        if policy is None:
+            policy = self._policies[owner] = AccessControlPolicy(owner)
+        return policy
+
+    def engine(self, owner: str) -> PolicyEngine:
+        """The cached decision engine of ``owner``, bound to its tracker."""
+        provenance = self._provenance_resolver(owner)
+        engine = self._engines.get(owner)
+        if engine is None or engine.provenance is not provenance:
+            engine = self._engines[owner] = PolicyEngine(self.policy(owner),
+                                                         provenance)
+        return engine
+
+    def filter_readable(self, owner: str, facts: Iterable[Fact],
+                        viewer: str) -> Tuple[Fact, ...]:
+        """Filter ``facts`` of relations owned by ``owner`` down to what
+        ``viewer`` may read under the owner's policy."""
+        return self.engine(owner).filter_readable(facts, viewer)

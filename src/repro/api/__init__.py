@@ -21,6 +21,11 @@ This package is the public facade over all of them:
   :class:`InMemoryTransport` (deterministic rounds) and
   :class:`RecordingTransport` (event-logging decorator) shipped here; pass
   any implementation to ``system().transport(...)``.
+* :class:`LiveView` — the answer to a declarative query
+  (``deployment.query(at, "p@alice($x,$y), not q@alice($x)")``): compiled
+  into an incrementally-maintained view relation inside the owning peer's
+  engine, readable, streamable, observable (``on_change``), explainable and
+  ACL-filterable through one handle (see :mod:`repro.api.views`).
 * :class:`QueryHandle` / :class:`Subscription` — read results and watch
   derivations without touching engine internals.
 
@@ -42,10 +47,16 @@ from repro.runtime.scheduler import (
 from repro.provenance.graph import Explanation
 from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
 from repro.api.builder import BuildError, PeerBuilder, SystemBuilder, system
+from repro.api.errors import ReproApiError
 from repro.api.facade import PeerHandle, ProcessSystem, System
 from repro.api.query import FactCallback, QueryHandle, Subscription
+from repro.api.views import CompiledView, LiveView, compile_query
 
 __all__ = [
+    "ReproApiError",
+    "LiveView",
+    "CompiledView",
+    "compile_query",
     "system",
     "SystemBuilder",
     "PeerBuilder",

@@ -67,6 +67,8 @@ class _PeerSpec:
     rules: List[Union[str, Rule]] = field(default_factory=list)
     wrappers: List[object] = field(default_factory=list)
     facts: List[Union[str, Fact]] = field(default_factory=list)
+    grants: List[Tuple[str, str, str]] = field(default_factory=list)
+    declassifications: List[Tuple[str, str]] = field(default_factory=list)
 
 
 class SystemBuilder:
@@ -239,6 +241,10 @@ class SystemBuilder:
             handle.attach_wrapper(wrapper)
         for fact in spec.facts:
             handle.insert(fact)
+        for relation, grantee, privilege in spec.grants:
+            handle.grant(relation, grantee, privilege)
+        for view_relation, grantee in spec.declassifications:
+            handle.declassify(view_relation, grantee)
 
     def _build_processes(self) -> ProcessSystem:
         if self._transport is not None:
@@ -252,11 +258,14 @@ class SystemBuilder:
         network = ProcessNetwork(provenance=self._provenance)
         try:
             for spec in self._specs:
-                if spec.wrappers or spec.schemas or spec.trusted or spec.trust_all:
+                if (spec.wrappers or spec.schemas or spec.trusted
+                        or spec.trust_all or spec.grants
+                        or spec.declassifications):
                     raise BuildError(
                         f"peer {spec.name!r}: the processes backend supports "
-                        "programs, rules and facts only (wrappers, schemas and "
-                        "trust require the in-memory backend)"
+                        "programs, rules and facts only (wrappers, schemas, "
+                        "trust and access-control grants require the "
+                        "in-memory backend)"
                     )
                 network.spawn_peer(spec.name,
                                    "\n".join(spec.programs) or None)
@@ -321,6 +330,23 @@ class PeerBuilder:
     def schema(self, schema: RelationSchema) -> "PeerBuilder":
         """Declare a relation schema at this peer."""
         self._spec.schemas.append(schema)
+        return self
+
+    def grant(self, relation: str, grantee: str,
+              privilege: str = "read") -> "PeerBuilder":
+        """Grant an access-control privilege on one of this peer's relations.
+
+        ``relation`` may be bare (qualified with the peer's name at build
+        time); grants feed the deployment's
+        :class:`~repro.acl.policies.PolicySet`, which ``query(...,
+        viewer=...)`` live views filter through.  In-memory backend only.
+        """
+        self._spec.grants.append((relation, grantee, privilege))
+        return self
+
+    def declassify(self, view_relation: str, grantee: str = "*") -> "PeerBuilder":
+        """Declassify a derived relation (view) of this peer for ``grantee``."""
+        self._spec.declassifications.append((view_relation, grantee))
         return self
 
     def auto_accept_delegations(self, enabled: bool = True) -> "PeerBuilder":

@@ -1,0 +1,22 @@
+"""Errors raised at the :mod:`repro.api` boundary.
+
+The facade validates user input (query texts, peer names, view lifecycles)
+before it reaches the runtime, and reports problems as
+:class:`ReproApiError` — a :class:`~repro.core.errors.WebdamLogError`
+subclass, so a single ``except WebdamLogError`` still catches everything the
+library raises.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import WebdamLogError
+
+
+class ReproApiError(WebdamLogError):
+    """A request to the :mod:`repro.api` facade was invalid.
+
+    Raised for unknown peers in :meth:`repro.api.System.query` /
+    :meth:`repro.api.PeerHandle.query`, malformed or unsafe declarative
+    queries, operations on a closed :class:`~repro.api.views.LiveView`, and
+    backend combinations the facade cannot serve.
+    """

@@ -14,9 +14,12 @@ processes — that proves the builder's backend seam.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.acl.policies import AccessControlPolicy, PolicyEngine, PolicySet, Privilege
+from repro.core.errors import SchemaError
 from repro.core.facts import Fact
 from repro.core.parser import parse_fact
 from repro.core.rules import Rule
@@ -25,10 +28,12 @@ from repro.provenance.graph import Explanation
 from repro.runtime.inmemory import NetworkStats
 from repro.runtime.peer import Peer, PeerStageReport
 from repro.runtime.processes import ProcessNetwork
-from repro.runtime.scheduler import DEFAULT_MAX_STEPS, LockstepScheduler, settled
+from repro.runtime.scheduler import LockstepScheduler, drive
 from repro.runtime.system import RoundReport, RunSummary, WebdamLogSystem
 from repro.runtime.transport import Transport
+from repro.api.errors import ReproApiError
 from repro.api.query import FactCallback, QueryHandle, Subscription
+from repro.api.views import LiveView, QueryLike, compile_query, is_declarative
 
 
 class PeerHandle:
@@ -85,30 +90,88 @@ class PeerHandle:
 
     # -- reading --------------------------------------------------------- #
 
-    def query(self, relation: str, peer: Optional[str] = None) -> QueryHandle:
-        """A live handle over ``relation`` as visible at this peer.
+    def query(self, query: QueryLike, peer: Optional[str] = None,
+              viewer: Optional[str] = None,
+              name: Optional[str] = None) -> LiveView:
+        """Ask a declarative query at this peer; returns a :class:`LiveView`.
 
-        The handle supports :meth:`~repro.api.query.QueryHandle.iter_facts`
-        when it watches a relation hosted here: iteration then streams facts
-        as the system's scheduler derives them.
+        ``query`` is either a bare relation name (the degenerate one-literal
+        case — the relation is read directly, nothing is installed) or a full
+        Webdamlog query: a rule body with joins, negation, bound arguments
+        and cross-peer ``relation@peer`` literals, or an explicit
+        ``ans(...) :- body`` rule (optionally with ``count``/``sum``/``min``/
+        ``max``/``avg`` head aggregates).  Declarative queries are compiled
+        into an ephemeral intensional view installed into this peer's engine
+        and incrementally maintained until :meth:`LiveView.close`.
+
+        ``peer`` (single-relation form only) is the **location qualifier** of
+        the relation — ``query("pictures", peer="bob")`` asks for
+        ``pictures@bob`` *as visible at this peer*.  Facts of a relation
+        located at another peer are never visible locally (they can only be
+        reached through delegation), so a remote qualifier names what the
+        relation is, not a remote fetch; an unknown qualifier raises
+        :class:`~repro.api.errors.ReproApiError`.  ``viewer`` filters every
+        read through the owner's access-control policy; ``name`` overrides
+        the generated view-relation name.
         """
-        name = self._peer.name
-        stream = None
-        if peer is None or peer == name:
-            stream = lambda: self._system.stream_facts(name, relation)
-        return QueryHandle(
-            source=lambda: self._peer.query(relation, peer),
-            description=f"{relation}@{peer or name} as seen by {name}",
-            stream=stream,
-        )
+        if not is_declarative(query):
+            return self._system._degenerate_view(
+                self, query.strip(), location=peer, viewer=viewer)
+        if peer is not None:
+            raise ReproApiError(
+                "peer= is the location qualifier of a single-relation query; "
+                "a declarative query names its peers inline (rel@peer literals)"
+            )
+        return self._system._install_view(self, query, viewer=viewer, name=name)
 
     def facts(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
-        """The facts of ``relation`` visible right now (one-shot query)."""
-        return self._peer.query(relation, peer)
+        """Deprecated one-shot read: use ``query(relation).facts()``.
 
-    def subscribe(self, relation: str, callback: FactCallback) -> Subscription:
+        .. deprecated::
+           ``PeerHandle.facts`` predates :class:`LiveView`; the live handle
+           returned by :meth:`query` answers one-shot reads *and* streaming,
+           observation and ACL filtering through one object.
+        """
+        warnings.warn(
+            "PeerHandle.facts() is deprecated; use query(relation).facts() "
+            "(the LiveView handle) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.query(relation, peer=peer).facts()
+
+    def subscribe(self, relation: str, callback: FactCallback,
+                  on_remove: Optional[FactCallback] = None) -> Subscription:
         """Watch ``relation`` at this peer (see :meth:`System.subscribe`)."""
-        return self._system.subscribe(relation, callback, peer=self._peer.name)
+        return self._system.subscribe(relation, callback, peer=self._peer.name,
+                                      on_remove=on_remove)
+
+    # -- access control ---------------------------------------------------- #
+
+    @property
+    def access_policy(self) -> AccessControlPolicy:
+        """This peer's discretionary access-control policy (see :mod:`repro.acl`)."""
+        return self._system.access_policy(self._peer.name)
+
+    def grant(self, relation: str, grantee: str,
+              privilege: Union[str, Privilege] = Privilege.READ) -> "PeerHandle":
+        """Grant a privilege on one of this peer's relations; returns ``self``.
+
+        ``relation`` may be bare (qualified with this peer's name) or a full
+        ``name@peer`` identifier.
+        """
+        if "@" not in relation:
+            relation = f"{relation}@{self._peer.name}"
+        if isinstance(privilege, str):
+            privilege = Privilege(privilege.lower())
+        self.access_policy.grant(relation, grantee, privilege)
+        return self
+
+    def declassify(self, view_relation: str, grantee: str = "*") -> "PeerHandle":
+        """Declassify a derived relation (view) for ``grantee``; returns ``self``."""
+        if "@" not in view_relation:
+            view_relation = f"{view_relation}@{self._peer.name}"
+        self.access_policy.declassify(view_relation, grantee)
+        return self
 
     def explain(self, fact: Union[str, Fact]) -> Explanation:
         """Why/lineage story of ``fact`` (see :meth:`System.explain`)."""
@@ -172,7 +235,16 @@ class System:
         self.runtime = runtime
         self._handles: Dict[str, PeerHandle] = {}
         self._subscriptions: List[Subscription] = []
+        #: Per-owner access-control policies and cached decision engines,
+        #: used by ``query(..., viewer=...)`` / :class:`LiveView` filtering.
+        self.policies = PolicySet(self._tracker_of)
+        self._views: List[LiveView] = []
+        self._view_counter = 0
         runtime.add_stage_observer(self._on_stage)
+
+    def _tracker_of(self, owner: str):
+        peer = self.runtime.peers.get(owner)
+        return None if peer is None else peer.engine.provenance
 
     # -- topology --------------------------------------------------------- #
 
@@ -264,13 +336,87 @@ class System:
 
     # -- reading ----------------------------------------------------------- #
 
-    def query(self, at: str, relation: str, peer: Optional[str] = None) -> QueryHandle:
-        """A live handle over ``relation`` as visible at peer ``at``."""
-        return self.peer(at).query(relation, peer)
+    def query(self, at: str, query: QueryLike, peer: Optional[str] = None,
+              viewer: Optional[str] = None,
+              name: Optional[str] = None) -> LiveView:
+        """Ask a declarative query at peer ``at``; returns a :class:`LiveView`.
+
+        ``at`` is the peer the question is asked at (the view's owner);
+        ``peer`` is the *location qualifier* of a single-relation query —
+        ``query("alice", "pictures", peer="bob")`` reads ``pictures@bob`` as
+        visible at ``alice``.  See :meth:`PeerHandle.query` for the accepted
+        query shapes.  An unknown ``at`` (or qualifier) raises
+        :class:`~repro.api.errors.ReproApiError` rather than ``KeyError``.
+        """
+        if at not in self.runtime.peers:
+            raise ReproApiError(
+                f"cannot query at unknown peer {at!r}; registered peers: "
+                f"{', '.join(self.runtime.peer_names()) or '(none)'}"
+            )
+        return self.peer(at).query(query, peer=peer, viewer=viewer, name=name)
+
+    # -- live-view plumbing (used by PeerHandle.query) ---------------------- #
+
+    def _next_view_name(self) -> str:
+        self._view_counter += 1
+        return f"_view{self._view_counter}"
+
+    def _degenerate_view(self, handle: PeerHandle, relation: str,
+                         location: Optional[str],
+                         viewer: Optional[str]) -> LiveView:
+        owner = handle.name
+        if location is not None and location != owner \
+                and location not in self.runtime.peers:
+            raise ReproApiError(
+                f"cannot query {relation}@{location}: unknown peer "
+                f"{location!r} (peer= is the location qualifier of the "
+                "relation, not a remote fetch)"
+            )
+        return LiveView(self, owner, relation, location=location, viewer=viewer)
+
+    def _install_view(self, handle: PeerHandle, query: QueryLike,
+                      viewer: Optional[str], name: Optional[str]) -> LiveView:
+        owner = handle.name
+        compiled = compile_query(query, owner=owner,
+                                 view_name=name or self._next_view_name())
+        peer = self.runtime.peer(owner)
+        try:
+            peer.declare(compiled.schema)
+        except SchemaError as exc:
+            raise ReproApiError(
+                f"cannot install view {compiled.view_name!r} at {owner}: {exc}"
+            ) from exc
+        for rule in compiled.rules:
+            peer.add_rule(rule)
+        view = LiveView(self, owner, compiled.view_name, compiled=compiled,
+                        viewer=viewer)
+        self._views.append(view)
+        return view
+
+    def _forget_view(self, view: LiveView) -> None:
+        try:
+            self._views.remove(view)
+        except ValueError:
+            pass
+
+    def open_views(self) -> Tuple[LiveView, ...]:
+        """The compiled live views currently installed (not yet closed)."""
+        return tuple(self._views)
+
+    # -- access control ------------------------------------------------------ #
+
+    def access_policy(self, owner: str) -> AccessControlPolicy:
+        """The access-control policy governing relations owned by ``owner``."""
+        return self.policies.policy(owner)
+
+    def policy_engine(self, owner: str) -> PolicyEngine:
+        """The cached decision engine over ``owner``'s policy and provenance."""
+        return self.policies.engine(owner)
 
     def subscribe(self, relation: str, callback: FactCallback,
                   peer: Optional[str] = None,
-                  include_existing: bool = False) -> Subscription:
+                  include_existing: bool = False,
+                  on_remove: Optional[FactCallback] = None) -> Subscription:
         """Fire ``callback(fact)`` once for each fact appearing in ``relation``.
 
         ``peer`` restricts the watch to one hosting peer (default: every
@@ -280,13 +426,16 @@ class System:
         callback fires as soon as the stage that made a fact visible
         completes, fed from that stage's
         :attr:`~repro.core.engine.StageResult.visible_delta` — never from a
-        relation re-scan.
+        relation re-scan.  ``on_remove`` (optional) fires once per reported
+        fact that stops being visible.
         """
-        subscription = Subscription(relation, callback, peer=peer)
+        subscription = Subscription(relation, callback, peer=peer,
+                                    on_remove=on_remove)
         if include_existing:
             subscription.enqueue_existing(self.runtime.peers)
         else:
             subscription.prime(self.runtime.peers)
+        subscription._detach = self._drop_subscription
         self._subscriptions.append(subscription)
         return subscription
 
@@ -307,8 +456,11 @@ class System:
         return self.runtime.peer(at).explain(fact)
 
     def unsubscribe(self, subscription: Subscription) -> None:
-        """Cancel and forget a subscription."""
+        """Cancel and forget a subscription (idempotent)."""
         subscription.cancel()
+        self._drop_subscription(subscription)
+
+    def _drop_subscription(self, subscription: Subscription) -> None:
         try:
             self._subscriptions.remove(subscription)
         except ValueError:
@@ -319,7 +471,7 @@ class System:
         delta = report.stage_result.visible_delta
         for subscription in tuple(self._subscriptions):
             if not subscription.active:
-                self._subscriptions.remove(subscription)
+                self._drop_subscription(subscription)
                 continue
             subscription.notify_stage(name, delta)
 
@@ -339,17 +491,13 @@ class System:
         buffer: deque = deque()
         subscription = self.subscribe(relation, buffer.append, peer=at,
                                       include_existing=True)
-        limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
         try:
             subscription.flush_backlog()
             while buffer:
                 yield buffer.popleft()
-            for _ in range(limit):
-                report = self.runtime.step()
+            for _ in drive(self.runtime, max_steps=max_steps):
                 while buffer:
                     yield buffer.popleft()
-                if settled(self.runtime, report):
-                    break
         finally:
             self.unsubscribe(subscription)
 
@@ -438,7 +586,18 @@ class ProcessSystem:
     # -- reading ------------------------------------------------------------ #
 
     def query(self, at: str, relation: str, peer: Optional[str] = None) -> QueryHandle:
-        """A live handle over ``relation`` as computed in peer ``at``'s process."""
+        """A handle over ``relation`` as computed in peer ``at``'s process.
+
+        Only the single-relation form is available here: compiling a
+        declarative query installs rules into a live engine, which lives in
+        another OS process on this backend.
+        """
+        if is_declarative(relation):
+            raise ReproApiError(
+                "declarative queries (rule bodies, ans :- body) require the "
+                "in-memory backend; the processes backend only reads single "
+                "relations"
+            )
         return QueryHandle(
             source=lambda: tuple(self.network.query(at, relation, peer)),
             description=f"{relation}@{peer or at} in process {at}",

@@ -9,7 +9,10 @@ see what a peer derived.  The two classes here replace that:
   to a live :class:`~repro.api.facade.System` additionally support
   :meth:`QueryHandle.iter_facts` — a **streaming** iterator that drives the
   system's scheduler step by step and yields each fact as the stage that
-  derived it completes.
+  derived it completes.  :class:`~repro.api.views.LiveView` — what
+  ``System.query`` / ``PeerHandle.query`` return since the declarative query
+  API — subclasses it, adding compiled-view maintenance, ``on_change``
+  observation, ACL filtering and the ``close()`` lifecycle.
 * :class:`Subscription` — a callback fired **exactly once per fact** that
   becomes visible in a watched relation.  Subscriptions are **delta-driven**:
   the :class:`~repro.api.facade.System` facade feeds them the
@@ -100,22 +103,41 @@ class Subscription:
     Facts that were already visible at subscription time are either marked
     seen (:meth:`prime`, the default) or queued for delivery
     (:meth:`enqueue_existing`, for ``include_existing=True``).
+
+    ``on_remove`` (optional) is the retraction-side callback: it fires when a
+    fact previously reported (or primed as visible) stops being visible —
+    this is what feeds :meth:`repro.api.views.LiveView.on_change` removal
+    notifications.  A fact that is later re-derived fires ``callback`` again.
     """
 
     def __init__(self, relation: str, callback: FactCallback,
-                 peer: Optional[str] = None):
+                 peer: Optional[str] = None,
+                 on_remove: Optional[FactCallback] = None):
         self.relation = relation
         self.callback = callback
+        self.on_remove = on_remove  # fired when a reported fact is retracted
         self.peer = peer  # None: watch the relation at every peer
         self.active = True
         self.delivered = 0
+        self.removals = 0
         self._seen: Dict[str, Set[Fact]] = {}
         self._backlog: Dict[str, List[Fact]] = {}
+        # Set by the owning System so cancel() detaches itself; cleared on
+        # the first cancellation, making repeated cancels (or cancels after
+        # the deployment dropped the subscription) harmless no-ops.
+        self._detach: Optional[Callable[["Subscription"], None]] = None
 
     def cancel(self) -> None:
-        """Stop firing; the subscription can not be re-activated."""
+        """Stop firing.  Idempotent: cancelling an already-cancelled (or
+        already-detached) subscription is a no-op, never an error."""
         self.active = False
         self._backlog.clear()
+        detach, self._detach = self._detach, None
+        if detach is not None:
+            try:
+                detach(self)
+            except Exception:  # pragma: no cover - defensive (torn-down system)
+                pass
 
     # ------------------------------------------------------------------ #
     # initial visibility
@@ -168,9 +190,17 @@ class Subscription:
         for fact in sorted(delta.inserted, key=str):
             if fact.relation == self.relation and fact.peer == host:
                 fired += self._fire(host, fact)
-        for fact in delta.deleted:
-            if fact.relation == self.relation:
-                self._seen.get(host, set()).discard(fact)
+        for fact in sorted(delta.deleted, key=str):
+            if fact.relation != self.relation:
+                continue
+            seen = self._seen.get(host)
+            was_seen = seen is not None and fact in seen
+            if was_seen:
+                seen.discard(fact)
+            if (was_seen and self.on_remove is not None
+                    and fact.peer == host and self.active):
+                self.on_remove(fact)
+                self.removals += 1
         self.delivered += fired
         return flushed + fired
 

@@ -1,0 +1,433 @@
+"""Declarative queries compiled into incrementally-maintained live views.
+
+The paper's demo is interactive: users pose ad-hoc *rule-shaped* questions
+over a running peer network.  This module is the compilation pipeline behind
+:meth:`repro.api.System.query` / :meth:`repro.api.PeerHandle.query`:
+
+1. the query text (a rule body, or a full ``ans(...) :- body`` rule, possibly
+   with aggregate head terms) is parsed by :func:`repro.core.parser.parse_query`;
+2. :func:`compile_query` turns it into an **ephemeral intensional view
+   relation** — a schema plus one rule whose head derives into it;
+3. the facade installs the compiled rule into the owning peer's engine, where
+   it is evaluated exactly like a user rule: cross-peer ``relation@peer``
+   literals delegate to the remote peers, bound arguments are pushed down
+   into the :class:`~repro.core.facts.FactStore` hash indexes, and churn is
+   absorbed along the incremental ``delta``/``rederive`` paths;
+4. the returned :class:`LiveView` reads, streams, observes, explains,
+   ACL-filters and finally uninstalls the view.
+
+A :class:`LiveView` is also what single-relation queries return — the
+degenerate one-literal case installs nothing and reads the relation directly,
+keeping the historical :class:`~repro.api.query.QueryHandle` behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import ParseError, SafetyError
+from repro.core.facts import Fact
+from repro.core.parser import ParsedQuery, QueryAggregate, parse_query
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.core.terms import Term, Variable
+from repro.datalog.aggregation import Aggregate, compute_aggregate
+from repro.api.errors import ReproApiError
+from repro.api.query import FactCallback, QueryHandle, Subscription
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.facade import System
+
+#: A query as accepted by ``System.query`` / ``PeerHandle.query``: a text
+#: (relation name, rule body, or full rule), a pre-built body atom, a
+#: sequence of body atoms, a :class:`Rule`, or an already-parsed query.
+QueryLike = Union[str, Atom, Sequence[Atom], Rule, ParsedQuery]
+
+_RELATION_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+_ANONYMOUS_PREFIX = "_anon"
+
+
+def is_declarative(query: QueryLike) -> bool:
+    """``True`` when ``query`` needs compilation (anything but a bare name)."""
+    if isinstance(query, str):
+        return _RELATION_NAME_RE.match(query.strip()) is None
+    return True
+
+
+def _as_parsed_query(query: QueryLike, owner: str) -> ParsedQuery:
+    if isinstance(query, ParsedQuery):
+        return query
+    if isinstance(query, Rule):
+        name = query.head.relation_constant()
+        return ParsedQuery(body=tuple(query.body), head_name=name or "ans",
+                           head_args=tuple(query.head.args))
+    if isinstance(query, Atom):
+        return ParsedQuery(body=(query.positive() if query.negated else query,))
+    if isinstance(query, str):
+        try:
+            return parse_query(query, default_peer=owner)
+        except ParseError as exc:
+            raise ReproApiError(f"cannot parse query {query!r}: {exc}") from exc
+    if isinstance(query, Sequence) and query and all(
+            isinstance(item, Atom) for item in query):
+        return ParsedQuery(body=tuple(query))
+    raise ReproApiError(
+        f"cannot interpret {query!r} as a query: expected a relation name, a "
+        "rule body, a 'head :- body' rule, an Atom, a sequence of Atoms or a "
+        "Rule"
+    )
+
+
+def _projected_variables(body: Sequence[Atom]) -> Tuple[Variable, ...]:
+    """Non-anonymous variables of a body in order of first occurrence."""
+    seen: List[Variable] = []
+    for atom in body:
+        for variable in atom.variables():
+            if variable.name.startswith(_ANONYMOUS_PREFIX):
+                continue
+            if variable not in seen:
+                seen.append(variable)
+    return tuple(seen)
+
+
+def _column_names(terms: Sequence[Term]) -> Tuple[str, ...]:
+    names: List[str] = []
+    used: Dict[str, int] = {}
+    for index, term in enumerate(terms):
+        base = term.name if isinstance(term, Variable) else f"c{index}"
+        count = used.get(base, 0)
+        used[base] = count + 1
+        names.append(base if count == 0 else f"{base}_{count}")
+    return tuple(names)
+
+
+@dataclass(frozen=True)
+class CompiledView:
+    """The executable form of a declarative query at one owner peer.
+
+    ``head_args`` describe the *answer* shape (aggregate positions hold the
+    aggregated variable); ``rules`` derive the raw tuples into the view
+    relation.  For aggregate queries the raw tuples carry, after the head
+    columns, every remaining body variable as *support* columns — they keep
+    one raw tuple per body substitution, so grouping on read aggregates with
+    bag semantics over substitutions (the set semantics of the fact store
+    still dedupes identical substitutions).
+    """
+
+    view_name: str
+    owner: str
+    schema: RelationSchema
+    rules: Tuple[Rule, ...]
+    head_args: Tuple[Term, ...]
+    aggregates: Tuple[QueryAggregate, ...]
+    query_text: str
+
+    def is_aggregate(self) -> bool:
+        """``True`` when reads must group-and-aggregate the raw tuples."""
+        return bool(self.aggregates)
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        """Identifiers of the installed rules (for uninstallation)."""
+        return tuple(rule.rule_id for rule in self.rules)
+
+
+def compile_query(query: QueryLike, owner: str, view_name: str) -> CompiledView:
+    """Compile a declarative query into a view schema plus view rules.
+
+    The compiled rule's head derives into ``view_name@owner`` (declared
+    intensional); its body is the query body verbatim, so the engine
+    evaluates it exactly like a user rule — joins and negation locally,
+    ``relation@peer`` literals through delegation, bound arguments through
+    the index probes.  Raises :class:`ReproApiError` on parse or safety
+    problems (e.g. a head variable not bound by the body).
+    """
+    parsed = _as_parsed_query(query, owner)
+    if not parsed.body:
+        raise ReproApiError("query has an empty body")
+    if parsed.head_name is not None:
+        head_args = tuple(parsed.head_args)
+        aggregates = tuple(parsed.aggregates)
+    else:
+        head_args = _projected_variables(parsed.body)
+        aggregates = ()
+
+    raw_args: Tuple[Term, ...] = head_args
+    if aggregates:
+        support = tuple(v for v in _projected_variables(parsed.body)
+                        if v not in head_args)
+        raw_args = head_args + support
+
+    schema = RelationSchema(
+        name=view_name, peer=owner, columns=_column_names(raw_args),
+        kind=RelationKind.INTENSIONAL, persistent=True,
+    )
+    rule = Rule(head=Atom(relation=view_name, peer=owner, args=raw_args),
+                body=tuple(parsed.body), author=owner)
+    try:
+        rule.check_safety()
+    except SafetyError as exc:
+        raise ReproApiError(f"unsafe query: {exc}") from exc
+    return CompiledView(
+        view_name=view_name, owner=owner, schema=schema, rules=(rule,),
+        head_args=head_args, aggregates=aggregates,
+        query_text=query if isinstance(query, str) else str(rule),
+    )
+
+
+def _noop_callback(fact: Fact) -> None:
+    return None
+
+
+class LiveView(QueryHandle):
+    """A standing, incrementally-maintained answer to a declarative query.
+
+    The one handle unifying the three historical half-APIs:
+
+    * **read** — :meth:`facts` / :meth:`rows` / iteration, always reflecting
+      the current engine state (maintained along the delta/rederive paths,
+      never by re-running the query);
+    * **stream** — :meth:`iter_facts` drives the configured scheduler and
+      yields answers as the deriving stages complete;
+    * **observe** — :meth:`on_change` registers add/remove callbacks fed
+      from each stage's :attr:`~repro.core.engine.StageResult.visible_delta`;
+    * **explain** — :meth:`explain` answers why/lineage through the
+      provenance index (``system().provenance()`` deployments);
+    * **access control** — a ``viewer=`` peer filters every read, stream and
+      callback through the owner's
+      :meth:`~repro.acl.policies.PolicyEngine.filter_readable`;
+    * **lifecycle** — :meth:`close` uninstalls the compiled rules, retracts
+      the view's derived facts (including delegated remainders at remote
+      peers) and cancels the view's subscriptions.  Also a context manager.
+    """
+
+    def __init__(self, system: "System", owner: str, relation: str,
+                 location: Optional[str] = None,
+                 compiled: Optional[CompiledView] = None,
+                 viewer: Optional[str] = None,
+                 description: Optional[str] = None):
+        self._system = system
+        self._owner = owner
+        self.relation = relation
+        self._location = location or owner
+        self.compiled = compiled
+        self.viewer = viewer
+        self._closed = False
+        self._subscriptions: List[Subscription] = []
+        if description is None:
+            description = (f"view {relation}@{owner}" if compiled is not None
+                           else f"{relation}@{self._location} as seen by {owner}")
+            if viewer is not None:
+                description += f" for viewer {viewer}"
+        super().__init__(source=self._read, description=description,
+                         stream=None)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The (view) relation name answers are published under."""
+        return self.relation
+
+    @property
+    def owner(self) -> str:
+        """The peer hosting the view."""
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` ran."""
+        return self._closed
+
+    def raw_facts(self) -> Tuple[Fact, ...]:
+        """The maintained raw tuples, before aggregation and ACL filtering.
+
+        For non-aggregate views (after ACL filtering) this is exactly
+        :meth:`facts`; for aggregate views these are the per-substitution
+        support tuples the groups are computed from, and the facts
+        :meth:`explain` can answer about.
+        """
+        if self._closed:
+            return ()
+        return self._system.runtime.peer(self._owner).query(
+            self.relation, self._location)
+
+    def _read(self) -> Tuple[Fact, ...]:
+        if self._closed:
+            return ()
+        raw = self.raw_facts()
+        if self.viewer is not None:
+            raw = self._system.policies.filter_readable(self._owner, raw,
+                                                        self.viewer)
+        if self.compiled is not None and self.compiled.is_aggregate():
+            return self._aggregate(raw)
+        return tuple(raw)
+
+    def facts(self) -> Tuple[Fact, ...]:
+        """The current answers (ACL-filtered, aggregated where applicable)."""
+        return self._read()
+
+    def _aggregate(self, raw: Sequence[Fact]) -> Tuple[Fact, ...]:
+        compiled = self.compiled
+        specs = {a.position: Aggregate.from_name(a.function)
+                 for a in compiled.aggregates}
+        width = len(compiled.head_args)
+        group_positions = [i for i in range(width) if i not in specs]
+        groups: Dict[Tuple, List[Tuple]] = {}
+        for fact in raw:
+            row = fact.values
+            key = tuple(row[i] for i in group_positions)
+            groups.setdefault(key, []).append(row)
+        results: List[Fact] = []
+        for key, rows in groups.items():
+            values: List[object] = [None] * width
+            for slot, index in enumerate(group_positions):
+                values[index] = key[slot]
+            for index, function in specs.items():
+                values[index] = compute_aggregate(
+                    function, [row[index] for row in rows])
+            results.append(Fact(self.relation, self._owner, tuple(values)))
+        return tuple(sorted(results, key=str))
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def iter_facts(self, max_steps: Optional[int] = None) -> Iterator[Fact]:
+        """Stream the answers while driving the configured scheduler.
+
+        Yields the answers already visible, then steps the system and yields
+        each new answer as the deriving stage completes, until convergence.
+        Aggregate views converge first and then yield the grouped results
+        (a per-stage aggregate stream would re-report groups on every raw
+        change); views over a relation located at another peer degrade to a
+        plain iteration, like the historical handle.
+        """
+        if self._closed:
+            return iter(())
+        if self.compiled is not None and self.compiled.is_aggregate():
+            self._system.converge(max_steps=max_steps)
+            return iter(self.facts())
+        if self._location != self._owner:
+            return iter(self.facts())
+        stream = self._system.stream_facts(self._owner, self.relation,
+                                           max_steps=max_steps)
+        if self.viewer is None:
+            return stream
+        return self._filtered(stream)
+
+    def _filtered(self, stream: Iterator[Fact]) -> Iterator[Fact]:
+        engine = self._system.policies.engine(self._owner)
+        for fact in stream:
+            if engine.can_read_fact(fact, self.viewer):
+                yield fact
+
+    # ------------------------------------------------------------------ #
+    # observation
+    # ------------------------------------------------------------------ #
+
+    def on_change(self, on_add: Optional[FactCallback] = None,
+                  on_remove: Optional[FactCallback] = None,
+                  include_existing: bool = False) -> Subscription:
+        """Watch the view: ``on_add(fact)`` fires once per answer that becomes
+        visible, ``on_remove(fact)`` once per answer that is retracted.
+
+        Deliveries are fed from each completed stage's ``visible_delta`` —
+        O(changes), no relation re-scans.  When the view has a ``viewer=``,
+        additions are filtered through the owner's policy engine, and a
+        removal is reported exactly when the addition was (the ACL decision
+        is made at delivery time and remembered — a retracted fact has no
+        lineage left to re-check, and the observer must end up with the same
+        answer set either way).  The returned
+        :class:`~repro.api.query.Subscription` is cancelled automatically by
+        :meth:`close`.
+        """
+        if self._closed:
+            raise ReproApiError(f"live view {self.description} is closed")
+        add = on_add or _noop_callback
+        remove = on_remove
+        if self.viewer is not None:
+            viewer = self.viewer
+            policies = self._system.policies
+            delivered: set = set()
+            inner_add, inner_remove = add, on_remove
+
+            def add(fact: Fact) -> None:
+                if policies.engine(self._owner).can_read_fact(fact, viewer):
+                    delivered.add(fact)
+                    inner_add(fact)
+
+            # `remove` is installed even without a user callback, so the
+            # delivered-set stays in sync across retract-and-re-derive.
+            def remove(fact: Fact) -> None:
+                if fact in delivered:
+                    delivered.discard(fact)
+                    if inner_remove is not None:
+                        inner_remove(fact)
+        subscription = self._system.subscribe(
+            self.relation, add, peer=self._owner,
+            include_existing=include_existing, on_remove=remove)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    # ------------------------------------------------------------------ #
+    # provenance
+    # ------------------------------------------------------------------ #
+
+    def explain(self, fact: Union[str, Fact]):
+        """Why/lineage story of one answer (see :meth:`repro.api.System.explain`).
+
+        For aggregate views, explain the *raw* tuples (:meth:`raw_facts`) —
+        grouped results are computed on read and have no single derivation.
+        """
+        if self._closed:
+            raise ReproApiError(f"live view {self.description} is closed")
+        return self._system.explain(self._owner, fact)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self, settle: bool = True,
+              max_steps: Optional[int] = None) -> None:
+        """Tear the view down; idempotent.
+
+        Uninstalls the compiled rules from the owning engine and cancels the
+        view's subscriptions.  With ``settle=True`` (default) the system is
+        then driven to convergence so every residue is retracted: the owner's
+        recompute drops the view's derived facts, delegation diffs retract
+        the remainders installed at remote peers, and those peers' updates
+        withdraw the answers they had pushed.  Reads on a closed view return
+        ``()``; :meth:`on_change` / :meth:`explain` raise
+        :class:`~repro.api.errors.ReproApiError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
+        if self.compiled is not None:
+            try:
+                peer = self._system.runtime.peer(self._owner)
+            except KeyError:
+                peer = None
+            if peer is not None:
+                peer.remove_rules(self.compiled.rule_ids())
+                if settle:
+                    self._system.converge(max_steps=max_steps)
+        self._system._forget_view(self)
+
+    def __enter__(self) -> "LiveView":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self)} facts"
+        return f"LiveView({self.description}, {state})"

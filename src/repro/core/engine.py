@@ -338,6 +338,21 @@ class WebdamLogEngine:
             self.mark_dirty()
         return removed
 
+    def remove_rules(self, rule_ids: Iterable[str]) -> List[Rule]:
+        """Remove several own rules at once (one cache invalidation).
+
+        Used by the live-view machinery to uninstall a compiled query: the
+        next stage's full recompute clears the view's derived facts, and the
+        delegation diff retracts whatever the removed rules had delegated.
+        Unknown identifiers are skipped; the removed rules are returned.
+        """
+        removed = [rule for rule_id in rule_ids
+                   if (rule := self.state.remove_rule(rule_id)) is not None]
+        if removed:
+            self._invalidate_program_cache()
+            self.mark_dirty()
+        return removed
+
     def replace_rule(self, rule_id: str, new_rule: Union[str, Rule]) -> Rule:
         """Replace an own rule (the Wepic *customize rules* operation)."""
         if isinstance(new_rule, str):

@@ -21,6 +21,22 @@ Notes
   :func:`parse_fact` accept a single statement with or without the
   terminator.
 * Negated body literals are written ``not rel@peer(...)`` (or ``!rel@peer``).
+
+Ad-hoc queries
+--------------
+:func:`parse_query` parses the *question* shapes accepted by the declarative
+query API (:meth:`repro.api.System.query`):
+
+* a bare rule body — a comma-separated conjunction of (possibly negated)
+  literals, e.g. ``pictures@alice($id, $n, $o, $d), not hidden@alice($id)``;
+  the answer projects every non-anonymous variable in order of first
+  occurrence;
+* a full rule ``ans($id, $n) :- body`` whose head names the answer relation
+  and chooses the projection; the head needs no ``@peer`` (the view is
+  located at the peer the query is asked at);
+* aggregate heads ``summary($id, avg($r), count($r)) :- body`` using
+  ``count`` / ``sum`` / ``min`` / ``max`` / ``avg`` over a body variable,
+  grouped by the remaining head arguments.
 """
 
 from __future__ import annotations
@@ -106,6 +122,41 @@ def tokenize(source: str) -> List[Token]:
 # --------------------------------------------------------------------------- #
 # parsed program container
 # --------------------------------------------------------------------------- #
+
+#: Aggregate functions accepted in query heads (see :func:`parse_query`).
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class QueryAggregate:
+    """One aggregate term of a query head: ``function(variable)`` at ``position``."""
+
+    position: int
+    function: str
+    variable: Variable
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.function}(${self.variable.name})"
+
+
+@dataclass
+class ParsedQuery:
+    """Result of parsing an ad-hoc query (see :func:`parse_query`).
+
+    ``head_name`` is ``None`` for body-only queries (the caller projects the
+    body variables); ``head_args`` holds the head terms with each aggregate
+    position replaced by its underlying :class:`~repro.core.terms.Variable`.
+    """
+
+    body: Tuple[Atom, ...]
+    head_name: Optional[str] = None
+    head_args: Tuple[Term, ...] = ()
+    aggregates: Tuple[QueryAggregate, ...] = ()
+
+    def is_aggregate(self) -> bool:
+        """``True`` when the head computes at least one aggregate."""
+        return bool(self.aggregates)
+
 
 @dataclass
 class ParsedProgram:
@@ -295,6 +346,52 @@ class _Parser:
             body.append(self._parse_atom(allow_negation=True))
         return Rule(head=head, body=tuple(body), author=self._author)
 
+    # -- ad-hoc queries --------------------------------------------------- #
+
+    def _parse_query(self) -> ParsedQuery:
+        """Parse a query: a bare body, or ``head(args) :- body``."""
+        if self._statement_contains_implies():
+            name, args, aggregates = self._parse_query_head()
+            self._expect("IMPLIES")
+        else:
+            name, args, aggregates = None, (), ()
+        body: List[Atom] = [self._parse_atom(allow_negation=True)]
+        while self._accept("COMMA"):
+            body.append(self._parse_atom(allow_negation=True))
+        return ParsedQuery(body=tuple(body), head_name=name, head_args=args,
+                           aggregates=aggregates)
+
+    def _parse_query_head(self) -> Tuple[str, Tuple[Term, ...],
+                                         Tuple[QueryAggregate, ...]]:
+        """``name[@peer](term | agg($var), ...)`` — the location is optional
+        and ignored (an ad-hoc view always lives at the peer it is asked at)."""
+        name_token = self._expect("IDENT")
+        if self._accept("AT"):
+            self._parse_location_term()
+        self._expect("LPAREN")
+        args: List[Term] = []
+        aggregates: List[QueryAggregate] = []
+        while not self._accept("RPAREN"):
+            token = self._peek()
+            following = self._peek(1)
+            if (token is not None and token.kind == "IDENT"
+                    and token.text in AGGREGATE_FUNCTIONS
+                    and following is not None and following.kind == "LPAREN"):
+                function = self._next().text
+                self._expect("LPAREN")
+                var_token = self._expect("VARIABLE")
+                variable = self._make_variable(var_token)
+                self._expect("RPAREN")
+                aggregates.append(QueryAggregate(
+                    position=len(args), function=function, variable=variable))
+                args.append(variable)
+            else:
+                args.append(self._parse_value_term())
+            if not self._accept("COMMA"):
+                self._expect("RPAREN")
+                break
+        return name_token.text, tuple(args), tuple(aggregates)
+
     def _parse_atom(self, allow_negation: bool) -> Atom:
         negated = False
         if allow_negation and (self._at_keyword("not") or self._peek() is not None
@@ -424,6 +521,25 @@ def parse_fact(source: str, default_peer: Optional[str] = None) -> Fact:
         token = parser._peek()
         raise ParseError(f"trailing input after fact: {token.text!r}", token.line, token.column)
     return fact
+
+
+def parse_query(source: str, default_peer: Optional[str] = None) -> ParsedQuery:
+    """Parse an ad-hoc query: a bare rule body or a full ``head :- body`` rule.
+
+    ``default_peer`` qualifies body literals written without ``@peer`` (the
+    peer the query is asked at).  Aggregate terms (``count``/``sum``/``min``/
+    ``max``/``avg`` over a variable) are only recognised in the head of the
+    explicit-head form; the head's optional ``@peer`` qualifier is accepted
+    and ignored.
+    """
+    parser = _Parser(tokenize(source), default_peer=default_peer)
+    query = parser._parse_query()
+    parser._accept("SEMICOLON")
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input after query: {token.text!r}",
+                         token.line, token.column)
+    return query
 
 
 def parse_atom(source: str, default_peer: Optional[str] = None,

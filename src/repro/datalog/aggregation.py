@@ -50,7 +50,13 @@ class AggregateSpec:
     variable: Var
 
 
-def _compute(function: Aggregate, values: Sequence) -> object:
+def compute_aggregate(function: Aggregate, values: Sequence) -> object:
+    """Apply one aggregate function to a sequence of values.
+
+    ``COUNT`` counts the values; the numeric aggregates return ``None`` on an
+    empty input.  This is the single evaluation point shared by rule-head
+    aggregation, :func:`aggregate_relation` and the live-view read path.
+    """
     if function is Aggregate.COUNT:
         return len(values)
     numeric = list(values)
@@ -65,6 +71,10 @@ def _compute(function: Aggregate, values: Sequence) -> object:
     if function is Aggregate.AVG:
         return sum(numeric) / len(numeric)
     raise ValueError(f"unsupported aggregate {function}")  # pragma: no cover
+
+
+#: Backwards-compatible alias of :func:`compute_aggregate` (pre-public name).
+_compute = compute_aggregate
 
 
 def make_aggregate_rule(head: DatalogAtom, body: Sequence[DatalogAtom],
@@ -93,10 +103,7 @@ def apply_head_aggregates(rule: DatalogRule,
     if not rule.head_aggregates:
         return list(derived_heads)
 
-    aggregate_positions = {position for position, _ in rule.head_aggregates}
-    group_positions = [
-        index for index in range(rule.head.arity) if index not in aggregate_positions
-    ]
+    group_positions = rule.group_positions()
 
     groups: Dict[Tuple, List[Tuple]] = {}
     seen_rows = set()
@@ -116,7 +123,7 @@ def apply_head_aggregates(rule: DatalogRule,
         for position, term in rule.head_aggregates:
             function = Aggregate.from_name(term.function)
             values = [row[position] for row in rows]
-            output[position] = _compute(function, values)
+            output[position] = compute_aggregate(function, values)
         results.append(DatalogAtom(rule.head.predicate, tuple(output)))
     return results
 
@@ -145,7 +152,7 @@ def aggregate_relation(rows: Iterable[Tuple], group_by: Sequence[int],
     output: List[Tuple] = []
     for key, members in groups.items():
         aggregated = tuple(
-            _compute(function, [member[position] for member in members])
+            compute_aggregate(function, [member[position] for member in members])
             for position, function in aggregates
         )
         output.append(key + aggregated)

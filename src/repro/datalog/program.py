@@ -120,6 +120,16 @@ class DatalogRule:
                     seen.append(var)
         return tuple(seen)
 
+    def aggregate_positions(self) -> FrozenSet[int]:
+        """Head positions computed by aggregation (empty for plain rules)."""
+        return frozenset(position for position, _ in self.head_aggregates)
+
+    def group_positions(self) -> Tuple[int, ...]:
+        """Head positions forming the group-by key, in head order."""
+        aggregated = self.aggregate_positions()
+        return tuple(index for index in range(self.head.arity)
+                     if index not in aggregated)
+
     def positive_body(self) -> Tuple[DatalogAtom, ...]:
         """The positive body literals."""
         return tuple(a for a in self.body if not a.negated)

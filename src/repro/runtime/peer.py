@@ -99,6 +99,14 @@ class Peer:
         """Replace one of the peer's own rules (Wepic rule customisation)."""
         return self.engine.replace_rule(rule_id, new_rule)
 
+    def remove_rule(self, rule_id: str) -> Optional[Rule]:
+        """Remove one of the peer's own rules by identifier."""
+        return self.engine.remove_rule(rule_id)
+
+    def remove_rules(self, rule_ids: Iterable[str]) -> List[Rule]:
+        """Remove several own rules at once (live-view uninstall path)."""
+        return self.engine.remove_rules(rule_ids)
+
     def insert_fact(self, fact: Union[str, Fact]) -> Delta:
         """Insert a base fact (local) or queue an update (remote)."""
         return self.engine.insert_fact(fact)

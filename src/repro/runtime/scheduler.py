@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Dict,
+    Iterator,
     List,
     Optional,
     Protocol,
@@ -174,6 +175,25 @@ def settled(system: "WebdamLogSystem", report: RoundReport) -> bool:
     return (report.is_quiescent()
             and not system.transport.has_in_flight()
             and not system.pending_engine_input())
+
+
+def drive(system: "WebdamLogSystem",
+          max_steps: Optional[int] = None) -> "Iterator[RoundReport]":
+    """Step the system's *configured* scheduler until it settles, yielding
+    each cycle's report.
+
+    This is the incremental-consumption counterpart of ``converge()``: a
+    caller (e.g. the streaming query machinery in :mod:`repro.api`) can react
+    between cycles — observers have already run for every stage of the
+    yielded report.  Works under any scheduler, including the asyncio driver
+    (whose ``step`` wraps one cycle in ``asyncio.run``).
+    """
+    limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+    for _ in range(limit):
+        report = system.step()
+        yield report
+        if settled(system, report):
+            break
 
 
 def _drive_to_fixpoint(driver: "Scheduler", system: "WebdamLogSystem",

@@ -47,11 +47,15 @@ class WepicApp:
                  install_rules: bool = True, publish_to_sigmod: bool = True):
         # Accept either a raw runtime Peer or a repro.api PeerHandle; the app
         # always works on the underlying peer so both construction paths
-        # behave identically.
+        # behave identically.  A PeerHandle is kept around: it is what powers
+        # the live-view pages (declarative queries need the System facade).
+        self.handle = None
         unwrap = getattr(peer, "unwrap", None)
         if unwrap is not None:
+            self.handle = peer
             peer = unwrap()
         self.peer = peer
+        self._views: Dict[str, object] = {}
         self.rules = rules or WepicRules()
         self._rule_ids: Dict[str, str] = {}
         for schema in self._schemas():
@@ -282,6 +286,79 @@ class WepicApp:
             Fact("rate", self.name, (r.picture_id, r.value)) for r in self.ratings()
         )
         return rank_pictures(self.attendee_pictures(), rating_facts, min_rating=min_rating)
+
+    # ------------------------------------------------------------------ #
+    # live-view pages (declarative query API; requires a PeerHandle)
+    # ------------------------------------------------------------------ #
+
+    def _require_handle(self):
+        if self.handle is None:
+            raise RuntimeError(
+                f"WepicApp({self.name}) was built from a raw Peer; the live-"
+                "view pages need the repro.api facade — construct the app "
+                "with a PeerHandle (e.g. via build_demo_scenario)"
+            )
+        return self.handle
+
+    def _standing_view(self, key: str, factory, install: bool = True):
+        view = self._views.get(key)
+        if view is not None and view.closed:
+            view = None
+        if view is None and install:
+            view = self._views[key] = factory()
+        return view
+
+    def rating_summary_view(self, viewer: Optional[str] = None,
+                            install: bool = True):
+        """The ranking page as a standing aggregate live view.
+
+        One maintained view ``ratingSummary($id, avg($rating),
+        count($rating))`` over the gathered ``attendeeRatings`` — churn in
+        the selected attendees' ratings is absorbed incrementally instead of
+        re-running the ranking query per refresh.  ``install=False`` only
+        returns an already-open view (``None`` otherwise) — the read-only UI
+        renders through that, so drawing a frame never mutates the program.
+        """
+        handle = self._require_handle()
+        return self._standing_view(f"rating_summary:{viewer}", lambda: handle.query(
+            f"ratingSummary($id, avg($rating), count($rating)) :- "
+            f"attendeeRatings@{self.name}($id, $rating)",
+            viewer=viewer,
+            name=f"ratingSummary_{self.name}",
+        ), install=install)
+
+    def wall_view(self, owner: Optional[str] = None, rating: Optional[int] = None,
+                  viewer: Optional[str] = None, install: bool = True):
+        """The *Attendee pictures* filter page as a standing live view.
+
+        ``owner`` restricts the wall to one attendee's pictures (a bound
+        argument, answered from the hash indexes); ``rating`` additionally
+        keeps only pictures the owner rated with that value, mirroring the
+        demo's "customizing rules" filters — but as an ad-hoc view, without
+        touching the user-visible program.  ``install=False`` only returns
+        an already-open matching view (``None`` otherwise).
+        """
+        handle = self._require_handle()
+        me = self.name
+        owner_term = f'"{owner}"' if owner is not None else "$owner"
+        body = f"attendeePictures@{me}($id, $name, {owner_term}, $data)"
+        head_owner = "" if owner is not None else ", $owner"
+        if rating is not None:
+            body += f", rate@{me}($id, {int(rating)})"
+        query = (f"wall($id, $name{head_owner}) :- {body}")
+        return self._standing_view(
+            f"wall:{owner}:{rating}:{viewer}",
+            lambda: handle.query(query, viewer=viewer), install=install)
+
+    def close_views(self, settle: bool = True) -> int:
+        """Close every standing live view opened by this app; returns how many."""
+        closed = 0
+        for view in self._views.values():
+            if not view.closed:
+                view.close(settle=settle)
+                closed += 1
+        self._views.clear()
+        return closed
 
     # ------------------------------------------------------------------ #
     # delegation control (Section 3 / Figure 3)

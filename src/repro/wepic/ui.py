@@ -81,6 +81,45 @@ class WepicUI:
         return WepicFrame(title="Ranked pictures",
                           lines=[str(entry) for entry in self.app.ranked_attendee_pictures()])
 
+    def rating_summary_frame(self) -> WepicFrame:
+        """The ranking page backed by the standing aggregate live view.
+
+        Unlike :meth:`ranked_pictures_frame` (which recomputes the ranking in
+        Python per render) this frame reads the incrementally-maintained
+        ``ratingSummary`` view — refreshing it costs a relation read, and the
+        maintenance cost was paid as deltas when the ratings arrived.
+        Rendering is **read-only**: the frame shows the view the application
+        opened with :meth:`~repro.wepic.app.WepicApp.rating_summary_view`
+        and renders empty when no view is open (or the app was built from a
+        raw peer, without the facade).
+        """
+        view = (self.app.rating_summary_view(install=False)
+                if self.app.handle is not None else None)
+        if view is None:
+            return WepicFrame(title="Rating summary (live view)")
+        rows = sorted(view.rows(), key=lambda row: (-(row[1] or 0), row[0]))
+        return WepicFrame(
+            title="Rating summary (live view)",
+            lines=[f"picture {picture_id}: {average:.2f} stars ({count} ratings)"
+                   for picture_id, average, count in rows],
+        )
+
+    def filtered_wall_frame(self, owner: str) -> WepicFrame:
+        """A per-owner filter page over the attendee-pictures wall.
+
+        Read-only like :meth:`rating_summary_frame`: renders the live view
+        previously opened with :meth:`~repro.wepic.app.WepicApp.wall_view`,
+        or an empty frame when none is open.
+        """
+        view = (self.app.wall_view(owner=owner, install=False)
+                if self.app.handle is not None else None)
+        if view is None:
+            return WepicFrame(title=f"Wall of {owner} (live view)")
+        return WepicFrame(
+            title=f"Wall of {owner} (live view)",
+            lines=[f"[{picture_id}] {name}" for picture_id, name in sorted(view.rows())],
+        )
+
     # -- Figure 3: the Rules tab ------------------------------------------ #
 
     def rules_frame(self) -> WepicFrame:
@@ -109,6 +148,7 @@ class WepicUI:
             self.selected_attendees_frame(),
             self.attendee_pictures_frame(),
             self.ranked_pictures_frame(),
+            self.rating_summary_frame(),
             self.rules_frame(),
             self.delegations_frame(),
             self.pending_delegations_frame(),
@@ -125,6 +165,7 @@ class WepicUI:
             "my_pictures": len(self.my_pictures_frame().lines),
             "selected_attendees": len(self.selected_attendees_frame().lines),
             "attendee_pictures": len(self.attendee_pictures_frame().lines),
+            "rating_summary": len(self.rating_summary_frame().lines),
             "rules": len(self.rules_frame().lines),
             "delegated_rules": len(self.delegations_frame().lines),
             "pending_delegations": len(self.pending_delegations_frame().lines),

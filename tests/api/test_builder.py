@@ -31,7 +31,7 @@ class TestPeerRoundTrips:
         assert isinstance(built, System)
         assert built.peer_names() == ("Emilien", "Jules")
         assert len(built.peer("Jules").rules()) == 1
-        assert built.peer("Emilien").facts("pictures") != ()
+        assert built.peer("Emilien").query("pictures").facts() != ()
         built.run()
         assert sorted(built.query("Jules", "attendeePictures").rows()) == [
             (1, "sea.jpg"), (2, "boat.jpg"),

@@ -1,0 +1,385 @@
+"""Declarative queries compiled into incrementally-maintained live views."""
+
+import pytest
+
+from repro.api import LiveView, QueryHandle, ReproApiError, system
+from repro.core.parser import parse_atom, parse_rule
+
+Q_PROGRAM = """
+collection extensional persistent a@q(x);
+collection extensional persistent c@q(x);
+collection extensional persistent score@q(x, points);
+"""
+
+R_PROGRAM = """
+collection extensional persistent b@r(x, y);
+"""
+
+
+def build_pair():
+    return (system()
+            .peer("q").program(Q_PROGRAM)
+            .peer("r").program(R_PROGRAM)
+            .build())
+
+
+def seed(deployment):
+    q, r = deployment.peer("q"), deployment.peer("r")
+    for value in (1, 2, 3):
+        q.insert(f"a@q({value})")
+    q.insert("c@q(2)")
+    r.insert("b@r(1, 10)")
+    r.insert("b@r(1, 11)")
+    r.insert("b@r(3, 30)")
+    deployment.converge()
+
+
+class TestDegenerateQueries:
+    def test_single_relation_query_returns_a_live_view(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "a")
+        assert isinstance(view, LiveView)
+        assert isinstance(view, QueryHandle)  # drop-in for the old handle
+        assert sorted(view.rows()) == [(1,), (2,), (3,)]
+        # Reads are live: the same handle reflects later changes.
+        deployment.peer("q").insert("a@q(4)")
+        deployment.converge()
+        assert (4,) in view.rows()
+
+    def test_peer_is_the_location_qualifier(self):
+        # peer= names which relation is meant (rel@peer), not a remote fetch:
+        # facts of a relation located at another peer are never visible
+        # locally, so a remote qualifier yields the empty relation.
+        deployment = build_pair()
+        seed(deployment)
+        assert deployment.query("q", "a", peer="q").rows() == \
+            deployment.query("q", "a").rows()
+        assert deployment.query("q", "b", peer="r").facts() == ()
+
+    def test_unknown_target_peer_raises_api_error(self):
+        deployment = build_pair()
+        with pytest.raises(ReproApiError, match="unknown peer 'nobody'"):
+            deployment.query("nobody", "a")
+        with pytest.raises(ReproApiError, match="unknown peer 'ghost'"):
+            deployment.query("q", "a", peer="ghost")
+        with pytest.raises(ReproApiError, match="unknown peer"):
+            deployment.peer("q").query("a", peer="ghost")
+
+    def test_location_qualifier_rejected_for_declarative_queries(self):
+        deployment = build_pair()
+        with pytest.raises(ReproApiError, match="location qualifier"):
+            deployment.query("q", "a@q($x), c@q($x)", peer="r")
+
+    def test_facts_shim_is_deprecated(self):
+        deployment = build_pair()
+        seed(deployment)
+        with pytest.warns(DeprecationWarning, match="LiveView"):
+            facts = deployment.peer("q").facts("a")
+        assert len(facts) == 4 or len(facts) == 3  # live data either way
+
+
+class TestCompiledViews:
+    def test_join_negation_and_remote_literal(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query(
+            "q", "ans($x, $y) :- a@q($x), not c@q($x), b@r($x, $y)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 10), (1, 11), (3, 30)]
+
+    def test_body_only_query_projects_all_variables(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "a@q($x), score@q($x, $p)")
+        deployment.peer("q").insert("score@q(1, 7)")
+        deployment.converge()
+        assert view.rows() == ((1, 7),)
+
+    def test_bound_argument_query(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "a@q($x), c@q(2), score@q($x, 7)")
+        deployment.peer("q").insert("score@q(3, 7)")
+        deployment.peer("q").insert("score@q(1, 9)")
+        deployment.converge()
+        assert view.rows() == ((3,),)
+
+    def test_atom_and_rule_objects_are_accepted(self):
+        deployment = build_pair()
+        seed(deployment)
+        atom_view = deployment.query("q", parse_atom("a@q($x)"))
+        rule_view = deployment.query(
+            "q", parse_rule("ans($x) :- a@q($x), not c@q($x)",
+                            default_peer="q"))
+        deployment.converge()
+        assert sorted(atom_view.rows()) == [(1,), (2,), (3,)]
+        assert sorted(rule_view.rows()) == [(1,), (3,)]
+
+    def test_custom_view_name(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)", name="wall")
+        assert view.name == "wall"
+        deployment.converge()
+        assert deployment.runtime.peer("q").query("wall") == view.facts()
+
+    def test_view_maintenance_stays_incremental_under_churn(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query(
+            "q", "ans($x, $y) :- a@q($x), not c@q($x), b@r($x, $y)")
+        deployment.converge()  # installation settles (full stage expected)
+        engine = deployment.runtime.peer("q").engine
+        full_before = engine.eval_counters["stages_full"]
+        deployment.peer("r").insert("b@r(1, 12)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 10), (1, 11), (1, 12), (3, 30)]
+        deployment.peer("r").delete("b@r(1, 10)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 11), (1, 12), (3, 30)]
+        deployment.peer("q").insert("c@q(3)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 11), (1, 12)]
+        # The owner absorbed all churn on the delta/rederive paths.
+        assert engine.eval_counters["stages_full"] == full_before
+
+    def test_malformed_and_unsafe_queries_raise_api_errors(self):
+        deployment = build_pair()
+        with pytest.raises(ReproApiError, match="cannot parse"):
+            deployment.query("q", "a@q($x), :-")
+        with pytest.raises(ReproApiError, match="unsafe query"):
+            deployment.query("q", "ans($y) :- a@q($x)")
+        with pytest.raises(ReproApiError, match="cannot interpret"):
+            deployment.query("q", 42)
+
+    def test_conflicting_view_name_raises_api_error(self):
+        deployment = build_pair()
+        with pytest.raises(ReproApiError, match="cannot install view"):
+            deployment.query("q", "ans($x, $y) :- score@q($x, $y)", name="a")
+
+    def test_open_views_registry(self):
+        deployment = build_pair()
+        assert deployment.open_views() == ()
+        view = deployment.query("q", "ans($x) :- a@q($x)")
+        assert deployment.open_views() == (view,)
+        view.close()
+        assert deployment.open_views() == ()
+
+
+class TestAggregates:
+    def test_grouped_aggregates(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query(
+            "q", "stats($x, count($y), avg($y)) :- a@q($x), b@r($x, $y)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 2, 10.5), (3, 1, 30.0)]
+        deployment.peer("r").insert("b@r(3, 40)")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1, 2, 10.5), (3, 2, 35.0)]
+
+    def test_aggregate_support_columns_preserve_multiplicity(self):
+        # Two score facts with the same value for the same x must both count:
+        # the raw view keeps one tuple per body substitution.
+        deployment = build_pair()
+        deployment.peer("q").insert("score@q(1, 7)")
+        deployment.peer("q").insert("score@q(2, 7)")
+        view = deployment.query(
+            "q", "total(count($p)) :- score@q($x, $p)")
+        deployment.converge()
+        assert view.rows() == ((2,),)
+
+    def test_min_max_sum(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query(
+            "q", "extremes(min($y), max($y), sum($y)) :- b@r($x, $y), a@q($x)")
+        deployment.converge()
+        assert view.rows() == ((10, 30, 51),)
+
+
+class TestOnChange:
+    def test_add_and_remove_callbacks(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x), not c@q($x)")
+        deployment.converge()
+        added, removed = [], []
+        view.on_change(added.append, removed.append)
+        deployment.peer("q").insert("a@q(9)")
+        deployment.converge()
+        assert [f.values for f in added] == [(9,)]
+        deployment.peer("q").insert("c@q(9)")
+        deployment.converge()
+        assert [f.values for f in removed] == [(9,)]
+
+    def test_include_existing_replays_current_answers(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)")
+        deployment.converge()
+        seen = []
+        view.on_change(seen.append, include_existing=True)
+        deployment.converge()
+        assert sorted(f.values for f in seen) == [(1,), (2,), (3,)]
+
+    def test_on_change_rejected_after_close(self):
+        deployment = build_pair()
+        view = deployment.query("q", "ans($x) :- a@q($x)")
+        view.close()
+        with pytest.raises(ReproApiError, match="closed"):
+            view.on_change(lambda fact: None)
+
+
+class TestClose:
+    def test_close_leaves_no_residue(self):
+        deployment = build_pair()
+        seed(deployment)
+        view = deployment.query(
+            "q", "ans($x, $y) :- a@q($x), not c@q($x), b@r($x, $y)")
+        deployment.converge()
+        assert view.rows() != ()
+        fired = []
+        view.on_change(fired.append)
+        rules_before_install = 0
+        view.close()
+        q = deployment.runtime.peer("q")
+        r = deployment.runtime.peer("r")
+        # No residual rules at the owner, no residual delegations at the
+        # remote peer, no residual derived/provided view facts, and the
+        # view's subscription is gone.
+        assert len(q.rules()) == rules_before_install
+        assert tuple(r.engine.installed_delegations()) == ()
+        assert q.query(view.name) == ()
+        assert deployment._subscriptions == []
+        assert view.facts() == ()
+        # Closed views stay closed; closing again is a no-op.
+        view.close()
+        deployment.peer("q").insert("a@q(9)")
+        deployment.converge()
+        assert fired == []
+        assert q.query(view.name) == ()
+
+    def test_close_is_a_context_manager_exit(self):
+        deployment = build_pair()
+        seed(deployment)
+        with deployment.query("q", "ans($x) :- a@q($x)") as view:
+            deployment.converge()
+            assert view.rows() != ()
+        assert view.closed
+        assert deployment.runtime.peer("q").rules() == ()
+
+    def test_independent_views_survive_a_sibling_close(self):
+        deployment = build_pair()
+        seed(deployment)
+        first = deployment.query("q", "ans($x) :- a@q($x)")
+        second = deployment.query("q", "ans($x) :- a@q($x), not c@q($x)")
+        deployment.converge()
+        first.close()
+        assert sorted(second.rows()) == [(1,), (3,)]
+        deployment.peer("q").insert("a@q(5)")
+        deployment.converge()
+        assert (5,) in second.rows()
+        second.close()
+
+
+class TestViewerFiltering:
+    def test_viewer_requires_grants_on_lineage(self):
+        deployment = (system()
+                      .provenance()
+                      .peer("q").program(Q_PROGRAM)
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x), not c@q($x)",
+                                viewer="bob")
+        deployment.converge()
+        assert view.facts() == ()  # bob may not read a@q yet
+        deployment.peer("q").grant("a", "bob")
+        assert sorted(view.rows()) == [(1,), (3,)]
+        deployment.access_policy("q").revoke("a@q", "bob")
+        assert view.facts() == ()
+
+    def test_owner_always_sees_its_own_view(self):
+        deployment = (system()
+                      .provenance()
+                      .peer("q").program(Q_PROGRAM)
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)", viewer="q")
+        deployment.converge()
+        assert sorted(view.rows()) == [(1,), (2,), (3,)]
+
+    def test_declassification_overrides_lineage_policy(self):
+        deployment = (system()
+                      .provenance()
+                      .peer("q").program(Q_PROGRAM)
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)", name="wall",
+                                viewer="bob")
+        deployment.converge()
+        assert view.facts() == ()
+        deployment.peer("q").declassify("wall", "bob").grant("wall", "bob")
+        assert sorted(view.rows()) == [(1,), (2,), (3,)]
+
+    def test_on_change_respects_the_viewer(self):
+        deployment = (system()
+                      .provenance()
+                      .peer("q").program(Q_PROGRAM)
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)", viewer="bob")
+        deployment.converge()
+        fired = []
+        view.on_change(fired.append)
+        deployment.peer("q").insert("a@q(8)")
+        deployment.converge()
+        assert fired == []  # not readable by bob
+        deployment.peer("q").grant("a", "bob")
+        deployment.peer("q").insert("a@q(9)")
+        deployment.converge()
+        assert [f.values for f in fired] == [(9,)]
+
+    def test_on_remove_mirrors_delivered_adds(self):
+        # Regression: the ACL decision is made at delivery time and
+        # remembered — a retracted fact has no lineage left to re-check, so
+        # re-checking at removal time would silently suppress the removal
+        # and leave the observer with a stale answer.
+        deployment = (system()
+                      .provenance()
+                      .peer("q").program(Q_PROGRAM).grant("a", "bob")
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        view = deployment.query("q", "ans($x) :- a@q($x)", viewer="bob")
+        deployment.converge()
+        added, removed = [], []
+        view.on_change(added.append, removed.append, include_existing=True)
+        deployment.converge()
+        assert sorted(f.values for f in added) == [(1,), (2,), (3,)]
+        deployment.peer("q").delete("a@q(2)")
+        deployment.converge()
+        assert [f.values for f in removed] == [(2,)]
+        # The converse: an add the viewer never saw must not produce a remove.
+        deployment.access_policy("q").revoke("a@q", "bob")
+        deployment.peer("q").insert("a@q(9)")
+        deployment.converge()
+        deployment.peer("q").delete("a@q(9)")
+        deployment.converge()
+        assert [f.values for f in removed] == [(2,)]
+
+    def test_builder_grants_and_declassification(self):
+        deployment = (system()
+                      .peer("q").program(Q_PROGRAM).grant("a", "bob")
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        # Without provenance the degenerate view checks the relation grant.
+        view = deployment.peer("q").query("a", viewer="bob")
+        assert sorted(view.rows()) == [(1,), (2,), (3,)]
+        assert deployment.query("q", "a", viewer="eve").facts() == ()

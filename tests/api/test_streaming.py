@@ -142,3 +142,41 @@ class TestBuilderScheduler:
         with pytest.raises(BuildError, match="processes backend"):
             (system().backend("processes").scheduler("reactive")
              .peer("a").build())
+
+
+class TestStreamingAcrossSchedulers:
+    """iter_facts must stream under every execution driver, not just lockstep."""
+
+    @pytest.mark.parametrize("scheduler", ["lockstep", "reactive", "async"])
+    def test_iter_facts_streams_under_every_scheduler(self, scheduler):
+        built = build_quickstart(scheduler)
+        view = built.query("Jules", "attendeePictures")
+        streamed = list(view.iter_facts())
+        assert sorted(f.values for f in streamed) == [(1, "sea.jpg"), (2, "boat.jpg")]
+        assert len(view) == 2
+
+    @pytest.mark.parametrize("scheduler", ["reactive", "async"])
+    def test_streams_interleave_with_event_driven_execution(self, scheduler):
+        built = build_quickstart(scheduler)
+        rounds_at_yield = []
+        for _ in built.query("Jules", "attendeePictures").iter_facts():
+            rounds_at_yield.append(built.current_round)
+        assert rounds_at_yield
+        assert all(r < built.current_round for r in rounds_at_yield)
+
+    @pytest.mark.parametrize("scheduler", ["reactive", "async"])
+    def test_compiled_live_view_streams_under_event_driven_schedulers(self, scheduler):
+        built = build_quickstart(scheduler)
+        view = built.query(
+            "Jules",
+            'ans($id, $n) :- selectedAttendee@Jules($a), pictures@$a($id, $n)')
+        streamed = sorted(f.values for f in view.iter_facts())
+        assert streamed == [(1, "sea.jpg"), (2, "boat.jpg")]
+        view.close()
+
+    @pytest.mark.parametrize("scheduler", ["reactive", "async"])
+    def test_stream_terminates_on_a_converged_system(self, scheduler):
+        built = build_quickstart(scheduler)
+        built.converge()
+        streamed = list(built.query("Jules", "attendeePictures").iter_facts())
+        assert sorted(f.values for f in streamed) == [(1, "sea.jpg"), (2, "boat.jpg")]

@@ -135,3 +135,53 @@ class TestQueryHandles:
         assert view.first() is not None
         assert sorted(view.rows()) == [(1, "sea.jpg"), (2, "boat.jpg")]
         assert [f.values for f in view.sorted()] == [(1, "sea.jpg"), (2, "boat.jpg")]
+
+
+class TestCancelIdempotency:
+    """Regression: cancelling a subscription twice (or after the facade
+    already dropped it) must be a no-op, never an error."""
+
+    def test_cancel_twice_is_a_noop(self):
+        built = build_quickstart()
+        fired = []
+        sub = built.subscribe("attendeePictures", fired.append)
+        sub.cancel()
+        sub.cancel()  # must not raise
+        assert not sub.active
+        built.converge()
+        assert fired == []
+
+    def test_cancel_after_unsubscribe_is_a_noop(self):
+        built = build_quickstart()
+        sub = built.subscribe("attendeePictures", lambda fact: None)
+        built.unsubscribe(sub)
+        sub.cancel()
+        built.unsubscribe(sub)  # and the reverse order, for good measure
+        assert sub not in built._subscriptions
+
+    def test_cancel_detaches_from_the_facade(self):
+        built = build_quickstart()
+        sub = built.subscribe("attendeePictures", lambda fact: None)
+        assert sub in built._subscriptions
+        sub.cancel()
+        assert sub not in built._subscriptions
+
+    def test_cancel_after_peers_are_gone(self):
+        built = build_quickstart()
+        sub = built.subscribe("attendeePictures", lambda fact: None)
+        for name in built.peer_names():
+            built.remove_peer(name)
+        sub.cancel()
+        sub.cancel()
+        assert not sub.active
+
+    def test_cancelled_subscription_ignores_on_remove(self):
+        built = build_quickstart()
+        removed = []
+        sub = built.subscribe("attendeePictures", lambda fact: None,
+                              on_remove=removed.append)
+        built.converge()
+        sub.cancel()
+        built.peer("Jules").delete('selectedAttendee@Jules("Emilien")')
+        built.converge()
+        assert removed == []

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.core.errors import ParseError
-from repro.core.parser import parse_atom, parse_fact, parse_program, parse_rule, tokenize
+from repro.core.parser import (
+    parse_atom,
+    parse_fact,
+    parse_program,
+    parse_query,
+    parse_rule,
+    tokenize,
+)
 from repro.core.schema import RelationKind
 from repro.core.terms import Constant, Variable
 
@@ -197,3 +204,56 @@ class TestParseAtom:
     def test_negation_disallowed_when_requested(self):
         with pytest.raises(ParseError):
             parse_atom("not banned@p($x)", allow_negation=False)
+
+
+class TestParseQuery:
+    def test_body_only_query(self):
+        query = parse_query("a@p($x), not c@p($x), b@r($x, $y)")
+        assert query.head_name is None
+        assert len(query.body) == 3
+        assert query.body[1].negated
+        assert not query.is_aggregate()
+
+    def test_body_only_single_literal_with_bound_argument(self):
+        query = parse_query('pictures@alice($id, "sea.jpg")')
+        assert query.head_name is None
+        assert query.body[0].relation == Constant("pictures")
+        assert query.body[0].args[1] == Constant("sea.jpg")
+
+    def test_default_peer_qualifies_bare_literals(self):
+        query = parse_query("a($x), b@r($x)", default_peer="p")
+        assert query.body[0].peer == Constant("p")
+        assert query.body[1].peer == Constant("r")
+
+    def test_explicit_head_projects(self):
+        query = parse_query("ans($y) :- a@p($x, $y)")
+        assert query.head_name == "ans"
+        assert query.head_args == (Variable("y"),)
+
+    def test_head_location_is_accepted_and_ignored(self):
+        query = parse_query("ans@anywhere($x) :- a@p($x)")
+        assert query.head_name == "ans"
+        assert query.head_args == (Variable("x"),)
+
+    def test_aggregate_head(self):
+        query = parse_query(
+            "stats($owner, count($id), avg($rating)) :- "
+            "pictures@p($id, $owner), rate@p($id, $rating)")
+        assert query.is_aggregate()
+        assert [a.function for a in query.aggregates] == ["count", "avg"]
+        assert [a.position for a in query.aggregates] == [1, 2]
+        # Aggregate slots hold the underlying variable.
+        assert query.head_args == (Variable("owner"), Variable("id"),
+                                   Variable("rating"))
+
+    def test_relation_variable_literals(self):
+        query = parse_query("selected@p($a), pictures@$a($id)")
+        assert query.body[1].peer == Variable("a")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("a@p($x); b@p($x)")
+
+    def test_missing_peer_without_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("a($x)")

@@ -135,7 +135,7 @@ class TestCrossPeerShipping:
         deployment.converge()
         deployment.peer("left").delete("posts@left(7)")
         deployment.converge()
-        assert deployment.peer("hub").facts("wall") == ()
+        assert deployment.peer("hub").query("wall").facts() == ()
         assert not deployment.explain("hub", "wall@hub(7)").derived
 
     def test_explain_requires_provenance(self):

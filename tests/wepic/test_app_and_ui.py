@@ -226,3 +226,83 @@ class TestUI:
         ui = demo_scenario.ui("Jules")
         frame = ui.pending_delegations_frame()
         assert "(empty)" in frame.render()
+
+
+class TestLiveViewPages:
+    def test_rating_summary_view_is_a_standing_aggregate(self, demo_scenario):
+        jules = demo_scenario.app("Jules")
+        emilien = demo_scenario.app("Emilien")
+        jules.select_attendee("Emilien")
+        view = jules.rating_summary_view()
+        demo_scenario.run()
+        assert view.rows() == ()
+        emilien.rate_picture(1, 5)
+        emilien.rate_picture(1, 3)
+        demo_scenario.run()
+        assert view.rows() == ((1, 4.0, 2),)
+        # Standing: the same handle keeps tracking later churn.
+        emilien.rate_picture(2, 4)
+        demo_scenario.run()
+        assert sorted(view.rows()) == [(1, 4.0, 2), (2, 4.0, 1)]
+        # The factory caches the open view.
+        assert jules.rating_summary_view() is view
+
+    def test_wall_view_filters_by_owner_and_rating(self, demo_scenario):
+        jules = demo_scenario.app("Jules")
+        jules.select_attendee("Emilien")
+        demo_scenario.run()
+        wall = jules.wall_view(owner="Emilien")
+        demo_scenario.run()
+        assert sorted(row[0] for row in wall.rows()) == [1, 2]
+        rated = jules.wall_view(owner="Emilien", rating=5)
+        jules.rate_picture(2, 5)
+        demo_scenario.run()
+        assert sorted(rated.rows()) == [(2, "keynote-2.jpg")]
+
+    def test_close_views_uninstalls_everything(self, demo_scenario):
+        jules = demo_scenario.app("Jules")
+        rules_before = len(jules.peer.rules())
+        jules.rating_summary_view()
+        jules.wall_view(owner="Emilien")
+        assert len(jules.peer.rules()) == rules_before + 2
+        assert jules.close_views() == 2
+        assert len(jules.peer.rules()) == rules_before
+        assert jules.close_views() == 0
+
+    def test_live_pages_require_the_facade(self):
+        from repro.runtime.peer import Peer
+        from repro.wepic.app import WepicApp
+
+        app = WepicApp(Peer("solo"), install_rules=False)
+        with pytest.raises(RuntimeError, match="PeerHandle"):
+            app.rating_summary_view()
+
+    def test_ui_frames_render_the_live_views(self, demo_scenario):
+        jules = demo_scenario.app("Jules")
+        emilien = demo_scenario.app("Emilien")
+        jules.select_attendee("Emilien")
+        ui = demo_scenario.ui("Jules")
+        # No view opened yet: the frames render empty (and stay read-only).
+        assert ui.rating_summary_frame().lines == []
+        assert ui.filtered_wall_frame("Emilien").lines == []
+        jules.rating_summary_view()
+        jules.wall_view(owner="Emilien")
+        emilien.rate_picture(3, 5)
+        demo_scenario.run()
+        assert ui.rating_summary_frame().lines == \
+            ["picture 3: 5.00 stars (1 ratings)"]
+        assert ui.filtered_wall_frame("Emilien").lines
+        assert "Rating summary (live view)" in ui.render()
+
+    def test_rendering_never_mutates_the_program(self, demo_scenario):
+        # Regression: drawing the UI must not install rules — the Rules tab
+        # on the same screen would otherwise show internal view rules the
+        # user never wrote.
+        jules = demo_scenario.app("Jules")
+        ui = demo_scenario.ui("Jules")
+        rules_before = [r.rule_id for r in jules.peer.rules()]
+        ui.render()
+        ui.frames()
+        ui.summary()
+        ui.filtered_wall_frame("Emilien")
+        assert [r.rule_id for r in jules.peer.rules()] == rules_before
