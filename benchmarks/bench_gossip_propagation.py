@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""GOSSIP-PROPAGATION — epidemic dissemination at 100+ peers under churn.
+
+The TCP transport routes application messages over a push-gossip overlay
+with SWIM membership (``src/repro/net``).  This benchmark drives the exact
+same protocol code through the virtual-clock simulator — hundreds of
+nodes, no sockets — and measures what the paper's distributed setting
+cares about:
+
+* **propagation latency** — virtual seconds from ``send`` to ``deliver``
+  per application envelope, reconstructed from the structured event log;
+* **coverage** — the fraction of injected messages that reach their
+  recipient, despite configurable link loss and mid-run churn (graceful
+  leaves, silent crashes, and fresh joiners);
+* **membership re-convergence** — how long SWIM takes to agree on the
+  surviving population after the churn wave.
+
+An in-memory transport baseline delivers the same number of point-to-point
+messages through the direct-routing transport for comparison.
+
+Run as a script (also smoke-run in CI)::
+
+    PYTHONPATH=src python benchmarks/bench_gossip_propagation.py
+
+Writes ``BENCH_gossip_propagation.json`` next to this file (see
+``--output``).  Coverage and re-convergence are asserted before reporting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.bench.harness import bench_metadata
+from repro.bench.reporting import format_table
+from repro.core.facts import Fact
+from repro.net.events import NetEventLog
+from repro.net.sim import SimulatedGossipNetwork
+from repro.runtime.inmemory import InMemoryTransport
+from repro.runtime.messages import FactMessage
+
+
+def fact_message(sender: str, recipient: str, payload: str) -> FactMessage:
+    return FactMessage(sender=sender, recipient=recipient,
+                       inserted=frozenset({Fact("bench", recipient, (payload,))}))
+
+
+def run_until_converged(net: SimulatedGossipNetwork, budget: float,
+                        step: float = 0.5) -> float:
+    """Advance virtual time until the membership converges; virtual seconds
+    spent (``budget`` when it never converged)."""
+    start = net.now
+    while net.now - start < budget:
+        net.run(step)
+        if net.converged():
+            break
+    return round(net.now - start, 3)
+
+
+def run_gossip(peers: int, messages: int, churn: int, drop: float,
+               seed: int) -> dict:
+    events = NetEventLog()
+    net = SimulatedGossipNetwork(latency=0.005, latency_jitter=0.005,
+                                 drop_probability=drop, seed=seed,
+                                 events=events)
+    rng = random.Random(seed)
+    wall_start = time.perf_counter()
+
+    for index in range(peers):
+        net.add_node(f"peer{index:03d}")
+    bootstrap_seconds = run_until_converged(net, budget=20.0)
+
+    # churn victims are chosen up front so steady-state traffic only ever
+    # targets peers that will still exist at the end of the run
+    victims = rng.sample(sorted(net.nodes), churn)
+    survivors = [name for name in sorted(net.nodes) if name not in victims]
+
+    submitted = 0
+    for index in range(messages // 2):
+        origin, recipient = rng.sample(survivors, 2)
+        net.submit(origin, fact_message(origin, recipient, f"pre{index}"))
+        submitted += 1
+    net.run(1.0)
+
+    # the churn wave: half the victims leave politely, half just vanish,
+    # and as many fresh peers join while the survivors are still catching up
+    for index, victim in enumerate(victims):
+        net.remove_node(victim, graceful=index % 2 == 0)
+    joiners = [f"late{index:03d}" for index in range(churn)]
+    for name in joiners:
+        net.add_node(name, seeds=rng.sample(survivors, min(3, len(survivors))))
+    survivors.extend(joiners)
+
+    for index in range(messages - submitted):
+        origin, recipient = rng.sample(survivors, 2)
+        net.submit(origin, fact_message(origin, recipient, f"post{index}"))
+        submitted += 1
+
+    reconverge_seconds = run_until_converged(net, budget=30.0)
+    net.run(3.0)  # anti-entropy repair window for any still-missing envelopes
+    wall_seconds = time.perf_counter() - wall_start
+
+    sends = {e["envelope"]: e["ts"] for e in events.events(action="send")}
+    delivered = {e["envelope"]: e["ts"] - sends[e["envelope"]]
+                 for e in events.events(action="deliver")
+                 if e["envelope"] in sends}
+    latencies = sorted(delivered.values())
+    coverage = len(delivered) / submitted if submitted else 1.0
+
+    return {
+        "peers": peers,
+        "peers_after_churn": len(net.nodes),
+        "churned_peers": churn,
+        "joined_peers": len(joiners),
+        "messages": submitted,
+        "messages_delivered": len(delivered),
+        "coverage": round(coverage, 4),
+        "drop_probability": drop,
+        "bootstrap_virtual_seconds": bootstrap_seconds,
+        "reconverge_virtual_seconds": reconverge_seconds,
+        "latency_mean_virtual": round(sum(latencies) / len(latencies), 4)
+            if latencies else None,
+        "latency_p95_virtual": round(latencies[int(len(latencies) * 0.95) - 1], 4)
+            if latencies else None,
+        "latency_max_virtual": round(latencies[-1], 4) if latencies else None,
+        "frames_sent": net.frames_sent,
+        "frames_dropped": net.frames_dropped,
+        "membership_converged": net.converged(),
+        "elapsed_seconds": round(wall_seconds, 6),
+    }
+
+
+def run_inmemory_baseline(peers: int, messages: int, seed: int) -> dict:
+    transport = InMemoryTransport(latency=1, seed=seed)
+    rng = random.Random(seed)
+    names = [f"peer{index:03d}" for index in range(peers)]
+    start = time.perf_counter()
+    for name in names:
+        transport.register(name)
+    for index in range(messages):
+        origin, recipient = rng.sample(names, 2)
+        transport.send(fact_message(origin, recipient, f"m{index}"))
+    delivered = 0
+    rounds = 0
+    while transport.has_in_flight() and rounds < 1000:
+        transport.advance_round()
+        rounds += 1
+        for name in names:
+            delivered += len(transport.receive(name))
+    return {
+        "peers": peers,
+        "messages": messages,
+        "messages_delivered": delivered,
+        "coverage": round(delivered / messages, 4) if messages else 1.0,
+        "rounds": rounds,
+        "elapsed_seconds": round(time.perf_counter() - start, 6),
+    }
+
+
+def run_benchmark(peers: int, messages: int, churn: int, drop: float,
+                  seed: int) -> dict:
+    gossip = run_gossip(peers, messages, churn, drop, seed)
+    baseline = run_inmemory_baseline(peers, messages, seed)
+
+    if not gossip["membership_converged"]:
+        raise AssertionError("membership failed to re-converge after churn")
+    if gossip["coverage"] < 1.0:
+        raise AssertionError(
+            f"gossip lost application messages: coverage {gossip['coverage']}"
+        )
+    if baseline["coverage"] < 1.0:
+        raise AssertionError("in-memory baseline lost messages")
+
+    return {
+        "experiment": "GOSSIP-PROPAGATION",
+        "metadata": bench_metadata(repeats=1, parameters={
+            "peers": peers, "messages": messages, "churn": churn,
+            "drop_probability": drop, "seed": seed,
+        }),
+        "gossip": gossip,
+        "inmemory_baseline": baseline,
+        "gossiping_peers": peers,
+        "churn_exercised": churn > 0,
+        "coverage_complete": gossip["coverage"] >= 1.0,
+        "membership_reconverged_after_churn": gossip["membership_converged"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--peers", type=int, default=120,
+                        help="gossiping peers before churn (default 120)")
+    parser.add_argument("--messages", type=int, default=40,
+                        help="application messages to inject (default 40)")
+    parser.add_argument("--churn", type=int, default=10,
+                        help="peers removed (half crash) and added mid-run")
+    parser.add_argument("--drop", type=float, default=0.02,
+                        help="per-frame loss probability (default 0.02)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "BENCH_gossip_propagation.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    result = run_benchmark(args.peers, args.messages, args.churn,
+                           args.drop, args.seed)
+
+    gossip, baseline = result["gossip"], result["inmemory_baseline"]
+    columns = ["transport", "peers", "delivered", "coverage",
+               "latency p95", "elapsed (s)"]
+    rows = [
+        ["gossip/sim", gossip["peers"],
+         f'{gossip["messages_delivered"]}/{gossip["messages"]}',
+         gossip["coverage"], gossip["latency_p95_virtual"],
+         gossip["elapsed_seconds"]],
+        ["inmemory", baseline["peers"],
+         f'{baseline["messages_delivered"]}/{baseline["messages"]}',
+         baseline["coverage"], "-", baseline["elapsed_seconds"]],
+    ]
+    print(format_table(columns, rows, title="[GOSSIP-PROPAGATION] "
+                       f"{args.peers} peers, churn {args.churn}, "
+                       f"drop {args.drop}"))
+    print(f"bootstrap {gossip['bootstrap_virtual_seconds']}s virtual, "
+          f"re-converged after churn in {gossip['reconverge_virtual_seconds']}s "
+          f"virtual ({gossip['frames_sent']} frames, "
+          f"{gossip['frames_dropped']} dropped)")
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,7 +20,11 @@ This package is the public facade over all of them:
 * :class:`Transport` — the protocol the runtime moves messages through, with
   :class:`InMemoryTransport` (deterministic rounds) and
   :class:`RecordingTransport` (event-logging decorator) shipped here; pass
-  any implementation to ``system().transport(...)``.
+  any implementation — or a name — to ``system().transport(...)``:
+  ``transport("tcp")`` builds the asyncio TCP transport
+  (:class:`TcpTransport`), where every peer runs a gossip node on a real
+  localhost socket with SWIM membership and failure detection (see
+  :mod:`repro.net` and ``docs/net-protocol.md``).
 * :class:`LiveView` — the answer to a declarative query
   (``deployment.query(at, "p@alice($x,$y), not q@alice($x)")``): compiled
   into an incrementally-maintained view relation inside the owning peer's
@@ -45,6 +49,10 @@ from repro.runtime.scheduler import (
     Scheduler,
 )
 from repro.provenance.graph import Explanation
+from repro.net.events import NetEventLog, read_events
+from repro.net.gossip import GossipConfig
+from repro.net.membership import SwimConfig
+from repro.net.tcp import TcpTransport
 from repro.runtime.transport import RecordingTransport, Transport, TransportEvent
 from repro.api.builder import BuildError, PeerBuilder, SystemBuilder, system
 from repro.api.errors import ReproApiError
@@ -68,6 +76,11 @@ __all__ = [
     "TransportEvent",
     "InMemoryTransport",
     "RecordingTransport",
+    "TcpTransport",
+    "NetEventLog",
+    "read_events",
+    "GossipConfig",
+    "SwimConfig",
     "NetworkStats",
     "Scheduler",
     "LockstepScheduler",

@@ -43,6 +43,9 @@ from repro.api.facade import PeerHandle, ProcessSystem, System
 #: Backends ``build()`` knows how to assemble.
 BACKENDS = ("inmemory", "processes")
 
+#: Transport names ``transport(...)`` resolves (besides explicit instances).
+TRANSPORTS = ("inmemory", "tcp")
+
 
 class BuildError(ValueError):
     """A builder chain described something the chosen backend cannot build."""
@@ -76,6 +79,8 @@ class SystemBuilder:
 
     def __init__(self):
         self._transport: Optional[Transport] = None
+        self._transport_name: Optional[str] = None
+        self._transport_options: dict = {}
         self._latency = 1
         self._drop_probability = 0.0
         self._seed: Optional[int] = 0
@@ -91,9 +96,44 @@ class SystemBuilder:
 
     # -- system-wide configuration ------------------------------------- #
 
-    def transport(self, transport: Transport) -> "SystemBuilder":
-        """Run over an explicit :class:`~repro.runtime.transport.Transport`."""
-        self._transport = transport
+    def transport(self, transport: Union[str, Transport],
+                  **options) -> "SystemBuilder":
+        """Choose the transport the deployment runs over.
+
+        Pass an explicit :class:`~repro.runtime.transport.Transport`
+        instance, or a name:
+
+        * ``"inmemory"`` — the deterministic in-memory transport (the
+          default); ``options`` are its constructor arguments (``latency``,
+          ``drop_probability``, ``seed``, ``shuffle_seed``, ...);
+        * ``"tcp"`` — the asyncio TCP transport
+          (:class:`~repro.net.tcp.TcpTransport`): every peer gets a gossip
+          node and a real localhost socket, with SWIM failure detection and
+          dynamic churn.  ``options`` are its constructor arguments
+          (``log_path``, ``quiet_period``, ``gossip``, ``swim``, ``seed``,
+          ...).
+
+        Named transports are constructed at ``build()`` time, so one builder
+        chain can be built more than once without sharing sockets.
+        """
+        if isinstance(transport, str):
+            if transport not in TRANSPORTS:
+                raise BuildError(
+                    f"unknown transport {transport!r}; choose from "
+                    f"{TRANSPORTS} (or pass a Transport instance)"
+                )
+            self._transport_name = transport
+            self._transport_options = dict(options)
+            self._transport = None
+        else:
+            if options:
+                raise BuildError(
+                    "transport options are only accepted with a named "
+                    "transport; configure the explicit instance directly"
+                )
+            self._transport = transport
+            self._transport_name = None
+            self._transport_options = {}
         return self
 
     def latency(self, rounds: int) -> "SystemBuilder":
@@ -206,9 +246,7 @@ class SystemBuilder:
                 "configure the transport instance instead"
             )
         transport = self._transport if self._transport is not None else (
-            InMemoryTransport(latency=self._latency,
-                              drop_probability=self._drop_probability,
-                              seed=self._seed)
+            self._make_named_transport()
         )
         runtime = WebdamLogSystem(
             default_trusted=self._default_trusted,
@@ -230,6 +268,26 @@ class SystemBuilder:
             self._populate(handle, spec)
         return built
 
+    def _make_named_transport(self) -> Transport:
+        if self._transport_name == "tcp":
+            if self._transport_knobs_set:
+                raise BuildError(
+                    "latency/drop_probability/seed configure the in-memory "
+                    "transport; tune the TCP transport through "
+                    'transport("tcp", gossip=..., swim=..., seed=...) instead'
+                )
+            # Imported lazily: the net subsystem (asyncio servers, gossip,
+            # SWIM) is only paid for by deployments that ask for it.
+            from repro.net.tcp import TcpTransport
+            return TcpTransport(**self._transport_options)
+        options = {
+            "latency": self._latency,
+            "drop_probability": self._drop_probability,
+            "seed": self._seed,
+        }
+        options.update(self._transport_options)
+        return InMemoryTransport(**options)
+
     def _populate(self, handle: PeerHandle, spec: _PeerSpec) -> None:
         for schema in spec.schemas:
             handle.declare(schema)
@@ -247,7 +305,7 @@ class SystemBuilder:
             handle.declassify(view_relation, grantee)
 
     def _build_processes(self) -> ProcessSystem:
-        if self._transport is not None:
+        if self._transport is not None or self._transport_name is not None:
             raise BuildError("the processes backend manages its own transport")
         if self._scheduler is not None:
             raise BuildError(

@@ -264,7 +264,24 @@ class System:
         return handle
 
     def remove_peer(self, name: str) -> Optional[Peer]:
-        """Remove a peer (undelivered messages to it are dropped)."""
+        """Remove a peer, detaching everything the facade attached to it.
+
+        Beyond dropping the runtime peer and its transport registration
+        (undelivered messages to it are dropped), removal closes the live
+        views hosted at the peer (uninstalling their compiled rules while
+        the engine still exists), cancels the subscriptions scoped to it,
+        and forgets its handle — so a departed peer leaves no observer or
+        view residue that would fire on a name later reused.
+        """
+        for view in tuple(self._views):
+            if view.owner == name:
+                # settle=False: the peer is leaving, driving the deployment
+                # to fixpoint on its behalf is the caller's decision.
+                view.close(settle=False)
+        for subscription in tuple(self._subscriptions):
+            if subscription.peer == name:
+                subscription.cancel()
+                self._drop_subscription(subscription)
         self._handles.pop(name, None)
         return self.runtime.remove_peer(name)
 
@@ -287,17 +304,21 @@ class System:
     # -- execution --------------------------------------------------------- #
 
     def converge(self, max_steps: Optional[int] = None,
-                 extra_rounds: int = 0) -> RunSummary:
+                 extra_rounds: int = 0,
+                 quiet_period: Optional[int] = None) -> RunSummary:
         """Drive the deployment to a fixpoint with its configured scheduler.
 
         This is the primary execution verb: under the default lockstep
         scheduler it is exactly the historical round loop; under the
         reactive or async schedulers only peers with pending work run
         stages.  Pending ``include_existing`` subscription deliveries are
-        flushed before execution resumes.
+        flushed before execution resumes.  On a networked transport the
+        fixpoint requires the transport's ``convergence_quiet_period`` of
+        consecutive quiet cycles (override per call with ``quiet_period``).
         """
         self._flush_subscription_backlogs()
-        return self.runtime.converge(max_steps=max_steps, extra_rounds=extra_rounds)
+        return self.runtime.converge(max_steps=max_steps, extra_rounds=extra_rounds,
+                                     quiet_period=quiet_period)
 
     def step(self) -> RoundReport:
         """Execute one scheduling cycle of the configured scheduler."""
@@ -305,11 +326,13 @@ class System:
         return self.runtime.step()
 
     async def aconverge(self, max_steps: Optional[int] = None,
-                        extra_rounds: int = 0) -> RunSummary:
+                        extra_rounds: int = 0,
+                        quiet_period: Optional[int] = None) -> RunSummary:
         """Asynchronously drive the deployment to a fixpoint (asyncio driver)."""
         self._flush_subscription_backlogs()
         return await self.runtime.aconverge(max_steps=max_steps,
-                                            extra_rounds=extra_rounds)
+                                            extra_rounds=extra_rounds,
+                                            quiet_period=quiet_period)
 
     def run(self, max_rounds: int = 100, extra_rounds: int = 0) -> RunSummary:
         """Alias of :meth:`converge` (historical name and signature)."""
@@ -372,7 +395,9 @@ class System:
                 f"{location!r} (peer= is the location qualifier of the "
                 "relation, not a remote fetch)"
             )
-        return LiveView(self, owner, relation, location=location, viewer=viewer)
+        view = LiveView(self, owner, relation, location=location, viewer=viewer)
+        self._views.append(view)
+        return view
 
     def _install_view(self, handle: PeerHandle, query: QueryLike,
                       viewer: Optional[str], name: Optional[str]) -> LiveView:
@@ -400,7 +425,7 @@ class System:
             pass
 
     def open_views(self) -> Tuple[LiveView, ...]:
-        """The compiled live views currently installed (not yet closed)."""
+        """The live views currently open (compiled and degenerate alike)."""
         return tuple(self._views)
 
     # -- access control ------------------------------------------------------ #
@@ -524,6 +549,37 @@ class System:
     def snapshot(self) -> Dict[str, Dict[str, Tuple[Fact, ...]]]:
         """Per-peer snapshot of every visible relation."""
         return self.runtime.snapshot()
+
+    # -- lifecycle ---------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Tear the deployment down; idempotent.
+
+        Closes every open live view (without settling), cancels every
+        subscription, detaches the facade's stage observer, and — when the
+        transport owns external resources (the TCP transport's sockets and
+        event loop) — closes the transport.  A deployment built on the
+        in-memory transport works without ever calling ``close``; a
+        networked one should use the context-manager form::
+
+            with system().transport("tcp").build() as deployment:
+                ...
+        """
+        for view in tuple(self._views):
+            view.close(settle=False)
+        for subscription in tuple(self._subscriptions):
+            subscription.cancel()
+        self._subscriptions.clear()
+        self.runtime.remove_stage_observer(self._on_stage)
+        transport_close = getattr(self.runtime.transport, "close", None)
+        if callable(transport_close):
+            transport_close()
+
+    def __enter__(self) -> "System":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"System({len(self.runtime)} peers, "

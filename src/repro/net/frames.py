@@ -1,0 +1,233 @@
+"""The frame vocabulary of the gossip/membership protocol.
+
+Everything a :class:`~repro.net.node.GossipNode` puts on the wire is one of
+these frames, each a frozen dataclass with an exact ``to_wire`` /
+:func:`frame_from_wire` round-trip (the same pattern as
+:mod:`repro.runtime.messages`).  Application traffic — the runtime's
+:class:`~repro.runtime.messages.Message` payloads — travels inside
+:class:`EnvelopeFrame`, whose ``message`` field is the message's own wire
+dictionary, so the framing layer never re-encodes facts, rules, derivation
+closures or grants.
+
+Frame kinds (see ``docs/net-protocol.md`` for the full spec):
+
+* ``join`` / ``leave`` — membership announcements;
+* ``ping`` / ``ping-req`` / ``ack`` — SWIM liveness probing (direct and
+  indirect);
+* ``envelope`` — one application message riding push-gossip;
+* ``digest`` / ``pull`` — anti-entropy: offer recent envelope ids, request
+  the ones you are missing.
+
+Membership state changes are *piggybacked*: most frames carry an
+``updates`` list of :class:`MemberUpdate` records, so dissemination of
+joins, suspicions and deaths costs no dedicated messages once the initial
+announcement is out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "MemberUpdate",
+    "JoinFrame",
+    "LeaveFrame",
+    "PingFrame",
+    "PingReqFrame",
+    "AckFrame",
+    "EnvelopeFrame",
+    "DigestFrame",
+    "PullFrame",
+    "Frame",
+    "frame_from_wire",
+]
+
+
+@dataclass(frozen=True)
+class MemberUpdate:
+    """One piggybacked membership assertion: ``peer`` is ``status`` at
+    ``incarnation`` (reachable at ``address`` when known)."""
+
+    peer: str
+    status: str  # "alive", "suspect", "dead", "left"
+    incarnation: int
+    address: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"peer": self.peer, "status": self.status,
+                "incarnation": self.incarnation, "address": self.address}
+
+    @staticmethod
+    def from_wire(encoded: Dict[str, Any]) -> "MemberUpdate":
+        return MemberUpdate(
+            peer=encoded["peer"], status=encoded["status"],
+            incarnation=encoded.get("incarnation", 0),
+            address=encoded.get("address", ""),
+        )
+
+
+def _encode_updates(updates: Tuple[MemberUpdate, ...]) -> list:
+    return [u.to_wire() for u in updates]
+
+
+def _decode_updates(encoded) -> Tuple[MemberUpdate, ...]:
+    return tuple(MemberUpdate.from_wire(u) for u in (encoded or ()))
+
+
+@dataclass(frozen=True)
+class JoinFrame:
+    """A peer announces itself (sent to seed contacts when it starts)."""
+
+    peer: str
+    address: str
+    incarnation: int = 0
+    updates: Tuple[MemberUpdate, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "join", "peer": self.peer, "address": self.address,
+                "incarnation": self.incarnation,
+                "updates": _encode_updates(self.updates)}
+
+
+@dataclass(frozen=True)
+class LeaveFrame:
+    """A peer announces its graceful departure."""
+
+    peer: str
+    incarnation: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "leave", "peer": self.peer,
+                "incarnation": self.incarnation}
+
+
+@dataclass(frozen=True)
+class PingFrame:
+    """Direct liveness probe; ``seq`` correlates the awaited ack."""
+
+    origin: str
+    seq: int
+    updates: Tuple[MemberUpdate, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "ping", "origin": self.origin, "seq": self.seq,
+                "updates": _encode_updates(self.updates)}
+
+
+@dataclass(frozen=True)
+class PingReqFrame:
+    """Indirect probe: ``origin`` asks the receiver to ping ``target``."""
+
+    origin: str
+    target: str
+    seq: int
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "ping-req", "origin": self.origin,
+                "target": self.target, "seq": self.seq}
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Probe answer; ``on_behalf_of`` names the probed peer when the ack
+    travels back through a ping-req intermediary."""
+
+    origin: str
+    seq: int
+    on_behalf_of: str = ""
+    updates: Tuple[MemberUpdate, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "ack", "origin": self.origin, "seq": self.seq,
+                "on_behalf_of": self.on_behalf_of,
+                "updates": _encode_updates(self.updates)}
+
+
+@dataclass(frozen=True)
+class EnvelopeFrame:
+    """One application message riding the gossip mesh.
+
+    ``envelope_id`` dedupes multi-path deliveries, ``hops`` bounds the
+    flood, ``message`` is the runtime message's wire dictionary
+    (:meth:`repro.runtime.messages.Message.to_wire`).
+    """
+
+    envelope_id: str
+    origin: str
+    recipient: str
+    hops: int
+    message: Dict[str, Any] = field(default_factory=dict)
+    updates: Tuple[MemberUpdate, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "envelope", "id": self.envelope_id,
+                "origin": self.origin, "recipient": self.recipient,
+                "hops": self.hops, "message": self.message,
+                "updates": _encode_updates(self.updates)}
+
+
+@dataclass(frozen=True)
+class DigestFrame:
+    """Anti-entropy offer: the envelope ids ``peer`` has seen recently."""
+
+    peer: str
+    ids: Tuple[str, ...] = ()
+    updates: Tuple[MemberUpdate, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "digest", "peer": self.peer, "ids": list(self.ids),
+                "updates": _encode_updates(self.updates)}
+
+
+@dataclass(frozen=True)
+class PullFrame:
+    """Anti-entropy request: send me the envelopes with these ids."""
+
+    peer: str
+    want: Tuple[str, ...] = ()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"type": "pull", "peer": self.peer, "want": list(self.want)}
+
+
+#: Union of every frame kind (typing convenience for the node layer).
+Frame = (JoinFrame, LeaveFrame, PingFrame, PingReqFrame, AckFrame,
+         EnvelopeFrame, DigestFrame, PullFrame)
+
+
+def frame_from_wire(encoded: Dict[str, Any]):
+    """Decode a frame dictionary produced by any frame's ``to_wire``."""
+    kind = encoded.get("type")
+    if kind == "join":
+        return JoinFrame(peer=encoded["peer"], address=encoded["address"],
+                         incarnation=encoded.get("incarnation", 0),
+                         updates=_decode_updates(encoded.get("updates")))
+    if kind == "leave":
+        return LeaveFrame(peer=encoded["peer"],
+                          incarnation=encoded.get("incarnation", 0))
+    if kind == "ping":
+        return PingFrame(origin=encoded["origin"], seq=encoded["seq"],
+                         updates=_decode_updates(encoded.get("updates")))
+    if kind == "ping-req":
+        return PingReqFrame(origin=encoded["origin"], target=encoded["target"],
+                            seq=encoded["seq"])
+    if kind == "ack":
+        return AckFrame(origin=encoded["origin"], seq=encoded["seq"],
+                        on_behalf_of=encoded.get("on_behalf_of", ""),
+                        updates=_decode_updates(encoded.get("updates")))
+    if kind == "envelope":
+        return EnvelopeFrame(envelope_id=encoded["id"],
+                             origin=encoded["origin"],
+                             recipient=encoded["recipient"],
+                             hops=encoded.get("hops", 0),
+                             message=encoded.get("message", {}),
+                             updates=_decode_updates(encoded.get("updates")))
+    if kind == "digest":
+        return DigestFrame(peer=encoded["peer"],
+                           ids=tuple(encoded.get("ids", ())),
+                           updates=_decode_updates(encoded.get("updates")))
+    if kind == "pull":
+        return PullFrame(peer=encoded["peer"],
+                         want=tuple(encoded.get("want", ())))
+    raise ValueError(f"unknown frame type {kind!r}")

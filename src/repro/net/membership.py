@@ -1,0 +1,268 @@
+"""SWIM-style membership: who is in the deployment, and are they alive.
+
+The model follows the SWIM paper's split: a *dissemination* component
+(membership assertions piggybacked on regular traffic, each retransmitted a
+bounded number of times) and a *failure detection* component (periodic
+ping / ping-req probing — driven by :class:`~repro.net.node.GossipNode` —
+whose verdicts feed back in as assertions).  Each member carries an
+**incarnation number**: only the member itself may increment it, which is
+how a live peer refutes a false suspicion (``alive`` at a higher
+incarnation overrides ``suspect`` at a lower one).
+
+The state machine per member::
+
+    alive --(probe timeout)--> suspect --(suspect_timeout)--> dead
+      ^                           |
+      +--(alive @ higher inc)-----+          leave  -> left (graceful)
+
+Everything here is pure state + virtual time: ``now`` is always passed in,
+so the table runs identically under the TCP transport (monotonic clock),
+the simulator (virtual clock) and direct unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.frames import MemberUpdate
+
+#: Member statuses, in increasing "deadness" (used for same-incarnation
+#: precedence: a later status in this order overrides an earlier one).
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+LEFT = "left"
+
+_PRECEDENCE = {ALIVE: 0, SUSPECT: 1, DEAD: 2, LEFT: 2}
+
+
+@dataclass
+class SwimConfig:
+    """Timing and fanout constants of the SWIM protocol.
+
+    The defaults suit localhost TCP and the virtual-clock simulator alike
+    (all values in seconds); see ``docs/net-protocol.md`` for the tuning
+    rationale.
+    """
+
+    #: Period between liveness probes issued by each node.
+    ping_interval: float = 0.2
+    #: How long a direct probe waits for its ack before going indirect.
+    ping_timeout: float = 0.15
+    #: How many intermediaries a ping-req round asks to probe the target.
+    ping_req_fanout: int = 2
+    #: Extra wait for an indirect ack before declaring suspicion.
+    ping_req_timeout: float = 0.3
+    #: How long a suspect may linger before being declared dead.
+    suspect_timeout: float = 1.0
+    #: Maximum membership updates piggybacked on one frame.
+    piggyback_limit: int = 16
+    #: How many times each membership update is piggybacked before retiring.
+    retransmit: int = 6
+
+
+@dataclass
+class Member:
+    """The local view of one peer."""
+
+    name: str
+    address: str
+    status: str
+    incarnation: int
+    changed_at: float
+
+    def is_routable(self) -> bool:
+        """``True`` while the member is a valid gossip/probe target."""
+        return self.status in (ALIVE, SUSPECT) and bool(self.address)
+
+    def as_update(self) -> MemberUpdate:
+        return MemberUpdate(peer=self.name, status=self.status,
+                            incarnation=self.incarnation, address=self.address)
+
+
+class MembershipTable:
+    """One node's membership view plus its dissemination queue."""
+
+    def __init__(self, self_name: str, self_address: str,
+                 config: Optional[SwimConfig] = None, now: float = 0.0):
+        self.self_name = self_name
+        self.config = config or SwimConfig()
+        self.members: Dict[str, Member] = {
+            self_name: Member(self_name, self_address, ALIVE, 0, now),
+        }
+        # [update, remaining retransmissions] — drained by piggyback().
+        self._queue: List[List] = []
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def incarnation(self) -> int:
+        """This node's own incarnation number."""
+        return self.members[self.self_name].incarnation
+
+    @property
+    def self_address(self) -> str:
+        return self.members[self.self_name].address
+
+    def member(self, name: str) -> Optional[Member]:
+        return self.members.get(name)
+
+    def address_of(self, name: str) -> Optional[str]:
+        member = self.members.get(name)
+        return member.address if member is not None and member.address else None
+
+    def routable_peers(self) -> List[str]:
+        """Peers this node may probe or gossip to (alive or suspect), sorted."""
+        return sorted(
+            name for name, member in self.members.items()
+            if name != self.self_name and member.is_routable()
+        )
+
+    def alive_peers(self) -> List[str]:
+        """Peers currently believed alive (excluding self), sorted."""
+        return sorted(
+            name for name, member in self.members.items()
+            if name != self.self_name and member.status == ALIVE
+        )
+
+    def status_of(self, name: str) -> Optional[str]:
+        member = self.members.get(name)
+        return member.status if member is not None else None
+
+    def knows(self, name: str) -> bool:
+        """``True`` when ``name`` appears in the table with a routable state."""
+        member = self.members.get(name)
+        return member is not None and member.is_routable()
+
+    # ------------------------------------------------------------------ #
+    # assertions (local verdicts and piggybacked remote updates)
+    # ------------------------------------------------------------------ #
+
+    def apply(self, update: MemberUpdate, now: float) -> Optional[str]:
+        """Merge one membership assertion; returns the transition or ``None``.
+
+        The return value is the *new status* when the assertion changed this
+        table (``"alive"``, ``"suspect"``, ``"dead"``, ``"left"``,
+        ``"refuted"`` for a self-suspicion that was refuted), ``None`` when
+        it was stale or redundant.  Accepted changes are queued for further
+        piggybacked dissemination.
+        """
+        if update.peer == self.self_name:
+            return self._apply_about_self(update)
+        current = self.members.get(update.peer)
+        if current is None:
+            if update.status in (DEAD, LEFT):
+                # Record tombstones for unknown peers too: a stale "alive"
+                # arriving later must not resurrect them.
+                self.members[update.peer] = Member(
+                    update.peer, update.address, update.status,
+                    update.incarnation, now)
+                self._enqueue(update)
+                return update.status
+            self.members[update.peer] = Member(
+                update.peer, update.address, update.status,
+                update.incarnation, now)
+            self._enqueue(update)
+            return update.status
+        if not self._supersedes(update, current):
+            # Stale — but an address we lack is still worth learning.
+            if update.address and not current.address:
+                current.address = update.address
+            return None
+        current.status = update.status
+        current.incarnation = update.incarnation
+        current.changed_at = now
+        if update.address:
+            current.address = update.address
+        self._enqueue(current.as_update())
+        return update.status
+
+    def _apply_about_self(self, update: MemberUpdate) -> Optional[str]:
+        """Assertions about *this* node: refute suspicion/death by
+        out-incarnating it (only the member itself may bump its number)."""
+        me = self.members[self.self_name]
+        if update.status in (SUSPECT, DEAD) and update.incarnation >= me.incarnation:
+            me.incarnation = update.incarnation + 1
+            self._enqueue(me.as_update())
+            return "refuted"
+        return None
+
+    @staticmethod
+    def _supersedes(update: MemberUpdate, current: Member) -> bool:
+        if update.incarnation > current.incarnation:
+            # A higher incarnation always wins — it is newer information
+            # from the member itself (alive refutation or rejoin).
+            return True
+        if update.incarnation < current.incarnation:
+            return False
+        return _PRECEDENCE[update.status] > _PRECEDENCE[current.status]
+
+    def suspect(self, name: str, now: float) -> Optional[str]:
+        """Local failure-detector verdict: ``name`` missed its probes."""
+        member = self.members.get(name)
+        if member is None or member.status != ALIVE:
+            return None
+        return self.apply(MemberUpdate(name, SUSPECT, member.incarnation,
+                                       member.address), now)
+
+    def declare_dead(self, name: str, now: float) -> Optional[str]:
+        """Local verdict: ``name``'s suspicion timed out."""
+        member = self.members.get(name)
+        if member is None or member.status in (DEAD, LEFT):
+            return None
+        return self.apply(MemberUpdate(name, DEAD, member.incarnation,
+                                       member.address), now)
+
+    def expire_suspects(self, now: float) -> List[str]:
+        """Promote suspects older than ``suspect_timeout`` to dead."""
+        expired = [
+            name for name, member in self.members.items()
+            if member.status == SUSPECT
+            and now - member.changed_at >= self.config.suspect_timeout
+        ]
+        for name in expired:
+            self.declare_dead(name, now)
+        return expired
+
+    def leave(self, now: float) -> MemberUpdate:
+        """Mark this node as gracefully departed; returns the leave update."""
+        me = self.members[self.self_name]
+        me.incarnation += 1
+        me.status = LEFT
+        me.changed_at = now
+        update = me.as_update()
+        self._enqueue(update)
+        return update
+
+    # ------------------------------------------------------------------ #
+    # dissemination
+    # ------------------------------------------------------------------ #
+
+    def _enqueue(self, update: MemberUpdate) -> None:
+        # Replace any queued entry about the same peer: the new assertion
+        # supersedes it, and stale retransmissions would only be rejected.
+        self._queue = [entry for entry in self._queue
+                       if entry[0].peer != update.peer]
+        self._queue.append([update, self.config.retransmit])
+
+    def piggyback(self, limit: Optional[int] = None) -> Tuple[MemberUpdate, ...]:
+        """Updates to attach to an outgoing frame (decrements their budget)."""
+        limit = self.config.piggyback_limit if limit is None else limit
+        selected: List[MemberUpdate] = []
+        for entry in self._queue[:limit]:
+            selected.append(entry[0])
+            entry[1] -= 1
+        self._queue = [entry for entry in self._queue if entry[1] > 0]
+        return tuple(selected)
+
+    def full_view(self) -> Tuple[MemberUpdate, ...]:
+        """Every member as an update (the welcome payload for joiners)."""
+        return tuple(member.as_update()
+                     for _, member in sorted(self.members.items()))
+
+    def pending_updates(self) -> int:
+        """Number of updates still awaiting dissemination."""
+        return len(self._queue)

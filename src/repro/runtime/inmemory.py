@@ -62,18 +62,41 @@ class InMemoryTransport:
         Probability that a message is silently dropped, for failure-injection
         tests.  ``0.0`` by default.
     seed:
-        Seed of the random generator used for drops.
+        Seed of the random generator used for drops (and duplicates/jitter).
+    duplicate_probability:
+        Probability that a queued message is delivered *twice* (an extra
+        copy is queued), modelling at-least-once networks.  ``0.0`` by
+        default.
+    latency_jitter:
+        Maximum extra delivery latency, in rounds: each queued message waits
+        ``latency + uniform(0..latency_jitter)`` rounds, so messages can
+        overtake each other.  ``0`` by default.
+    shuffle_seed:
+        When not ``None``, each :meth:`receive` batch is returned in a
+        seeded-random order instead of send order — the adversarial
+        reordering knob of the confluence tests.
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
-                 seed: Optional[int] = 0):
+                 seed: Optional[int] = 0,
+                 duplicate_probability: float = 0.0,
+                 latency_jitter: int = 0,
+                 shuffle_seed: Optional[int] = None):
         if latency < 0:
             raise ValueError("latency must be >= 0")
         if not 0.0 <= drop_probability <= 1.0:
             raise ValueError("drop_probability must be within [0, 1]")
+        if not 0.0 <= duplicate_probability <= 1.0:
+            raise ValueError("duplicate_probability must be within [0, 1]")
+        if latency_jitter < 0:
+            raise ValueError("latency_jitter must be >= 0")
         self.latency = latency
         self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self.latency_jitter = latency_jitter
         self._random = random.Random(seed)
+        self._shuffle = (random.Random(shuffle_seed)
+                         if shuffle_seed is not None else None)
         self._round = 0
         self._registered: Dict[str, str] = {}
         # recipient -> list of (deliver_at_round, message)
@@ -134,8 +157,15 @@ class InMemoryTransport:
         if self.drop_probability and self._random.random() < self.drop_probability:
             self.stats.messages_dropped += 1
             return False
-        deliver_at = self._round + self.latency
-        self._in_flight[message.recipient].append((deliver_at, message))
+        copies = 1
+        if (self.duplicate_probability
+                and self._random.random() < self.duplicate_probability):
+            copies = 2
+        for _ in range(copies):
+            deliver_at = self._round + self.latency
+            if self.latency_jitter:
+                deliver_at += self._random.randint(0, self.latency_jitter)
+            self._in_flight[message.recipient].append((deliver_at, message))
         return True
 
     def send_all(self, messages: Iterable[Message]) -> int:
@@ -152,6 +182,8 @@ class InMemoryTransport:
         deliverable = [m for deliver_at, m in pending if deliver_at <= self._round]
         remaining = [(deliver_at, m) for deliver_at, m in pending if deliver_at > self._round]
         self._in_flight[peer] = remaining
+        if self._shuffle is not None:
+            self._shuffle.shuffle(deliverable)
         self.stats.messages_delivered += len(deliverable)
         return deliverable
 

@@ -160,8 +160,26 @@ class Scheduler(Protocol):
 
     def converge(self, system: "WebdamLogSystem",
                  max_steps: Optional[int] = None,
-                 extra_rounds: int = 0) -> RunSummary:
+                 extra_rounds: int = 0,
+                 quiet_period: Optional[int] = None) -> RunSummary:
         """Cycle until the system reaches a fixpoint (or ``max_steps`` is hit)."""
+
+
+def resolve_quiet_period(system: "WebdamLogSystem",
+                         quiet_period: Optional[int]) -> int:
+    """How many *consecutive* settled cycles convergence requires.
+
+    ``1`` (the in-memory default) preserves the historical behaviour: one
+    settled cycle proves the fixpoint, because the in-memory transport has a
+    perfect in-flight oracle.  Networked transports have a blind spot —
+    frames inside socket buffers are invisible to :func:`settled` — so they
+    advertise a larger ``convergence_quiet_period`` and the drivers demand
+    that many quiet cycles in a row before declaring convergence.  An
+    explicit ``quiet_period`` argument overrides the transport's default.
+    """
+    if quiet_period is not None:
+        return max(1, int(quiet_period))
+    return max(1, int(getattr(system.transport, "convergence_quiet_period", 1)))
 
 
 def settled(system: "WebdamLogSystem", report: RoundReport) -> bool:
@@ -178,7 +196,8 @@ def settled(system: "WebdamLogSystem", report: RoundReport) -> bool:
 
 
 def drive(system: "WebdamLogSystem",
-          max_steps: Optional[int] = None) -> "Iterator[RoundReport]":
+          max_steps: Optional[int] = None,
+          quiet_period: Optional[int] = None) -> "Iterator[RoundReport]":
     """Step the system's *configured* scheduler until it settles, yielding
     each cycle's report.
 
@@ -186,26 +205,36 @@ def drive(system: "WebdamLogSystem",
     caller (e.g. the streaming query machinery in :mod:`repro.api`) can react
     between cycles — observers have already run for every stage of the
     yielded report.  Works under any scheduler, including the asyncio driver
-    (whose ``step`` wraps one cycle in ``asyncio.run``).
+    (whose ``step`` wraps one cycle in ``asyncio.run``).  Like the converge
+    drivers it honours the transport's bounded quiet period (see
+    :func:`resolve_quiet_period`).
     """
     limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+    required_quiet = resolve_quiet_period(system, quiet_period)
+    quiet = 0
     for _ in range(limit):
         report = system.step()
         yield report
-        if settled(system, report):
+        quiet = quiet + 1 if settled(system, report) else 0
+        if quiet >= required_quiet:
             break
 
 
 def _drive_to_fixpoint(driver: "Scheduler", system: "WebdamLogSystem",
                        max_steps: Optional[int],
-                       extra_rounds: int) -> RunSummary:
-    """The shared ``converge`` loop: step until :func:`settled` (or the limit)."""
+                       extra_rounds: int,
+                       quiet_period: Optional[int] = None) -> RunSummary:
+    """The shared ``converge`` loop: step until :func:`settled` held for the
+    required number of consecutive cycles (or the step limit is hit)."""
     limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+    required_quiet = resolve_quiet_period(system, quiet_period)
     summary = RunSummary(scheduler=driver.name)
+    quiet = 0
     for _ in range(limit):
         report = driver.step(system)
         summary.rounds.append(report)
-        if settled(system, report):
+        quiet = quiet + 1 if settled(system, report) else 0
+        if quiet >= required_quiet:
             summary.converged = True
             break
     for _ in range(extra_rounds):
@@ -249,8 +278,10 @@ class LockstepScheduler:
 
     def converge(self, system: "WebdamLogSystem",
                  max_steps: Optional[int] = None,
-                 extra_rounds: int = 0) -> RunSummary:
-        return _drive_to_fixpoint(self, system, max_steps, extra_rounds)
+                 extra_rounds: int = 0,
+                 quiet_period: Optional[int] = None) -> RunSummary:
+        return _drive_to_fixpoint(self, system, max_steps, extra_rounds,
+                                  quiet_period)
 
 
 class ReactiveScheduler:
@@ -274,8 +305,10 @@ class ReactiveScheduler:
 
     def converge(self, system: "WebdamLogSystem",
                  max_steps: Optional[int] = None,
-                 extra_rounds: int = 0) -> RunSummary:
-        return _drive_to_fixpoint(self, system, max_steps, extra_rounds)
+                 extra_rounds: int = 0,
+                 quiet_period: Optional[int] = None) -> RunSummary:
+        return _drive_to_fixpoint(self, system, max_steps, extra_rounds,
+                                  quiet_period)
 
 
 class AsyncScheduler:
@@ -301,9 +334,11 @@ class AsyncScheduler:
 
     def converge(self, system: "WebdamLogSystem",
                  max_steps: Optional[int] = None,
-                 extra_rounds: int = 0) -> RunSummary:
+                 extra_rounds: int = 0,
+                 quiet_period: Optional[int] = None) -> RunSummary:
         return asyncio.run(self.aconverge(system, max_steps=max_steps,
-                                          extra_rounds=extra_rounds))
+                                          extra_rounds=extra_rounds,
+                                          quiet_period=quiet_period))
 
     async def astep(self, system: "WebdamLogSystem") -> RoundReport:
         """Run one asynchronous cycle (one mailbox round-trip per eligible peer)."""
@@ -318,9 +353,11 @@ class AsyncScheduler:
 
     async def aconverge(self, system: "WebdamLogSystem",
                         max_steps: Optional[int] = None,
-                        extra_rounds: int = 0) -> RunSummary:
+                        extra_rounds: int = 0,
+                        quiet_period: Optional[int] = None) -> RunSummary:
         """Cycle until fixpoint, keeping the per-peer workers alive throughout."""
         limit = DEFAULT_MAX_STEPS if max_steps is None else max_steps
+        required_quiet = resolve_quiet_period(system, quiet_period)
         summary = RunSummary(scheduler=self.name)
         mailboxes: Dict[str, asyncio.Queue] = {
             name: asyncio.Queue() for name in sorted(system.peers)
@@ -328,11 +365,13 @@ class AsyncScheduler:
         errors: List[BaseException] = []
         workers = [asyncio.create_task(self._worker(system, name, box, errors))
                    for name, box in mailboxes.items()]
+        quiet = 0
         try:
             for _ in range(limit):
                 report = await self._cycle(system, mailboxes, errors)
                 summary.rounds.append(report)
-                if settled(system, report):
+                quiet = quiet + 1 if settled(system, report) else 0
+                if quiet >= required_quiet:
                     summary.converged = True
                     break
             for _ in range(extra_rounds):

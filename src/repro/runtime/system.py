@@ -292,36 +292,46 @@ class WebdamLogSystem:
     # ------------------------------------------------------------------ #
 
     def converge(self, max_steps: Optional[int] = None, extra_rounds: int = 0,
-                 scheduler: Union[None, str, Scheduler] = None) -> RunSummary:
+                 scheduler: Union[None, str, Scheduler] = None,
+                 quiet_period: Optional[int] = None) -> RunSummary:
         """Drive the system to a fixpoint with the configured scheduler.
 
         Convergence means: a cycle in which every executed stage was
         quiescent, no message remains in flight, and no engine holds pending
-        input.  ``max_steps`` bounds the scheduling cycles (default 100);
+        input — sustained for the transport's quiet period.  In-memory
+        transports settle in one quiet cycle; networked transports (whose
+        in-flight frames are invisible) advertise a
+        ``convergence_quiet_period`` and convergence requires that many
+        consecutive quiet cycles (override per call with ``quiet_period``).
+        ``max_steps`` bounds the scheduling cycles (default 100);
         ``extra_rounds`` additional cycles are run afterwards (useful when a
         test wants to check stability).  Pass ``scheduler`` to override the
         configured driver for this call only.
         """
         driver = self.scheduler if scheduler is None else resolve_scheduler(scheduler)
-        return driver.converge(self, max_steps=max_steps, extra_rounds=extra_rounds)
+        return driver.converge(self, max_steps=max_steps, extra_rounds=extra_rounds,
+                               quiet_period=quiet_period)
 
     def step(self) -> RoundReport:
         """Execute one scheduling cycle of the configured scheduler."""
         return self.scheduler.step(self)
 
     async def aconverge(self, max_steps: Optional[int] = None,
-                        extra_rounds: int = 0) -> RunSummary:
+                        extra_rounds: int = 0,
+                        quiet_period: Optional[int] = None) -> RunSummary:
         """Asynchronously drive the system to a fixpoint.
 
         Uses the configured scheduler when it is an
         :class:`~repro.runtime.scheduler.AsyncScheduler`, otherwise a fresh
         one — so ``await system.aconverge()`` works regardless of how the
-        system was built.
+        system was built.  ``quiet_period`` has the same bounded-quiet-period
+        semantics as :meth:`converge`.
         """
         driver = (self.scheduler if isinstance(self.scheduler, AsyncScheduler)
                   else AsyncScheduler())
         return await driver.aconverge(self, max_steps=max_steps,
-                                      extra_rounds=extra_rounds)
+                                      extra_rounds=extra_rounds,
+                                      quiet_period=quiet_period)
 
     # ------------------------------------------------------------------ #
     # deprecated round-based shims (pre-scheduler API)

@@ -103,12 +103,25 @@ class RecordingTransport:
     ``RecordingTransport(InMemoryTransport())`` reaches exactly the same
     fixpoint as one driven through the bare transport.  The ``events`` list
     holds :class:`TransportEvent` records in the order they happened.
+
+    ``log_path`` additionally streams every event to a JSONL file in the
+    shared network-event format of :class:`repro.net.events.NetEventLog`
+    (one object per line: ``ts`` is the round number, ``node`` the peer,
+    ``action`` the event kind) — the same sink the TCP transport and the
+    gossip simulator write, so one tool chain reads all three.
     """
 
-    def __init__(self, inner: Transport):
+    def __init__(self, inner: Transport, log_path: Optional[str] = None):
         self.inner = inner
         self.events: List[TransportEvent] = []
         self._round = 0
+        self._event_log = None
+        if log_path is not None:
+            # Imported lazily: repro.runtime must stay importable without
+            # repro.net (and net imports runtime, so a module-level import
+            # here would cycle during package initialisation).
+            from repro.net.events import NetEventLog
+            self._event_log = NetEventLog(path=log_path, keep_in_memory=False)
 
     # -- registration -------------------------------------------------- #
 
@@ -181,7 +194,22 @@ class RecordingTransport:
         self.events = []
         return events
 
+    def close(self) -> None:
+        """Close the JSONL sink (and the inner transport, when it has one)."""
+        if self._event_log is not None:
+            self._event_log.close()
+        inner_close = getattr(self.inner, "close", None)
+        if callable(inner_close):
+            inner_close()
+
     def _log(self, action: str, peer: str, message: Optional[Message] = None) -> None:
         self.events.append(TransportEvent(
             round_number=self._round, action=action, peer=peer, message=message,
         ))
+        if self._event_log is not None:
+            fields = {}
+            if message is not None:
+                fields = {"message_id": message.message_id,
+                          "kind": message.kind(), "sender": message.sender,
+                          "recipient": message.recipient}
+            self._event_log.emit(action, peer, float(self._round), **fields)

@@ -1,0 +1,136 @@
+"""Peer churn leaves no residue: views, subscriptions, routes, handles.
+
+Regression suite for the join → leave cycle.  A removed peer used to
+leave closed-over observers and live views behind; re-adding a peer
+under the same name would then fire stale callbacks.  ``remove_peer``
+now detaches everything the facade attached.
+"""
+
+import pytest
+
+from repro.api import system
+
+JULES = '''
+collection extensional persistent pictures@jules(pic);
+fact pictures@jules("p1");
+fact pictures@jules("p2");
+'''
+
+EMILIEN = '''
+collection extensional persistent album@emilien(pic);
+'''
+
+PATRICK = '''
+collection extensional persistent mirror@patrick(pic);
+'''
+
+
+def build_trio():
+    deployment = (system()
+                  .peer("jules").program(JULES)
+                  .peer("emilien").program(EMILIEN)
+                  .peer("patrick").program(PATRICK)
+                  .build())
+    deployment.peer("jules").add_rule(
+        'rule album@emilien($p) :- pictures@jules($p);')
+    deployment.peer("jules").add_rule(
+        'rule mirror@patrick($p) :- pictures@jules($p);')
+    deployment.converge()
+    return deployment
+
+
+def test_remove_peer_unregisters_transport_route():
+    deployment = build_trio()
+    assert deployment.transport.is_registered("patrick")
+    deployment.remove_peer("patrick")
+    assert not deployment.transport.is_registered("patrick")
+    assert "patrick" not in deployment
+    assert deployment.peer_names() == ("emilien", "jules")
+
+
+def test_remove_peer_closes_its_live_views():
+    deployment = build_trio()
+    view = deployment.query("patrick", "mirror")
+    assert view.rows()
+    deployment.remove_peer("patrick")
+    assert view.closed
+    assert view not in deployment.open_views()
+
+
+def test_remove_peer_cancels_its_subscriptions():
+    deployment = build_trio()
+    seen = []
+    deployment.subscribe("mirror", seen.append, peer="patrick")
+    deployment.remove_peer("patrick")
+    # new upstream traffic must not fire the dead peer's callback
+    deployment.peer("jules").insert('pictures@jules("p3")')
+    deployment.converge()
+    assert seen == []
+
+
+def test_system_keeps_converging_after_leave():
+    deployment = build_trio()
+    deployment.remove_peer("patrick")
+    deployment.peer("jules").insert('pictures@jules("p3")')
+    summary = deployment.converge()
+    assert summary.converged
+    album = {f.values[0]
+             for f in deployment.query("emilien", "album").facts()}
+    assert album == {"p1", "p2", "p3"}
+
+
+def test_reused_name_starts_clean():
+    deployment = build_trio()
+    events = []
+    deployment.subscribe("mirror", events.append, peer="patrick")
+    deployment.remove_peer("patrick")
+    # a brand-new peer reuses the name: the old subscription must stay dead
+    deployment.add_peer("patrick", program=PATRICK)
+    deployment.peer("jules").insert('pictures@jules("p9")')
+    deployment.converge()
+    assert events == []
+    mirror = {f.values[0]
+              for f in deployment.query("patrick", "mirror").facts()}
+    assert "p9" in mirror
+
+
+def test_three_peer_join_then_leave_round_trip():
+    """The full churn cycle: start at two, join a third, use it, leave."""
+    deployment = (system()
+                  .peer("jules").program(JULES)
+                  .peer("emilien").program(EMILIEN)
+                  .build())
+    deployment.peer("jules").add_rule(
+        'rule album@emilien($p) :- pictures@jules($p);')
+    deployment.converge()
+
+    deployment.add_peer("patrick", program=PATRICK)
+    deployment.peer("jules").add_rule(
+        'rule mirror@patrick($p) :- pictures@jules($p);')
+    deployment.converge()
+    mirror = deployment.query("patrick", "mirror")
+    assert {f.values[0] for f in mirror.facts()} == {"p1", "p2"}
+
+    deployment.remove_peer("patrick")
+    deployment.peer("jules").insert('pictures@jules("p3")')
+    assert deployment.converge().converged
+    assert "patrick" not in deployment
+    snapshot = deployment.snapshot()
+    assert set(snapshot) == {"jules", "emilien"}
+
+
+def test_close_releases_views_subscriptions_and_transport():
+    deployment = build_trio()
+    view = deployment.query("jules", "pictures")
+    seen = []
+    subscription = deployment.subscribe("album", seen.append, peer="emilien")
+    deployment.close()
+    assert view.closed
+    assert not subscription.active
+    assert deployment.open_views() == ()
+
+
+def test_context_manager_closes_on_exit():
+    with build_trio() as deployment:
+        view = deployment.query("jules", "pictures")
+    assert view.closed

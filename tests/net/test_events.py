@@ -1,0 +1,57 @@
+"""The structured JSONL network event log."""
+
+import json
+
+from repro.net.events import NetEventLog, read_events
+
+
+def test_emit_records_fields_in_memory():
+    log = NetEventLog()
+    log.emit("send", "alice", 1.25, envelope="alice#1", recipient="bob")
+    log.emit("deliver", "bob", 1.50, envelope="alice#1")
+    assert len(log) == 2
+    event = log.events(action="send")[0]
+    assert event["node"] == "alice"
+    assert event["ts"] == 1.25
+    assert event["envelope"] == "alice#1"
+    assert event["recipient"] == "bob"
+
+
+def test_filtering_by_action_and_node():
+    log = NetEventLog()
+    log.emit("send", "a", 0.0)
+    log.emit("send", "b", 0.1)
+    log.emit("drop", "a", 0.2)
+    assert len(log.events(action="send")) == 2
+    assert len(log.events(node="a")) == 2
+    assert len(log.events(action="send", node="a")) == 1
+
+
+def test_jsonl_file_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with NetEventLog(path=str(path)) as log:
+        log.emit("join", "alice", 0.0, address="127.0.0.1:1")
+        log.emit("suspect", "alice", 2.0, peer="bob")
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["action"] == "join"
+    replayed = read_events(str(path))
+    assert [e["action"] for e in replayed] == ["join", "suspect"]
+    assert replayed[1]["peer"] == "bob"
+
+
+def test_file_only_mode_keeps_no_memory(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = NetEventLog(path=str(path), keep_in_memory=False)
+    log.emit("send", "a", 0.0)
+    assert len(log) == 0
+    log.close()
+    assert len(read_events(str(path))) == 1
+
+
+def test_clear_returns_and_resets():
+    log = NetEventLog()
+    log.emit("send", "a", 0.0)
+    cleared = log.clear()
+    assert len(cleared) == 1
+    assert len(log) == 0

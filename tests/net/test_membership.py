@@ -1,0 +1,113 @@
+"""SWIM membership: incarnation precedence, suspicion, refutation, churn."""
+
+from repro.net.frames import MemberUpdate
+from repro.net.membership import (
+    ALIVE,
+    DEAD,
+    LEFT,
+    SUSPECT,
+    MembershipTable,
+    SwimConfig,
+)
+
+
+def table(now=0.0, **config):
+    return MembershipTable("self", "addr:self", SwimConfig(**config), now=now)
+
+
+def test_new_member_is_recorded_and_disseminated():
+    t = table()
+    assert t.apply(MemberUpdate("bob", ALIVE, 0, "addr:bob"), 0.0) == ALIVE
+    assert t.routable_peers() == ["bob"]
+    assert t.address_of("bob") == "addr:bob"
+    assert any(u.peer == "bob" for u in t.piggyback())
+
+
+def test_higher_incarnation_always_wins():
+    t = table()
+    t.apply(MemberUpdate("bob", SUSPECT, 2, "addr:bob"), 0.0)
+    # alive at a *higher* incarnation refutes the suspicion...
+    assert t.apply(MemberUpdate("bob", ALIVE, 3), 1.0) == ALIVE
+    # ...but alive at the same incarnation does not resurrect it.
+    assert t.apply(MemberUpdate("bob", ALIVE, 3), 2.0) is None
+    assert t.status_of("bob") == ALIVE
+
+
+def test_same_incarnation_precedence_orders_statuses():
+    t = table()
+    t.apply(MemberUpdate("bob", ALIVE, 1, "addr:bob"), 0.0)
+    assert t.apply(MemberUpdate("bob", SUSPECT, 1), 1.0) == SUSPECT
+    assert t.apply(MemberUpdate("bob", DEAD, 1), 2.0) == DEAD
+    # stale alive/suspect at the same incarnation cannot undo dead
+    assert t.apply(MemberUpdate("bob", ALIVE, 1), 3.0) is None
+    assert t.apply(MemberUpdate("bob", SUSPECT, 1), 3.0) is None
+
+
+def test_self_suspicion_is_refuted_by_incarnation_bump():
+    t = table()
+    assert t.incarnation == 0
+    assert t.apply(MemberUpdate("self", SUSPECT, 0), 1.0) == "refuted"
+    assert t.incarnation == 1
+    # the refutation is queued for dissemination
+    queued = t.piggyback()
+    assert any(u.peer == "self" and u.status == ALIVE and u.incarnation == 1
+               for u in queued)
+
+
+def test_suspect_expires_to_dead_after_timeout():
+    t = table(suspect_timeout=1.0)
+    t.apply(MemberUpdate("bob", ALIVE, 0, "addr:bob"), 0.0)
+    assert t.suspect("bob", 5.0) == SUSPECT
+    assert t.expire_suspects(5.5) == []
+    assert t.expire_suspects(6.0) == ["bob"]
+    assert t.status_of("bob") == DEAD
+    assert t.routable_peers() == []
+
+
+def test_unknown_dead_member_leaves_a_tombstone():
+    t = table()
+    assert t.apply(MemberUpdate("ghost", DEAD, 4), 0.0) == DEAD
+    # a stale alive arriving later must not resurrect the tombstone
+    assert t.apply(MemberUpdate("ghost", ALIVE, 4), 1.0) is None
+    assert t.status_of("ghost") == DEAD
+
+
+def test_leave_bumps_incarnation_and_marks_left():
+    t = table()
+    update = t.leave(3.0)
+    assert update.status == LEFT
+    assert update.incarnation == 1
+    assert t.members["self"].status == LEFT
+
+
+def test_piggyback_budget_retires_updates():
+    t = table(retransmit=2, piggyback_limit=8)
+    t.apply(MemberUpdate("bob", ALIVE, 0, "addr:bob"), 0.0)
+    assert len(t.piggyback()) == 1
+    assert len(t.piggyback()) == 1
+    assert t.piggyback() == ()  # budget of 2 exhausted
+    assert t.pending_updates() == 0
+
+
+def test_newer_assertion_replaces_queued_entry():
+    t = table(retransmit=6)
+    t.apply(MemberUpdate("bob", ALIVE, 0, "addr:bob"), 0.0)
+    t.apply(MemberUpdate("bob", SUSPECT, 0), 1.0)
+    queued = [u for u in t.piggyback() if u.peer == "bob"]
+    assert queued == [MemberUpdate("bob", SUSPECT, 0, "addr:bob")]
+
+
+def test_stale_update_still_teaches_missing_address():
+    t = table()
+    t.apply(MemberUpdate("bob", SUSPECT, 5), 0.0)  # no address known
+    assert t.address_of("bob") is None
+    assert t.apply(MemberUpdate("bob", ALIVE, 2, "addr:bob"), 1.0) is None
+    assert t.address_of("bob") == "addr:bob"
+
+
+def test_full_view_covers_every_member():
+    t = table()
+    t.apply(MemberUpdate("bob", ALIVE, 0, "addr:bob"), 0.0)
+    t.apply(MemberUpdate("carol", DEAD, 1), 0.0)
+    view = {u.peer: u.status for u in t.full_view()}
+    assert view == {"self": ALIVE, "bob": ALIVE, "carol": DEAD}

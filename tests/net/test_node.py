@@ -1,0 +1,191 @@
+"""Sans-io GossipNode protocol logic: joins, probes, envelopes, anti-entropy."""
+
+from repro.core.facts import Fact
+from repro.net.frames import (
+    DigestFrame,
+    EnvelopeFrame,
+    MemberUpdate,
+    PingFrame,
+    PullFrame,
+)
+from repro.net.gossip import GossipConfig
+from repro.net.membership import ALIVE, DEAD, LEFT, SUSPECT, SwimConfig
+from repro.net.node import GossipNode
+from repro.runtime.messages import FactMessage
+
+
+def node(name, seeds=(), **kwargs):
+    return GossipNode(name, f"addr:{name}", seeds=seeds, rng_seed=1, **kwargs)
+
+
+def deliver(sender_outputs, nodes, now):
+    """Deliver every output frame to its destination node; returns follow-ups."""
+    follow_ups = []
+    for dest, _address, wire in sender_outputs:
+        if dest in nodes:
+            follow_ups.extend(nodes[dest].handle_frame(wire, now))
+    return follow_ups
+
+
+def fact_message(sender, recipient):
+    return FactMessage(sender=sender, recipient=recipient,
+                       inserted=frozenset({Fact("r", recipient, ("v",))}))
+
+
+def test_start_sends_join_to_seeds():
+    a = node("a", seeds=[("b", "addr:b"), ("c", "addr:c")])
+    outputs = a.start(0.0)
+    assert {dest for dest, _, _ in outputs} == {"b", "c"}
+    assert all(wire["type"] == "join" for _, _, wire in outputs)
+
+
+def test_join_is_welcomed_with_full_view_digest():
+    b = node("b")
+    b.membership.apply(MemberUpdate("x", ALIVE, 0, "addr:x"), 0.0)
+    a = node("a", seeds=[("b", "addr:b")])
+    join_outputs = a.start(0.0)
+    welcome = deliver(join_outputs, {"b": b}, 0.1)
+    assert b.membership.status_of("a") == ALIVE
+    (dest, _addr, wire), = welcome
+    assert dest == "a" and wire["type"] == "digest"
+    # the welcome carries b's whole membership view, so a learns about x
+    a.handle_frame(wire, 0.2)
+    assert a.membership.knows("x")
+
+
+def test_ping_is_acked_and_clears_probe():
+    a = node("a", seeds=[("b", "addr:b")])
+    b = node("b", seeds=[("a", "addr:a")])
+    outputs = a.tick(1.0)  # the first probe interval has elapsed
+    pings = [o for o in outputs if o[2]["type"] == "ping"]
+    assert len(pings) == 1 and pings[0][0] == "b"
+    acks = deliver(pings, {"b": b}, 1.01)
+    assert acks[0][0] == "a" and acks[0][2]["type"] == "ack"
+    deliver(acks, {"a": a}, 1.02)
+    assert a._probes == {}
+    assert a.membership.status_of("b") == ALIVE
+
+
+def test_unanswered_probe_escalates_to_ping_req_then_suspect():
+    swim = SwimConfig(ping_interval=0.2, ping_timeout=0.1,
+                      ping_req_timeout=0.2, ping_req_fanout=1)
+    a = node("a", seeds=[("b", "addr:b"), ("c", "addr:c")], swim=swim)
+    outputs = a.tick(1.0)
+    target = [o for o in outputs if o[2]["type"] == "ping"][0][0]
+    # no ack arrives: the direct timeout triggers an indirect probe
+    outputs = a.tick(1.15)
+    ping_reqs = [o for o in outputs if o[2]["type"] == "ping-req"]
+    assert len(ping_reqs) == 1
+    assert ping_reqs[0][2]["target"] == target
+    assert ping_reqs[0][0] != target
+    # still no ack: the indirect timeout declares suspicion
+    a.tick(1.40)
+    assert a.membership.status_of(target) == SUSPECT
+
+
+def test_ping_req_relays_ack_on_behalf_of_target():
+    swim = SwimConfig(ping_interval=0.2, ping_timeout=0.1,
+                      ping_req_timeout=0.5, ping_req_fanout=1)
+    a = node("a", seeds=[("b", "addr:b"), ("c", "addr:c")], swim=swim)
+    b = node("b", seeds=[("a", "addr:a"), ("c", "addr:c")], swim=swim)
+    c = node("c", seeds=[("a", "addr:a"), ("b", "addr:b")], swim=swim)
+    nodes = {"a": a, "b": b, "c": c}
+    outputs = a.tick(1.0)
+    target = [o for o in outputs if o[2]["type"] == "ping"][0][0]
+    helper = "b" if target == "c" else "c"
+    # drop the direct ping; escalate
+    ping_reqs = a.tick(1.15)
+    relayed_pings = deliver(ping_reqs, nodes, 1.16)  # helper pings target
+    assert relayed_pings[0][0] == target
+    relayed_acks = deliver(relayed_pings, nodes, 1.17)  # target acks helper
+    final = deliver(relayed_acks, nodes, 1.18)  # helper forwards ack to a
+    deliver(final, nodes, 1.19)
+    assert a._probes == {}
+    assert a.membership.status_of(target) == ALIVE
+
+
+def test_suspect_expires_to_dead_via_tick():
+    swim = SwimConfig(suspect_timeout=1.0)
+    a = node("a", seeds=[("b", "addr:b")], swim=swim)
+    a.membership.suspect("b", 0.0)
+    a.tick(0.5)
+    assert a.membership.status_of("b") == SUSPECT
+    a.tick(1.5)
+    assert a.membership.status_of("b") == DEAD
+
+
+def test_submit_to_self_delivers_locally():
+    a = node("a")
+    outputs = a.submit(fact_message("a", "a"), 0.0)
+    assert outputs == []
+    assert [m.recipient for m in a.drain_inbox()] == ["a"]
+    assert a.drain_inbox() == []  # drained exactly once
+
+
+def test_envelope_routes_to_recipient_and_dedupes():
+    a = node("a", seeds=[("b", "addr:b")])
+    b = node("b", seeds=[("a", "addr:a")])
+    outputs = a.submit(fact_message("a", "b"), 0.0)
+    assert outputs[0][0] == "b"
+    deliver(outputs, {"b": b}, 0.01)
+    deliver(outputs, {"b": b}, 0.02)  # duplicate path: must not re-deliver
+    assert len(b.drain_inbox()) == 1
+
+
+def test_forwarding_stops_at_max_hops():
+    gossip = GossipConfig(max_hops=2)
+    a = node("a", seeds=[("b", "addr:b")], gossip=gossip)
+    wire = EnvelopeFrame(envelope_id="x#1", origin="x", recipient="zzz",
+                         hops=2, message={}).to_wire()
+    assert a.handle_frame(wire, 0.0) == []  # TTL exhausted: not forwarded
+
+
+def test_anti_entropy_pull_repairs_missing_envelope():
+    a = node("a", seeds=[("b", "addr:b")])
+    b = node("b", seeds=[("a", "addr:a")])
+    # a holds an envelope destined to b that b never received (lost push)
+    message = fact_message("a", "b")
+    envelope = EnvelopeFrame(envelope_id="a#lost", origin="a", recipient="b",
+                             hops=0, message=message.to_wire())
+    a.buffer.observe(envelope)
+    # b offers its (empty) digest; a answers by pushing what b lacks
+    offer = DigestFrame(peer="b", ids=b.buffer.digest()).to_wire()
+    pushed = a.handle_frame(offer, 1.0)
+    assert [w["type"] for _, _, w in pushed] == ["envelope"]
+    deliver(pushed, {"b": b}, 1.01)
+    assert [m.message_id for m in b.drain_inbox()] == [message.message_id]
+
+
+def test_digest_triggers_pull_for_unknown_ids():
+    a = node("a", seeds=[("b", "addr:b")])
+    offer = DigestFrame(peer="b", ids=("b#1", "b#2")).to_wire()
+    outputs = a.handle_frame(offer, 0.0)
+    pulls = [w for _, _, w in outputs if w["type"] == "pull"]
+    assert pulls and set(pulls[0]["want"]) == {"b#1", "b#2"}
+
+
+def test_pull_answers_with_stored_envelopes():
+    a = node("a", seeds=[("b", "addr:b")])
+    envelope = EnvelopeFrame(envelope_id="a#1", origin="a", recipient="z",
+                             hops=1, message={})
+    a.buffer.observe(envelope)
+    outputs = a.handle_frame(PullFrame(peer="b", want=("a#1",)).to_wire(), 0.0)
+    assert outputs[0][0] == "b"
+    assert outputs[0][2]["id"] == "a#1"
+
+
+def test_leave_announces_and_stops_ticking():
+    a = node("a", seeds=[("b", "addr:b")])
+    outputs = a.leave(1.0)
+    assert outputs and all(w["type"] == "leave" for _, _, w in outputs)
+    assert a.membership.members["a"].status == LEFT
+    assert a.tick(10.0) == []
+
+
+def test_piggybacked_updates_are_applied_before_dispatch():
+    a = node("a", seeds=[("b", "addr:b")])
+    wire = PingFrame(origin="b", seq=1, updates=(
+        MemberUpdate("carol", ALIVE, 0, "addr:carol"),
+    )).to_wire()
+    a.handle_frame(wire, 0.0)
+    assert a.membership.knows("carol")

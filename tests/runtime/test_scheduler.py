@@ -10,6 +10,7 @@ from repro.runtime.scheduler import (
     LockstepScheduler,
     ReactiveScheduler,
     Scheduler,
+    resolve_quiet_period,
     resolve_scheduler,
 )
 from repro.runtime.system import WebdamLogSystem
@@ -211,6 +212,63 @@ class TestSchedulerResolution:
         summary = sys.converge(scheduler="reactive")
         assert summary.scheduler == "reactive"
         assert summary.converged
+
+
+class TestQuietPeriod:
+    """Bounded-quiet-period termination for transports without a perfect
+    in-flight oracle (the TCP transport advertises
+    ``convergence_quiet_period``; in-memory implicitly uses 1)."""
+
+    def test_inmemory_default_is_one_settled_cycle(self):
+        sys = build_ping_pong("lockstep")
+        assert resolve_quiet_period(sys, None) == 1
+
+    def test_transport_attribute_sets_the_default(self):
+        sys = build_ping_pong("lockstep")
+        sys.transport.convergence_quiet_period = 4
+        assert resolve_quiet_period(sys, None) == 4
+
+    def test_explicit_argument_overrides_the_transport(self):
+        sys = build_ping_pong("lockstep")
+        sys.transport.convergence_quiet_period = 4
+        assert resolve_quiet_period(sys, 2) == 2
+
+    def test_quiet_period_is_clamped_to_at_least_one(self):
+        sys = build_ping_pong("lockstep")
+        assert resolve_quiet_period(sys, 0) == 1
+        sys.transport.convergence_quiet_period = 0
+        assert resolve_quiet_period(sys, None) == 1
+
+    @pytest.mark.parametrize("scheduler", ["lockstep", "reactive"])
+    def test_longer_quiet_period_adds_exactly_the_extra_cycles(self, scheduler):
+        baseline = build_ping_pong(scheduler).converge(quiet_period=1)
+        padded = build_ping_pong(scheduler).converge(quiet_period=3)
+        assert baseline.converged and padded.converged
+        assert padded.round_count == baseline.round_count + 2
+
+    def test_transport_advertised_period_is_honoured_by_converge(self):
+        sys = build_ping_pong("lockstep")
+        sys.transport.convergence_quiet_period = 3
+        padded = sys.converge()
+        baseline = build_ping_pong("lockstep").converge()
+        assert padded.converged
+        assert padded.round_count == baseline.round_count + 2
+
+    def test_async_scheduler_honours_quiet_period(self):
+        baseline = build_ping_pong("async").converge(quiet_period=1)
+        padded = build_ping_pong("async").converge(quiet_period=3)
+        assert baseline.converged and padded.converged
+        assert padded.round_count == baseline.round_count + 2
+
+    def test_fixpoint_identical_whatever_the_quiet_period(self):
+        def snapshot(quiet_period):
+            sys = build_ping_pong("lockstep")
+            sys.converge(quiet_period=quiet_period)
+            return {relation: set(sys.peers[owner].query(relation))
+                    for owner, relation in (("a", "ping"), ("a", "ack"),
+                                            ("b", "pong"))}
+
+        assert snapshot(1) == snapshot(4)
 
 
 class TestDeprecatedShims:
