@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""STORE-BACKENDS — memory vs SQL-compiled SQLite at million-fact scale.
+
+The paper's peers are personal devices: their fact stores must hold a full
+annotation history (the demo's rating board sweeps every rating ever made)
+without assuming it fits in RAM.  This benchmark loads one Zipf-skewed
+rating relation — ``--facts`` rows of ``rate@hub(user, picture, stars)``
+drawn by :class:`~repro.workloads.generator.ZipfSampler`, so a handful of
+popular pictures soak up most ratings — into both storage backends and
+measures the operations the demo actually performs:
+
+* **load** — bulk insertion plus convergence;
+* **selective** — ``--queries`` bound-argument pages ("everything user X
+  rated"), each opened, converged, read and closed: hash-index probes on
+  the memory backend, one compiled ``SELECT`` with bound parameters on
+  SQLite;
+* **ranking** — the WEPIC rating board
+  (``board($p, avg($s), count($s))``), a full GROUP BY sweep: Python
+  aggregation on memory, pushed-down ``GROUP BY`` on SQLite;
+* **cold open** — the time back to the first answer from nothing: SQLite
+  reopens its database file and re-converges; memory must re-insert every
+  fact (the RAM regime has no persistence — that asymmetry is the point).
+
+Both backends must return identical answers everywhere; the headline
+figures are the selective ratio (acceptance: SQLite within 3x of memory)
+and the cold-open ratio.
+
+Run as a script (also smoke-run in CI at a reduced scale)::
+
+    PYTHONPATH=src python benchmarks/bench_store_backends.py
+
+Writes ``BENCH_store_backends.json`` next to this file (see ``--output``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import system
+from repro.bench.harness import bench_metadata
+from repro.bench.reporting import format_table
+from repro.core.facts import Fact
+from repro.workloads.generator import ZipfSampler
+
+HUB = "hub"
+PROGRAM = f"collection extensional persistent rate@{HUB}(user, picture, stars);"
+
+
+def generate_facts(facts: int, users: int, pictures: int, zipf: float,
+                   seed: int):
+    """The rating relation: users round-robin, pictures Zipf-skewed."""
+    sampler = ZipfSampler(pictures, zipf, random.Random(seed))
+    rows = []
+    for index in range(facts):
+        rows.append(Fact("rate", HUB, (f"user{index % users:05d}",
+                                       sampler.sample(),
+                                       index % 5 + 1)))
+    return rows
+
+
+def build_deployment(backend: str, path=None):
+    builder = system()
+    if backend == "sqlite":
+        builder = builder.storage("sqlite", path=str(path))
+    else:
+        builder = builder.storage("memory")
+    return builder.peer(HUB).program(PROGRAM).done().build()
+
+
+def load(deployment, rows) -> float:
+    start = time.perf_counter()
+    hub = deployment.peer(HUB)
+    for fact in rows:
+        hub.insert(fact)
+    deployment.converge()
+    return time.perf_counter() - start
+
+
+def selective_queries(deployment, users: int, queries: int):
+    """Bound-argument pages: one user's full rating history per query."""
+    answers = []
+    start = time.perf_counter()
+    for index in range(queries):
+        user = f"user{(index * 37) % users:05d}"
+        view = deployment.query(
+            HUB, f'picks($p, $s) :- rate@{HUB}("{user}", $p, $s)')
+        deployment.converge()
+        answers.append(sorted(view.rows()))
+        view.close()
+    return answers, time.perf_counter() - start
+
+
+def ranking_view(deployment):
+    """The WEPIC rating board: per-picture average and count."""
+    start = time.perf_counter()
+    view = deployment.query(
+        HUB, f"board($p, avg($s), count($s)) :- rate@{HUB}($u, $p, $s)")
+    deployment.converge()
+    answer = sorted(view.rows())
+    view.close()
+    return answer, time.perf_counter() - start
+
+
+def run_backend(backend: str, rows, users: int, queries: int, path=None):
+    deployment = build_deployment(backend, path)
+    load_seconds = load(deployment, rows)
+    selective, selective_seconds = selective_queries(deployment, users, queries)
+    ranking, ranking_seconds = ranking_view(deployment)
+    counters = dict(
+        deployment.runtime.peer(HUB).engine.state.backend.counters or {}) \
+        if backend == "sqlite" else {}
+    deployment.close()
+
+    # Cold open: time to the first selective answer starting from nothing.
+    start = time.perf_counter()
+    if backend == "sqlite":
+        reopened = (system().storage("sqlite", path=str(path))
+                    .peer(HUB).build())
+    else:
+        reopened = build_deployment("memory")
+        hub = reopened.peer(HUB)
+        for fact in rows:  # no durability: the RAM regime reloads everything
+            hub.insert(fact)
+    reopened.converge()
+    first_answer, _ = selective_queries(reopened, users, 1)
+    cold_open_seconds = time.perf_counter() - start
+    reopened.close()
+
+    return {
+        "backend": backend,
+        "load_seconds": round(load_seconds, 4),
+        "selective_seconds": round(selective_seconds, 4),
+        "ranking_seconds": round(ranking_seconds, 4),
+        "cold_open_seconds": round(cold_open_seconds, 4),
+        "counters": counters,
+    }, selective, ranking, first_answer
+
+
+def run_benchmark(facts: int, users: int, pictures: int, queries: int,
+                  zipf: float, seed: int, workdir: Path) -> dict:
+    rows = generate_facts(facts, users, pictures, zipf, seed)
+    results = {}
+    answers = {}
+    for backend in ("memory", "sqlite"):
+        path = workdir / backend
+        path.mkdir(parents=True, exist_ok=True)
+        results[backend], selective, ranking, first = run_backend(
+            backend, rows, users, queries, path)
+        answers[backend] = (selective, ranking, first)
+
+    identical = answers["memory"] == answers["sqlite"]
+    if not identical:
+        raise AssertionError(
+            "backend divergence: memory and sqlite returned different answers")
+    mem, sql = results["memory"], results["sqlite"]
+    ratio = (sql["selective_seconds"] / mem["selective_seconds"]
+             if mem["selective_seconds"] else float("inf"))
+    cold_ratio = (mem["cold_open_seconds"] / sql["cold_open_seconds"]
+                  if sql["cold_open_seconds"] else float("inf"))
+    return {
+        "experiment": "STORE-BACKENDS",
+        "metadata": bench_metadata(repeats=1, parameters={
+            "facts": facts, "users": users, "pictures": pictures,
+            "queries": queries, "zipf_exponent": zipf, "seed": seed,
+            "backends": ["memory", "sqlite"],
+        }),
+        "memory": mem,
+        "sqlite": sql,
+        "answers_identical": True,
+        "ranking_groups": len(answers["memory"][1]),
+        "selective_ratio_sqlite_over_memory": round(ratio, 3),
+        "cold_open_speedup_sqlite": round(cold_ratio, 3),
+        "compiled_statements": sql["counters"].get("compiled_statements", 0),
+        "aggregate_pushdowns": sql["counters"].get("aggregate_pushdowns", 0),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--facts", type=int, default=1_000_000,
+                        help="rating facts to load (default 1,000,000)")
+    parser.add_argument("--users", type=int, default=500,
+                        help="distinct raters (default 500)")
+    parser.add_argument("--pictures", type=int, default=2000,
+                        help="distinct pictures, Zipf-ranked (default 2000)")
+    parser.add_argument("--queries", type=int, default=40,
+                        help="selective bound-argument pages (default 40)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="popularity exponent of the picture choice")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="directory for the sqlite files (default: temp)")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).parent / "BENCH_store_backends.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args()
+
+    if args.workdir is not None:
+        args.workdir.mkdir(parents=True, exist_ok=True)
+        result = run_benchmark(args.facts, args.users, args.pictures,
+                               args.queries, args.zipf, args.seed, args.workdir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="bench_store_") as tmp:
+            result = run_benchmark(args.facts, args.users, args.pictures,
+                                   args.queries, args.zipf, args.seed,
+                                   Path(tmp))
+
+    columns = ["backend", "load (s)", "selective (s)", "ranking (s)",
+               "cold open (s)"]
+    rows = [[name, result[name]["load_seconds"],
+             result[name]["selective_seconds"],
+             result[name]["ranking_seconds"],
+             result[name]["cold_open_seconds"]]
+            for name in ("memory", "sqlite")]
+    print(format_table(columns, rows, title="[STORE-BACKENDS] "
+                       f"{args.facts} facts, {args.queries} selective pages"))
+    print(f"selective ratio sqlite/memory: "
+          f"{result['selective_ratio_sqlite_over_memory']}x "
+          f"(acceptance: <= 3x); cold-open speedup: "
+          f"{result['cold_open_speedup_sqlite']}x; "
+          f"compiled statements: {result['compiled_statements']}; "
+          f"answers identical: {result['answers_identical']}")
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -92,6 +92,8 @@ class SystemBuilder:
         self._scheduler: Optional[Scheduler] = None
         self._evaluation_mode = "incremental"
         self._provenance = False
+        self._storage: Optional[str] = None
+        self._storage_options: dict = {}
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -220,6 +222,34 @@ class SystemBuilder:
         self._provenance = enabled
         return self
 
+    def storage(self, name: str, **options) -> "SystemBuilder":
+        """Choose the storage backend every peer's fact store runs on.
+
+        * ``"memory"`` — plain Python dicts with hash indexes (the default);
+        * ``"sqlite"`` — each peer keeps its relations in a SQLite database
+          and rule bodies compile to single SQL statements executed in-store.
+          Pass ``path="some/dir"`` to make the deployment **durable**: each
+          peer gets its own database file ``<path>/<peer>.db``, facts, rules
+          and delegations survive :meth:`~repro.api.facade.System.close` (or
+          process death), and rebuilding the deployment over the same path
+          restores and re-converges it.  Without a path SQLite runs on a
+          private in-memory database (same SQL engine, no durability).
+
+        When this method is not called, the ``REPRO_STORE_BACKEND``
+        environment variable picks the backend (defaulting to ``memory``) —
+        that is how CI runs the whole suite once per backend.
+        """
+        if name not in ("memory", "sqlite"):
+            raise BuildError(
+                f"unknown storage backend {name!r}; choose from "
+                "('memory', 'sqlite')"
+            )
+        if name != "sqlite" and options:
+            raise BuildError("storage options are only accepted for 'sqlite'")
+        self._storage = name
+        self._storage_options = dict(options)
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -256,6 +286,8 @@ class SystemBuilder:
             scheduler=self._scheduler,
             evaluation_mode=self._evaluation_mode,
             provenance=self._provenance,
+            storage=self._storage,
+            storage_options=dict(self._storage_options),
         )
         built = System(runtime)
         for spec in self._specs:
@@ -307,6 +339,12 @@ class SystemBuilder:
     def _build_processes(self) -> ProcessSystem:
         if self._transport is not None or self._transport_name is not None:
             raise BuildError("the processes backend manages its own transport")
+        if self._storage is not None and self._storage != "memory":
+            raise BuildError(
+                "the processes backend does not support explicit storage "
+                "configuration yet; set REPRO_STORE_BACKEND in the worker "
+                "environment instead"
+            )
         if self._scheduler is not None:
             raise BuildError(
                 "the processes backend manages its own scheduling (each worker "

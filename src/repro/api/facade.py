@@ -556,11 +556,13 @@ class System:
         """Tear the deployment down; idempotent.
 
         Closes every open live view (without settling), cancels every
-        subscription, detaches the facade's stage observer, and — when the
-        transport owns external resources (the TCP transport's sockets and
-        event loop) — closes the transport.  A deployment built on the
-        in-memory transport works without ever calling ``close``; a
-        networked one should use the context-manager form::
+        subscription, detaches the facade's stage observer, commits and
+        releases every peer's storage backend, and — when the transport owns
+        external resources (the TCP transport's sockets and event loop) —
+        closes the transport.  A deployment built on the in-memory transport
+        and memory storage works without ever calling ``close``; a durable
+        (``storage("sqlite", path=...)``) or networked one should use the
+        context-manager form::
 
             with system().transport("tcp").build() as deployment:
                 ...
@@ -571,6 +573,7 @@ class System:
             subscription.cancel()
         self._subscriptions.clear()
         self.runtime.remove_stage_observer(self._on_stage)
+        self.runtime.close()
         transport_close = getattr(self.runtime.transport, "close", None)
         if callable(transport_close):
             transport_close()

@@ -259,6 +259,14 @@ class LiveView(QueryHandle):
     def _read(self) -> Tuple[Fact, ...]:
         if self._closed:
             return ()
+        if (self.viewer is None and self.compiled is not None
+                and self.compiled.is_aggregate()):
+            # SQL-capable backends compute the grouping in-store (GROUP BY);
+            # None means the backend could not guarantee bit-identical
+            # results and the Python path below takes over.
+            pushed = self._aggregate_pushdown()
+            if pushed is not None:
+                return pushed
         raw = self.raw_facts()
         if self.viewer is not None:
             raw = self._system.policies.filter_readable(self._owner, raw,
@@ -270,6 +278,22 @@ class LiveView(QueryHandle):
     def facts(self) -> Tuple[Fact, ...]:
         """The current answers (ACL-filtered, aggregated where applicable)."""
         return self._read()
+
+    def _aggregate_pushdown(self) -> Optional[Tuple[Fact, ...]]:
+        """Grouped aggregation executed inside the owner's storage backend."""
+        compiled = self.compiled
+        specs = {a.position: Aggregate.from_name(a.function)
+                 for a in compiled.aggregates}
+        width = len(compiled.head_args)
+        group_positions = [i for i in range(width) if i not in specs]
+        state = self._system.runtime.peer(self._owner).engine.state
+        rows = state.aggregate_view(self.relation, self._location, width,
+                                    group_positions, specs)
+        if rows is None:
+            return None
+        return tuple(sorted(
+            (Fact(self.relation, self._owner, tuple(values)) for values in rows),
+            key=str))
 
     def _aggregate(self, raw: Sequence[Fact]) -> Tuple[Fact, ...]:
         compiled = self.compiled

@@ -28,6 +28,7 @@ from repro.core.parser import ParsedProgram, parse_fact, parse_program, parse_ru
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
 from repro.core.state import PeerState
+from repro.store.backend import resolve_backend
 
 #: Predicate marker for atoms whose relation or peer position is still a
 #: variable at analysis time — they may read from (or derive into) any
@@ -169,6 +170,9 @@ class StageResult:
     fixpoint_iterations: int = 0
     rules_evaluated: int = 0
     substitutions_explored: int = 0
+    #: Number of rule bodies this stage that ran as a single compiled SQL
+    #: statement inside the storage backend instead of tuple-at-a-time.
+    compiled_sql: int = 0
     derived_intensional: int = 0
     derived_changed: bool = False
     deferred_local_updates: int = 0
@@ -220,14 +224,16 @@ class WebdamLogEngine:
     def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None,
                  strict_stage_inputs: bool = False,
                  evaluation_mode: str = "incremental",
-                 use_indexes: bool = True):
+                 use_indexes: bool = True,
+                 storage=None, storage_options: Optional[Dict] = None):
         if evaluation_mode not in ("incremental", "naive"):
             raise ValueError(
                 f"unknown evaluation_mode {evaluation_mode!r}; "
                 "expected 'incremental' or 'naive'"
             )
         self.peer = peer
-        self.state = PeerState(peer, schemas)
+        backend = resolve_backend(storage, peer=peer, options=storage_options)
+        self.state = PeerState(peer, schemas, backend=backend)
         # Strict per-stage semantics (facts received for local intensional
         # relations are visible for exactly one stage, as in the PODS model);
         # the default keeps them until the sender retracts them, which is the
@@ -283,6 +289,7 @@ class WebdamLogEngine:
             "substitutions_explored": 0,
             "fixpoint_iterations": 0,
             "rules_evaluated": 0,
+            "compiled_sql": 0,
             "stages_full": 0,
             "stages_delta": 0,
             "stages_rederive": 0,
@@ -488,6 +495,7 @@ class WebdamLogEngine:
         counters["substitutions_explored"] += result.substitutions_explored
         counters["fixpoint_iterations"] += result.fixpoint_iterations
         counters["rules_evaluated"] += result.rules_evaluated
+        counters["compiled_sql"] += result.compiled_sql
         counters[f"stages_{result.evaluation_path}"] += 1
 
         # Delta accounting: the stores accumulated every change since the end
@@ -501,6 +509,11 @@ class WebdamLogEngine:
         result.derived_changed = bool(derived_delta)
         result.visible_delta = self._visible_delta(store_delta, derived_delta,
                                                    provided_delta)
+        # Stage boundary: everything this stage wrote — facts, schemas, rules,
+        # delegations — becomes durable in one transaction.  This is the
+        # recovery unit: a peer that dies mid-stage reopens at the previous
+        # stage boundary.
+        self.state.commit()
         return result
 
     def _visible_delta(self, store_delta: Delta, derived_delta: Delta,
@@ -542,6 +555,14 @@ class WebdamLogEngine:
         raise EvaluationError(
             f"peer {self.peer} did not reach quiescence within {max_stages} stages"
         )
+
+    def close(self) -> None:
+        """Commit outstanding writes and release the storage backend.
+
+        On a durable backend the peer can later be rebuilt over the same
+        database and will restore its facts, rules and installed delegations.
+        """
+        self.state.close()
 
     # ------------------------------------------------------------------ #
     # queries
@@ -594,15 +615,15 @@ class WebdamLogEngine:
                 self.state.store.delete(fact)
         for sender, delegation_id, rule in pending.delegations_to_install:
             consumed += 1
-            self.state.delegations_in.install(delegation_id, sender, rule)
+            self.state.install_delegation(delegation_id, sender, rule)
             self._invalidate_program_cache()
         for sender, delegation_id in pending.delegations_to_retract:
             consumed += 1
             self._invalidate_program_cache()
-            installed = self.state.delegations_in.retract(delegation_id)
+            installed = self.state.retract_delegation(delegation_id)
             if installed is not None and installed.delegator != sender:
                 # Only the original delegator may retract; re-install otherwise.
-                self.state.delegations_in.install(
+                self.state.install_delegation(
                     delegation_id, installed.delegator, installed.rule
                 )
                 consumed -= 1
@@ -681,6 +702,12 @@ class WebdamLogEngine:
             kind_resolver=self.state.kind_of,
             on_derivation=self.provenance.record if self.provenance is not None else None,
             use_indexes=self.use_indexes,
+            # Whole-body SQL pushdown: only meaningful on SQL-capable
+            # backends, and only when no provenance hook needs per-derivation
+            # support tuples.  Disabled together with the indexes so the
+            # scan-everything baseline stays a true baseline.
+            pushdown=(self.state.pushdown
+                      if self.use_indexes and self.provenance is None else None),
         )
         if force_full:
             result.evaluation_path = "full"
@@ -795,6 +822,7 @@ class WebdamLogEngine:
                     result.rules_evaluated += 1
                     outcome = evaluator.evaluate_rule(rule)
                     result.substitutions_explored += outcome.substitutions_explored
+                    result.compiled_sql += outcome.compiled_sql
                     self._memo_merge(rule, outcome)
                     for fact in outcome.local_intensional:
                         if self.state.derived.insert(fact):

@@ -83,6 +83,7 @@ class RuleOutcome:
     remote_facts: Set[Fact] = field(default_factory=set)
     delegations: Set[Delegation] = field(default_factory=set)
     substitutions_explored: int = 0
+    compiled_sql: int = 0
 
     def merge(self, other: "RuleOutcome") -> "RuleOutcome":
         """Accumulate another outcome into this one."""
@@ -91,6 +92,7 @@ class RuleOutcome:
         self.remote_facts |= other.remote_facts
         self.delegations |= other.delegations
         self.substitutions_explored += other.substitutions_explored
+        self.compiled_sql += other.compiled_sql
         return self
 
     def is_empty(self) -> bool:
@@ -130,7 +132,8 @@ class RuleEvaluator:
                  kind_resolver: Optional[KindResolver] = None,
                  allow_delegation: bool = True,
                  on_derivation: Optional[Callable[[Fact, Rule, Tuple[Fact, ...]], None]] = None,
-                 use_indexes: bool = True):
+                 use_indexes: bool = True,
+                 pushdown=None):
         self.peer = peer
         self.fact_source = _adapt_fact_source(fact_source)
         self.kind_resolver = kind_resolver or (lambda relation, peer_name: None)
@@ -142,12 +145,26 @@ class RuleEvaluator:
         # every literal match is a full relation scan, reproducing the seed
         # engine's behaviour exactly (used as the benchmark baseline).
         self.use_indexes = use_indexes
+        # Optional whole-body SQL fast path (repro.store.compiler.BodyPushdown).
+        # Provenance needs per-derivation support tuples, which the set-at-a-
+        # time SQL path cannot produce — the engine only wires the pushdown in
+        # when no derivation hook is attached.
+        self.pushdown = pushdown
 
     # ------------------------------------------------------------------ #
 
     def evaluate_rule(self, rule: Rule) -> RuleOutcome:
         """Evaluate one rule and return everything it produces."""
         outcome = RuleOutcome()
+        if (self.pushdown is not None and self.on_derivation is None
+                and self.use_indexes):
+            substitutions = self.pushdown.run(rule)
+            if substitutions is not None:
+                outcome.compiled_sql += 1
+                outcome.substitutions_explored += len(substitutions)
+                for substitution in substitutions:
+                    self._emit_head(rule, substitution, outcome, ())
+                return outcome
         self._evaluate_from(rule, 0, {}, outcome, ())
         return outcome
 

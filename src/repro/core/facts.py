@@ -4,10 +4,13 @@ A WebdamLog *fact* is an expression ``m@p(a1, ..., an)`` where ``m@p`` names
 a relation managed at peer ``p`` and ``a1..an`` are data values.  Facts are
 immutable and hashable so that sets of facts can be manipulated cheaply.
 
-:class:`FactStore` is the per-peer storage layer: one hash-indexed table per
-relation, with support for insertions, deletions, primary-key replacement and
-delta tracking (the engine's seminaive evaluation and the runtime's message
-accounting both consume deltas).
+:class:`FactStore` is the per-peer storage layer: one table per relation,
+with support for insertions, deletions, primary-key replacement and delta
+tracking (the engine's seminaive evaluation and the runtime's message
+accounting both consume deltas).  The tables themselves live in a pluggable
+:class:`~repro.store.backend.StorageBackend` — hash-indexed Python sets by
+default (:mod:`repro.store.memory`), or durable SQLite tables
+(:mod:`repro.store.sqlite`).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 from repro.core.errors import SchemaError
 from repro.core.schema import RelationKind, RelationName, RelationSchema, SchemaRegistry
 from repro.core.terms import Constant, ConstantValue, Term
+from repro.store.memory import MemoryBackend, MemoryTable
 
 
 @dataclass(frozen=True)
@@ -133,147 +137,52 @@ class Delta:
         return cls()
 
 
-class _RelationTable:
-    """Hash-indexed storage for one relation.
-
-    Tuples are stored in a set; secondary hash indexes keyed by *subsets of
-    columns* are built lazily the first time a lookup with that bound-column
-    set is issued, and maintained incrementally on every insert/delete
-    afterwards — an indexed lookup never rescans the relation and never
-    post-filters, it is an exact hash probe.
-    """
-
-    __slots__ = ("schema", "_tuples", "_indexes")
-
-    def __init__(self, schema: RelationSchema):
-        self.schema = schema
-        self._tuples: Set[Tuple[ConstantValue, ...]] = set()
-        # {(col, col, ...): {key-tuple: rows}} — one hash index per bound-column subset.
-        self._indexes: Dict[Tuple[int, ...],
-                            Dict[Tuple, Set[Tuple[ConstantValue, ...]]]] = {}
-
-    def __len__(self) -> int:
-        return len(self._tuples)
-
-    def __contains__(self, values: Tuple[ConstantValue, ...]) -> bool:
-        return tuple(values) in self._tuples
-
-    def __iter__(self) -> Iterator[Tuple[ConstantValue, ...]]:
-        return iter(self._tuples)
-
-    def _index_for(self, positions: Tuple[int, ...]
-                   ) -> Dict[Tuple, Set[Tuple[ConstantValue, ...]]]:
-        index = self._indexes.get(positions)
-        if index is None:
-            index = {}
-            for row in self._tuples:
-                key = tuple(self._index_key(row[p]) for p in positions)
-                index.setdefault(key, set()).add(row)
-            self._indexes[positions] = index
-        return index
-
-    @staticmethod
-    def _index_key(value: ConstantValue):
-        # bool is a subclass of int; keep True distinct from 1 in indexes,
-        # matching Constant equality semantics.
-        return (type(value).__name__, value)
-
-    def insert(self, values: Tuple[ConstantValue, ...]) -> Tuple[List[Tuple], List[Tuple]]:
-        """Insert a tuple.  Returns ``(inserted_rows, deleted_rows)``.
-
-        When the schema declares a primary key, an existing tuple with the
-        same key is replaced (last-writer-wins), which yields one deletion.
-        """
-        values = tuple(values)
-        if len(values) != self.schema.arity:
-            raise SchemaError(
-                f"arity mismatch inserting into {self.schema.qualified_name}: "
-                f"expected {self.schema.arity}, got {len(values)}"
-            )
-        if values in self._tuples:
-            return [], []
-        deleted: List[Tuple[ConstantValue, ...]] = []
-        key_idx = self.schema.key_indexes()
-        if key_idx:
-            key_value = tuple(values[i] for i in key_idx)
-            for row in list(self._tuples):
-                if tuple(row[i] for i in key_idx) == key_value:
-                    self._remove(row)
-                    deleted.append(row)
-        self._add(values)
-        return [values], deleted
-
-    def delete(self, values: Tuple[ConstantValue, ...]) -> bool:
-        """Delete a tuple; return ``True`` if it was present."""
-        values = tuple(values)
-        if values not in self._tuples:
-            return False
-        self._remove(values)
-        return True
-
-    def _add(self, values: Tuple[ConstantValue, ...]) -> None:
-        self._tuples.add(values)
-        for positions, index in self._indexes.items():
-            key = tuple(self._index_key(values[p]) for p in positions)
-            index.setdefault(key, set()).add(values)
-
-    def _remove(self, values: Tuple[ConstantValue, ...]) -> None:
-        self._tuples.discard(values)
-        for positions, index in self._indexes.items():
-            key = tuple(self._index_key(values[p]) for p in positions)
-            bucket = index.get(key)
-            if bucket is not None:
-                bucket.discard(values)
-                if not bucket:
-                    del index[key]
-
-    def clear(self) -> List[Tuple[ConstantValue, ...]]:
-        """Remove every tuple; return the removed rows."""
-        removed = list(self._tuples)
-        self._tuples.clear()
-        self._indexes.clear()
-        return removed
-
-    def scan(self, bindings: Optional[Dict[int, ConstantValue]] = None
-             ) -> Iterator[Tuple[ConstantValue, ...]]:
-        """Iterate over tuples matching the given ``{column: value}`` bindings.
-
-        With no bindings this is a full scan.  With bindings, the hash index
-        on exactly that column subset is probed — every returned row matches
-        all bindings, no post-filtering happens.
-        """
-        if not bindings:
-            yield from self._tuples
-            return
-        positions = tuple(sorted(bindings))
-        if positions[-1] >= self.schema.arity:
-            # A bound position beyond the relation's arity can never match.
-            return
-        key = tuple(self._index_key(bindings[p]) for p in positions)
-        yield from self._index_for(positions).get(key, ())
+#: Backwards-compatible alias: the hash-indexed table moved to
+#: :mod:`repro.store.memory` when the storage backend seam was introduced.
+_RelationTable = MemoryTable
 
 
 class FactStore:
-    """Per-peer fact storage: one :class:`_RelationTable` per relation.
+    """Per-peer fact storage: one backend table per relation.
 
     The store tracks a *pending delta* accumulating every change since the
     last call to :meth:`take_delta`; the engine uses this to compute which
     updates must be pushed to remote peers and to drive seminaive evaluation.
+
+    ``backend``/``namespace`` select where the tables physically live: each
+    peer uses one backend with two namespaces (``"store"`` for extensional
+    facts, ``"derived"`` for intensional ones).  Without an explicit backend
+    a private in-memory one is created, preserving the historical behaviour.
+    On a durable backend that already holds tables for this namespace (a
+    reopened peer), the tables are re-attached — and their facts become
+    visible — before any new write happens.
     """
 
-    def __init__(self, schemas: Optional[SchemaRegistry] = None, owner: Optional[str] = None):
+    def __init__(self, schemas: Optional[SchemaRegistry] = None, owner: Optional[str] = None,
+                 backend=None, namespace: str = "store"):
         self.schemas = schemas if schemas is not None else SchemaRegistry()
         self.owner = owner
-        self._tables: Dict[RelationName, _RelationTable] = {}
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.namespace = namespace
+        self._tables: Dict[RelationName, MemoryTable] = {}
         self._pending_inserted: Set[Fact] = set()
         self._pending_deleted: Set[Fact] = set()
+        default_kind = (RelationKind.INTENSIONAL if namespace == "derived"
+                        else RelationKind.EXTENSIONAL)
+        for relation, peer, arity in self.backend.stored_relations(namespace):
+            schema = self.schemas.get(relation, peer)
+            if schema is None:
+                schema = self.schemas.declare_implicit(relation, peer, arity,
+                                                       kind=default_kind)
+            self._tables[RelationName(relation, peer)] = self.backend.table(
+                namespace, schema)
 
     # ------------------------------------------------------------------ #
     # table management
     # ------------------------------------------------------------------ #
 
     def _table(self, relation: str, peer: str, arity: Optional[int] = None,
-               create: bool = True) -> Optional[_RelationTable]:
+               create: bool = True):
         key = RelationName(relation, peer)
         table = self._tables.get(key)
         if table is not None:
@@ -283,7 +192,7 @@ class FactStore:
             if not create or arity is None:
                 return None
             schema = self.schemas.declare_implicit(relation, peer, arity)
-        table = _RelationTable(schema)
+        table = self.backend.table(self.namespace, schema)
         self._tables[key] = table
         return table
 
@@ -425,7 +334,12 @@ class FactStore:
         return frozenset(self.all_facts())
 
     def copy(self) -> "FactStore":
-        """Deep copy of the store (used by the deterministic simulator for checkpoints)."""
+        """Deep copy of the store (used by the deterministic simulator for checkpoints).
+
+        The copy always lives in a fresh private in-memory backend, whatever
+        backend the source uses — checkpoints must not share (or write to)
+        the original's storage.
+        """
         clone = FactStore(self.schemas.copy(), owner=self.owner)
         for fact in self.all_facts():
             clone.insert(fact)

@@ -24,6 +24,17 @@ from repro.core.terms import Constant, Term, Variable, make_term
 _rule_counter = itertools.count(1)
 
 
+def ensure_rule_counter_above(value: int) -> None:
+    """Advance the global rule counter past ``value``.
+
+    Used after restoring persisted rules so that freshly generated
+    ``rule-N`` identifiers never collide with restored ones.
+    """
+    global _rule_counter
+    current = next(_rule_counter)
+    _rule_counter = itertools.count(max(current, value) + 1)
+
+
 @dataclass(frozen=True)
 class Atom:
     """An atom ``relation@peer(args...)``, possibly negated.

@@ -17,14 +17,18 @@ extensional, ephemeral and derived facts.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.delegation import DelegationStore, DelegationTracker, InstalledDelegation
 from repro.core.errors import SchemaError
 from repro.core.facts import Delta, Fact, FactStore, fact_matches_bindings
-from repro.core.rules import Rule
+from repro.core.rules import Rule, ensure_rule_counter_above
 from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
+from repro.store import serialize
+from repro.store.backend import DERIVED_NAMESPACE, STORE_NAMESPACE
+from repro.store.memory import MemoryBackend
 
 
 @dataclass
@@ -55,31 +59,99 @@ class PendingInput:
 
 
 class PeerState:
-    """Mutable state of one WebdamLog peer."""
+    """Mutable state of one WebdamLog peer.
 
-    def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None):
+    When constructed over a durable backend that already holds data (a
+    database file from a previous run), the state **restores itself**:
+    persisted schemas are re-declared, fact tables re-attached, own rules
+    re-added and installed delegations re-installed — all before the first
+    stage runs.  ``restored`` reports whether anything was recovered.
+    """
+
+    def __init__(self, peer: str, schemas: Optional[SchemaRegistry] = None,
+                 backend=None):
         self.peer = peer
         self.schemas = schemas if schemas is not None else SchemaRegistry()
-        self.store = FactStore(self.schemas, owner=peer)
-        self.derived = FactStore(self.schemas, owner=peer)
+        self.backend = backend if backend is not None else MemoryBackend()
+        # Schemas must be back before the fact stores attach their tables.
+        persisted_schemas = self.backend.load_meta("schema")
+        for _key, payload in persisted_schemas:
+            self.schemas.declare(serialize.decode_schema(payload))
+        self.store = FactStore(self.schemas, owner=peer, backend=self.backend,
+                               namespace=STORE_NAMESPACE)
+        self.derived = FactStore(self.schemas, owner=peer, backend=self.backend,
+                                 namespace=DERIVED_NAMESPACE)
         self.provided: Set[Fact] = set()
         self._provided_by_relation: Dict[Tuple[str, str], Set[Fact]] = {}
         self._provided_inserted: Set[Fact] = set()
         self._provided_deleted: Set[Fact] = set()
         self.own_rules: List[Rule] = []
         self.delegations_in = DelegationStore(peer)
+        persisted_rules = self.backend.load_meta("rule")
+        for _key, payload in persisted_rules:
+            self.own_rules.append(serialize.decode_rule(payload))
+        persisted_delegations = self.backend.load_meta("delegation")
+        for _key, payload in persisted_delegations:
+            installed = serialize.decode_delegation(payload)
+            self.delegations_in.install(installed.delegation_id, installed.delegator,
+                                        installed.rule)
+        self.restored = bool(persisted_schemas or persisted_rules
+                             or persisted_delegations
+                             or self.store.relations() or self.derived.relations())
+        if self.restored:
+            self._advance_rule_counter()
         self.delegation_tracker = DelegationTracker(peer)
         self.pending = PendingInput()
         self.deferred_updates: Delta = Delta.empty()
         self.stage_counter = 0
+        # SQL-capable backends get a rule-body compiler; the engine hands it
+        # to the evaluator as the whole-body fast path.
+        if getattr(self.backend, "SUPPORTS_SQL", False):
+            from repro.store.compiler import BodyPushdown
+
+            self.pushdown = BodyPushdown(self)
+        else:
+            self.pushdown = None
+
+    def _advance_rule_counter(self) -> None:
+        """Keep fresh rule ids from colliding with restored ones.
+
+        Restored rules keep their persisted ``rule-N`` identifiers (delegation
+        ids are content-hashed over them, so identity must survive recovery);
+        the global counter is bumped past every numeric suffix seen.
+        """
+        highest = 0
+        for rule in self.own_rules:
+            for match in re.findall(r"(\d+)", rule.rule_id):
+                highest = max(highest, int(match))
+        for installed in self.delegations_in.all():
+            for match in re.findall(r"(\d+)", installed.rule.rule_id):
+                highest = max(highest, int(match))
+        if highest:
+            ensure_rule_counter_above(highest)
+
+    # ------------------------------------------------------------------ #
+    # durability
+    # ------------------------------------------------------------------ #
+
+    def commit(self) -> None:
+        """Make every change since the last commit durable (stage boundary)."""
+        self.backend.commit()
+
+    def close(self) -> None:
+        """Commit and release the backend."""
+        self.backend.close()
 
     # ------------------------------------------------------------------ #
     # schema helpers
     # ------------------------------------------------------------------ #
 
     def declare(self, schema: RelationSchema) -> RelationSchema:
-        """Declare a relation schema."""
-        return self.schemas.declare(schema)
+        """Declare a relation schema (persisted on durable backends)."""
+        declared = self.schemas.declare(schema)
+        self.backend.save_meta("schema", f"{declared.name}@{declared.peer}",
+                               serialize.encode_schema(declared))
+        return declared
 
     def kind_of(self, relation: str, peer: str) -> Optional[RelationKind]:
         """Kind of ``relation@peer`` according to the known schemas."""
@@ -102,12 +174,14 @@ class PeerState:
             rule = Rule(head=rule.head, body=rule.body, author=self.peer,
                         origin=rule.origin, rule_id=rule.rule_id)
         self.own_rules.append(rule)
+        self.backend.save_meta("rule", rule.rule_id, serialize.encode_rule(rule))
         return rule
 
     def remove_rule(self, rule_id: str) -> Optional[Rule]:
         """Remove an own rule by identifier; returns it when found."""
         for index, rule in enumerate(self.own_rules):
             if rule.rule_id == rule_id:
+                self.backend.delete_meta("rule", rule_id)
                 return self.own_rules.pop(index)
         return None
 
@@ -120,6 +194,7 @@ class PeerState:
                                    author=new_rule.author or self.peer,
                                    origin=new_rule.origin, rule_id=rule_id)
                 self.own_rules[index] = replacement
+                self.backend.save_meta("rule", rule_id, serialize.encode_rule(replacement))
                 return replacement
         raise KeyError(f"no rule with id {rule_id!r} at peer {self.peer}")
 
@@ -130,6 +205,30 @@ class PeerState:
     def find_rules(self, head_relation: str) -> List[Rule]:
         """Own rules whose head relation name equals ``head_relation``."""
         return [r for r in self.own_rules if r.head.relation_constant() == head_relation]
+
+    # ------------------------------------------------------------------ #
+    # installed delegations (persisted on durable backends)
+    # ------------------------------------------------------------------ #
+
+    def install_delegation(self, delegation_id: str, delegator: str,
+                           rule: Rule) -> InstalledDelegation:
+        """Install a delegated rule and persist it.
+
+        Content-hashed delegation ids make this idempotent: a delegator that
+        re-sends an install after the receiving peer recovered simply
+        overwrites the identical record.
+        """
+        installed = self.delegations_in.install(delegation_id, delegator, rule)
+        self.backend.save_meta("delegation", delegation_id,
+                               serialize.encode_delegation(installed))
+        return installed
+
+    def retract_delegation(self, delegation_id: str) -> Optional[InstalledDelegation]:
+        """Retract a delegated rule and delete its persisted record."""
+        installed = self.delegations_in.retract(delegation_id)
+        if installed is not None:
+            self.backend.delete_meta("delegation", delegation_id)
+        return installed
 
     # ------------------------------------------------------------------ #
     # facts
@@ -200,6 +299,15 @@ class PeerState:
             self.remove_provided(fact)
         return Delta.deletion(removed)
 
+    def provided_count(self, relation: str, peer: str) -> int:
+        """Number of provided facts currently held for ``relation@peer``.
+
+        The SQL body compiler uses this to detect ephemeral facts that live
+        outside the store tables (and therefore force a fallback).
+        """
+        bucket = self._provided_by_relation.get((relation, peer))
+        return len(bucket) if bucket else 0
+
     def has_provided_changes(self) -> bool:
         """``True`` when the provided set changed since :meth:`take_provided_delta`."""
         return bool(self._provided_inserted or self._provided_deleted)
@@ -243,6 +351,18 @@ class PeerState:
                 for fact in provided:
                     if fact_matches_bindings(fact, bindings):
                         yield fact
+
+    def aggregate_view(self, relation: str, peer: str, width: int,
+                       group_positions, specs) -> Optional[List[Tuple]]:
+        """Push a grouped aggregate down into a SQL-capable backend.
+
+        Returns output tuples of ``width`` values, or ``None`` when the
+        backend cannot prove the pushdown bit-identical to the Python
+        aggregation path (or is not SQL-capable at all).
+        """
+        if self.pushdown is None:
+            return None
+        return self.pushdown.aggregate(relation, peer, width, group_positions, specs)
 
     def query(self, relation: str, peer: Optional[str] = None) -> Tuple[Fact, ...]:
         """Facts of ``relation`` visible at this peer (stored, derived or provided)."""

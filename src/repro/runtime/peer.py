@@ -60,11 +60,14 @@ class Peer:
                  strict_stage_inputs: bool = False,
                  schemas: Optional[SchemaRegistry] = None,
                  evaluation_mode: str = "incremental",
-                 provenance: bool = False):
+                 provenance: bool = False,
+                 storage=None, storage_options: Optional[Dict] = None):
         self.name = name
         self.engine = WebdamLogEngine(name, schemas=schemas,
                                       strict_stage_inputs=strict_stage_inputs,
-                                      evaluation_mode=evaluation_mode)
+                                      evaluation_mode=evaluation_mode,
+                                      storage=storage,
+                                      storage_options=storage_options)
         if provenance:
             self.engine.provenance = ProvenanceTracker()
         self.controller = DelegationController(
@@ -191,6 +194,10 @@ class Peer:
         combined = dict(self.engine.counts())
         combined["pending_delegations"] = len(self.controller.pending())
         return combined
+
+    def close(self) -> None:
+        """Commit and release the peer's storage backend."""
+        self.engine.close()
 
     # ------------------------------------------------------------------ #
     # transport-facing methods

@@ -96,7 +96,8 @@ class WebdamLogSystem:
                  transport: Optional["Transport"] = None,
                  scheduler: Union[None, str, Scheduler] = None,
                  evaluation_mode: str = "incremental",
-                 provenance: bool = False):
+                 provenance: bool = False,
+                 storage=None, storage_options: Optional[Dict] = None):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
@@ -107,6 +108,11 @@ class WebdamLogSystem:
         self.strict_stage_inputs = strict_stage_inputs
         self.evaluation_mode = evaluation_mode
         self.provenance = provenance
+        # Storage backend specification applied to every peer ("memory",
+        # "sqlite", or None to consult REPRO_STORE_BACKEND); each peer
+        # resolves its own backend instance (one database file per peer).
+        self.storage = storage
+        self.storage_options = dict(storage_options or {})
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
@@ -176,7 +182,9 @@ class WebdamLogSystem:
         peer = Peer(name, trust=trust, auto_accept_delegations=auto,
                     strict_stage_inputs=self.strict_stage_inputs, schemas=schemas,
                     evaluation_mode=self.evaluation_mode,
-                    provenance=self.provenance if provenance is None else provenance)
+                    provenance=self.provenance if provenance is None else provenance,
+                    storage=self.storage,
+                    storage_options=dict(self.storage_options))
         self.peers[name] = peer
         self.transport.register(name)
         if program:
@@ -196,6 +204,15 @@ class WebdamLogSystem:
         if peer is not None:
             self.transport.unregister(name)
         return peer
+
+    def close(self) -> None:
+        """Commit and release every peer's storage backend.
+
+        Durable (SQLite) peers can later be rebuilt over the same storage
+        path and will restore their facts, rules and installed delegations.
+        """
+        for peer in self.peers.values():
+            peer.close()
 
     def peer(self, name: str) -> Peer:
         """Look up a peer by name."""

@@ -1,0 +1,154 @@
+"""JSON codecs for durable peer metadata.
+
+Durable backends persist three kinds of metadata next to the fact tables:
+relation **schemas**, the peer's **own rules**, and the **delegations**
+installed by remote delegators.  This module defines the JSON wire format for
+those records, independent of the runtime's network serialisation so that a
+database file never grows a dependency on the transport layer.
+
+Identity is preserved exactly: rules keep their ``rule_id``/``author``/
+``origin`` and delegations keep their content-hashed ``delegation_id``, which
+is what makes recovery idempotent — a reopened peer re-derives the same
+delegation ids its neighbours already know about.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List
+
+from repro.core.delegation import InstalledDelegation
+from repro.core.rules import Atom, Rule
+from repro.core.schema import RelationKind, RelationSchema
+from repro.core.terms import Constant, ConstantValue, Term, Variable
+from repro.store.backend import StoreError
+
+
+# ---------------------------------------------------------------------- #
+# values and terms
+# ---------------------------------------------------------------------- #
+
+def encode_value(value: ConstantValue):
+    """Encode a constant payload as a JSON-compatible value.
+
+    ``bytes`` and non-finite floats need escape hatches; every other allowed
+    payload type (str/int/float/bool/None) round-trips through JSON natively,
+    including the bool-vs-int distinction.
+    """
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"$float": repr(value)}
+    return value
+
+
+def decode_value(encoded) -> ConstantValue:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(encoded, dict):
+        if "$bytes" in encoded:
+            return bytes.fromhex(encoded["$bytes"])
+        if "$float" in encoded:
+            return float(encoded["$float"])
+        raise StoreError(f"unknown encoded value {encoded!r}")
+    return encoded
+
+
+def encode_term(term: Term) -> Dict:
+    if isinstance(term, Variable):
+        return {"var": term.name}
+    if isinstance(term, Constant):
+        return {"const": encode_value(term.value)}
+    raise StoreError(f"cannot encode term {term!r}")
+
+
+def decode_term(encoded: Dict) -> Term:
+    if "var" in encoded:
+        return Variable(encoded["var"])
+    if "const" in encoded:
+        return Constant(decode_value(encoded["const"]))
+    raise StoreError(f"cannot decode term {encoded!r}")
+
+
+# ---------------------------------------------------------------------- #
+# atoms, rules, schemas, delegations
+# ---------------------------------------------------------------------- #
+
+def encode_atom(atom: Atom) -> Dict:
+    return {
+        "relation": encode_term(atom.relation),
+        "peer": encode_term(atom.peer),
+        "args": [encode_term(a) for a in atom.args],
+        "negated": atom.negated,
+    }
+
+
+def decode_atom(encoded: Dict) -> Atom:
+    return Atom(
+        relation=decode_term(encoded["relation"]),
+        peer=decode_term(encoded["peer"]),
+        args=tuple(decode_term(a) for a in encoded["args"]),
+        negated=bool(encoded.get("negated", False)),
+    )
+
+
+def encode_rule(rule: Rule) -> str:
+    return json.dumps({
+        "head": encode_atom(rule.head),
+        "body": [encode_atom(a) for a in rule.body],
+        "author": rule.author,
+        "origin": rule.origin,
+        "rule_id": rule.rule_id,
+    }, sort_keys=True)
+
+
+def decode_rule(payload: str) -> Rule:
+    data = json.loads(payload)
+    return Rule(
+        head=decode_atom(data["head"]),
+        body=tuple(decode_atom(a) for a in data["body"]),
+        author=data.get("author"),
+        origin=data.get("origin"),
+        rule_id=data["rule_id"],
+    )
+
+
+def encode_schema(schema: RelationSchema) -> str:
+    return json.dumps({
+        "name": schema.name,
+        "peer": schema.peer,
+        "columns": list(schema.columns),
+        "kind": schema.kind.value,
+        "persistent": schema.persistent,
+        "key": list(schema.key),
+    }, sort_keys=True)
+
+
+def decode_schema(payload: str) -> RelationSchema:
+    data = json.loads(payload)
+    return RelationSchema(
+        name=data["name"],
+        peer=data["peer"],
+        columns=tuple(data["columns"]),
+        kind=RelationKind(data["kind"]),
+        persistent=bool(data["persistent"]),
+        key=tuple(data["key"]),
+    )
+
+
+def encode_delegation(installed: InstalledDelegation) -> str:
+    return json.dumps({
+        "delegation_id": installed.delegation_id,
+        "delegator": installed.delegator,
+        "rule": json.loads(encode_rule(installed.rule)),
+    }, sort_keys=True)
+
+
+def decode_delegation(payload: str) -> InstalledDelegation:
+    data = json.loads(payload)
+    rule_data = data["rule"]
+    return InstalledDelegation(
+        delegation_id=data["delegation_id"],
+        delegator=data["delegator"],
+        rule=decode_rule(json.dumps(rule_data)),
+    )

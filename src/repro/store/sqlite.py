@@ -1,0 +1,383 @@
+"""The SQLite storage backend: durable relations, WAL journaling, SQL probes.
+
+Layout
+------
+One backend maps to one database file (or a private in-memory database when
+no path is given).  Each relation table stores one fact per row as *paired
+columns* ``(t0, v0, t1, v1, ...)`` — a type tag plus the value — so that the
+type-strict semantics of :class:`~repro.core.terms.Constant` survive SQLite's
+numeric affinity: ``True`` is stored as ``('bool', 1)`` and stays distinct
+from ``('int', 1)``, and ``1`` stays distinct from ``1.0``.  A full-row
+UNIQUE index gives set semantics via ``INSERT OR IGNORE``; additional
+composite indexes are created lazily per bound-column subset, mirroring the
+hash indexes of the memory backend.
+
+Physical table names are sequential (``r0``, ``r1``, ...) and mapped from
+``(namespace, relation, peer)`` through the ``_repro_catalog`` table, so
+arbitrary relation names never need escaping into identifiers.  Metadata
+(schemas, rules, delegations) lives in ``_repro_meta`` keyed by
+``(kind, key)`` with an insertion sequence number preserving order.
+
+Transactions
+------------
+Writes open an implicit transaction that the engine commits at **stage
+boundaries** (`commit()` is called at the end of every ``run_stage`` and on
+close).  The recovery unit is therefore the stage: a crash mid-stage rolls
+back to the last completed stage, never to a torn half-stage.
+:meth:`SqliteBackend.abort` simulates process death — it rolls back the open
+transaction and drops the connection without committing, which is what the
+crash/recovery suite uses.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import SchemaError
+from repro.core.schema import RelationSchema
+from repro.core.terms import ConstantValue
+from repro.store.backend import StoreError
+
+# Type tags stored alongside every value.  bool must be checked before int
+# (bool subclasses int).
+_TAG_NONE = "none"
+_TAG_BOOL = "bool"
+_TAG_INT = "int"
+_TAG_FLOAT = "float"
+_TAG_STR = "str"
+_TAG_BYTES = "bytes"
+
+#: Tags whose stored values SQLite's SUM/MIN/MAX treat exactly like Python
+#: arithmetic over the decoded values (bool is stored as 0/1, matching
+#: ``True + True == 2``).
+NUMERIC_TAGS = frozenset({_TAG_BOOL, _TAG_INT, _TAG_FLOAT})
+#: Tags safe for exact (bit-identical) SUM/AVG pushdown: integer arithmetic
+#: is associative, float accumulation order is not.
+EXACT_SUM_TAGS = frozenset({_TAG_BOOL, _TAG_INT})
+
+
+def encode_value(value: ConstantValue) -> Tuple[str, object]:
+    """Encode one constant payload as a ``(tag, storable)`` pair."""
+    if value is None:
+        return _TAG_NONE, 0
+    if isinstance(value, bool):
+        return _TAG_BOOL, int(value)
+    if isinstance(value, int):
+        return _TAG_INT, value
+    if isinstance(value, float):
+        return _TAG_FLOAT, value
+    if isinstance(value, str):
+        return _TAG_STR, value
+    if isinstance(value, bytes):
+        return _TAG_BYTES, value
+    raise StoreError(f"unsupported constant type {type(value).__name__!r}")
+
+
+def decode_value(tag: str, stored) -> ConstantValue:
+    """Inverse of :func:`encode_value`."""
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_BOOL:
+        return bool(stored)
+    if tag == _TAG_INT:
+        return int(stored)
+    if tag == _TAG_FLOAT:
+        return float(stored)
+    if tag == _TAG_STR:
+        return stored
+    if tag == _TAG_BYTES:
+        return bytes(stored)
+    raise StoreError(f"unknown value tag {tag!r}")
+
+
+def _pair_columns(arity: int) -> List[str]:
+    cols: List[str] = []
+    for i in range(arity):
+        cols.append(f"t{i}")
+        cols.append(f"v{i}")
+    return cols
+
+
+class SqliteTable:
+    """One relation stored as a SQLite table of tag/value column pairs."""
+
+    __slots__ = ("backend", "schema", "table_name", "_arity", "_cols",
+                 "_col_list", "_insert_sql", "_indexed")
+
+    def __init__(self, backend: "SqliteBackend", table_name: str, schema: RelationSchema):
+        self.backend = backend
+        self.schema = schema
+        self.table_name = table_name
+        self._arity = schema.arity
+        # Zero-arity relations get a single dummy column so the table is valid SQL.
+        self._cols = _pair_columns(self._arity) or ["u"]
+        self._col_list = ", ".join(self._cols)
+        marks = ", ".join("?" for _ in self._cols)
+        self._insert_sql = (
+            f'INSERT OR IGNORE INTO "{table_name}" ({self._col_list}) VALUES ({marks})'
+        )
+        self._indexed: Set[Tuple[int, ...]] = set()
+
+    # -- encoding -------------------------------------------------------- #
+
+    def _encode_row(self, values: Tuple[ConstantValue, ...]) -> Tuple:
+        if not self._arity:
+            return (0,)
+        params: List[object] = []
+        for value in values:
+            tag, stored = encode_value(value)
+            params.append(tag)
+            params.append(stored)
+        return tuple(params)
+
+    def _decode_row(self, row) -> Tuple[ConstantValue, ...]:
+        if not self._arity:
+            return ()
+        return tuple(decode_value(row[2 * i], row[2 * i + 1]) for i in range(self._arity))
+
+    def _eq_clause(self, count: int) -> str:
+        if not count:
+            return "u = ?"
+        return " AND ".join(f"t{i} = ? AND v{i} = ?" for i in range(count))
+
+    # -- StorageTable protocol ------------------------------------------- #
+
+    def __len__(self) -> int:
+        cur = self.backend.execute(f'SELECT COUNT(*) FROM "{self.table_name}"')
+        return cur.fetchone()[0]
+
+    def __contains__(self, values: Tuple[ConstantValue, ...]) -> bool:
+        values = tuple(values)
+        if len(values) != self._arity:
+            return False
+        sql = f'SELECT 1 FROM "{self.table_name}" WHERE {self._eq_clause(self._arity)} LIMIT 1'
+        return self.backend.execute(sql, self._encode_row(values)).fetchone() is not None
+
+    def __iter__(self) -> Iterator[Tuple[ConstantValue, ...]]:
+        return self.scan(None)
+
+    def insert(self, values: Tuple[ConstantValue, ...]) -> Tuple[List[Tuple], List[Tuple]]:
+        values = tuple(values)
+        if len(values) != self._arity:
+            raise SchemaError(
+                f"arity mismatch inserting into {self.schema.qualified_name}: "
+                f"expected {self._arity}, got {len(values)}"
+            )
+        key_idx = self.schema.key_indexes()
+        self.backend.begin()
+        if not key_idx:
+            cur = self.backend.execute(self._insert_sql, self._encode_row(values))
+            if cur.rowcount == 0:
+                return [], []
+            return [values], []
+        # Primary-key replacement: an exact duplicate is a no-op; otherwise
+        # rows sharing the key are displaced (last-writer-wins).
+        if values in self:
+            return [], []
+        deleted: List[Tuple[ConstantValue, ...]] = []
+        bindings = {i: values[i] for i in key_idx}
+        for row in list(self.scan(bindings)):
+            self.delete(row)
+            deleted.append(row)
+        self.backend.execute(self._insert_sql, self._encode_row(values))
+        return [values], deleted
+
+    def delete(self, values: Tuple[ConstantValue, ...]) -> bool:
+        values = tuple(values)
+        if len(values) != self._arity:
+            return False
+        self.backend.begin()
+        sql = f'DELETE FROM "{self.table_name}" WHERE {self._eq_clause(self._arity)}'
+        cur = self.backend.execute(sql, self._encode_row(values))
+        return cur.rowcount > 0
+
+    def clear(self) -> List[Tuple[ConstantValue, ...]]:
+        removed = list(self.scan(None))
+        if removed:
+            self.backend.begin()
+            self.backend.execute(f'DELETE FROM "{self.table_name}"')
+        return removed
+
+    def scan(self, bindings: Optional[Dict[int, ConstantValue]] = None
+             ) -> Iterator[Tuple[ConstantValue, ...]]:
+        if not bindings:
+            cur = self.backend.execute(
+                f'SELECT {self._col_list} FROM "{self.table_name}"')
+            for row in cur:
+                yield self._decode_row(row)
+            return
+        positions = tuple(sorted(bindings))
+        if positions[-1] >= self._arity:
+            return
+        self._ensure_index(positions)
+        clause = " AND ".join(f"t{p} = ? AND v{p} = ?" for p in positions)
+        params: List[object] = []
+        for p in positions:
+            tag, stored = encode_value(bindings[p])
+            params.append(tag)
+            params.append(stored)
+        cur = self.backend.execute(
+            f'SELECT {self._col_list} FROM "{self.table_name}" WHERE {clause}', params)
+        for row in cur:
+            yield self._decode_row(row)
+
+    def _ensure_index(self, positions: Tuple[int, ...]) -> None:
+        """Lazily create a composite index on a bound-column subset."""
+        if positions in self._indexed or tuple(range(self._arity)) == positions:
+            # The full-row UNIQUE index already covers all-columns probes.
+            self._indexed.add(positions)
+            return
+        suffix = "_".join(str(p) for p in positions)
+        cols = ", ".join(f"t{p}, v{p}" for p in positions)
+        self.backend.begin()
+        self.backend.execute(
+            f'CREATE INDEX IF NOT EXISTS "{self.table_name}__ix_{suffix}" '
+            f'ON "{self.table_name}" ({cols})')
+        self._indexed.add(positions)
+
+
+class SqliteBackend:
+    """Durable storage backend over a single SQLite database."""
+
+    name = "sqlite"
+    SUPPORTS_SQL = True
+
+    def __init__(self, path: Optional[str] = None, wal: bool = True):
+        self.path = path
+        self.persistent = path is not None
+        self._conn = sqlite3.connect(path if path is not None else ":memory:",
+                                     isolation_level=None, check_same_thread=False)
+        if self.persistent and wal:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._in_txn = False
+        self._closed = False
+        self._tables: Dict[Tuple[str, str, str], SqliteTable] = {}
+        #: Observability: statements executed on behalf of the rule compiler.
+        self.counters: Dict[str, int] = {"compiled_statements": 0, "aggregate_pushdowns": 0}
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS _repro_catalog ("
+            " namespace TEXT NOT NULL, relation TEXT NOT NULL, peer TEXT NOT NULL,"
+            " table_name TEXT NOT NULL, arity INTEGER NOT NULL,"
+            " PRIMARY KEY (namespace, relation, peer))")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS _repro_meta ("
+            " kind TEXT NOT NULL, key TEXT NOT NULL, seq INTEGER NOT NULL,"
+            " payload TEXT NOT NULL, PRIMARY KEY (kind, key))")
+        self._physical: Dict[Tuple[str, str, str], Tuple[str, int]] = {}
+        for namespace, relation, peer, table_name, arity in self._conn.execute(
+                "SELECT namespace, relation, peer, table_name, arity FROM _repro_catalog"):
+            self._physical[(namespace, relation, peer)] = (table_name, arity)
+        self._table_seq = len(self._physical)
+
+    # -- connection management ------------------------------------------- #
+
+    def begin(self) -> None:
+        """Open the stage transaction if none is active."""
+        if not self._in_txn:
+            self._conn.execute("BEGIN")
+            self._in_txn = True
+
+    def execute(self, sql: str, params=()) -> sqlite3.Cursor:
+        """Execute a statement on the backend connection."""
+        return self._conn.execute(sql, params)
+
+    def commit(self) -> None:
+        if self._closed:
+            return
+        if self._in_txn:
+            self._conn.execute("COMMIT")
+            self._in_txn = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.commit()
+        self._conn.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Simulate process death: roll back the open transaction, drop the
+        connection, commit nothing.  Used by the crash/recovery suite."""
+        if self._closed:
+            return
+        if self._in_txn:
+            self._conn.execute("ROLLBACK")
+            self._in_txn = False
+        self._conn.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- tables ----------------------------------------------------------- #
+
+    def table(self, namespace: str, schema: RelationSchema) -> SqliteTable:
+        key = (namespace, schema.name, schema.peer)
+        table = self._tables.get(key)
+        if table is not None:
+            return table
+        physical = self._physical.get(key)
+        if physical is None:
+            table_name = f"r{self._table_seq}"
+            self._table_seq += 1
+            cols = _pair_columns(schema.arity) or ["u"]
+            col_defs = ", ".join(f"{c} NOT NULL" for c in cols)
+            self.begin()
+            self._conn.execute(f'CREATE TABLE "{table_name}" ({col_defs})')
+            self._conn.execute(
+                f'CREATE UNIQUE INDEX "{table_name}__row" '
+                f'ON "{table_name}" ({", ".join(cols)})')
+            self._conn.execute(
+                "INSERT INTO _repro_catalog (namespace, relation, peer, table_name, arity)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (namespace, schema.name, schema.peer, table_name, schema.arity))
+            self._physical[key] = (table_name, schema.arity)
+        else:
+            table_name, arity = physical
+            if arity != schema.arity:
+                raise StoreError(
+                    f"stored table for {schema.qualified_name} has arity {arity}, "
+                    f"schema says {schema.arity}")
+        table = SqliteTable(self, table_name, schema)
+        self._tables[key] = table
+        return table
+
+    def table_ref(self, namespace: str, relation: str, peer: str
+                  ) -> Optional[Tuple[str, int]]:
+        """``(physical_table_name, arity)`` without creating the table."""
+        return self._physical.get((namespace, relation, peer))
+
+    def stored_relations(self, namespace: str) -> Tuple[Tuple[str, str, int], ...]:
+        found = [(relation, peer, arity)
+                 for (ns, relation, peer), (_, arity) in self._physical.items()
+                 if ns == namespace]
+        return tuple(sorted(found))
+
+    # -- metadata --------------------------------------------------------- #
+
+    def save_meta(self, kind: str, key: str, payload: str) -> None:
+        self.begin()
+        row = self._conn.execute(
+            "SELECT seq FROM _repro_meta WHERE kind = ? AND key = ?", (kind, key)).fetchone()
+        if row is not None:
+            seq = row[0]
+        else:
+            seq = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM _repro_meta WHERE kind = ?",
+                (kind,)).fetchone()[0]
+        self._conn.execute(
+            "INSERT OR REPLACE INTO _repro_meta (kind, key, seq, payload) VALUES (?, ?, ?, ?)",
+            (kind, key, seq, payload))
+
+    def delete_meta(self, kind: str, key: str) -> None:
+        self.begin()
+        self._conn.execute(
+            "DELETE FROM _repro_meta WHERE kind = ? AND key = ?", (kind, key))
+
+    def load_meta(self, kind: str) -> List[Tuple[str, str]]:
+        cur = self._conn.execute(
+            "SELECT key, payload FROM _repro_meta WHERE kind = ? ORDER BY seq", (kind,))
+        return [(row[0], row[1]) for row in cur]

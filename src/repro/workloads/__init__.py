@@ -13,6 +13,7 @@ with seeded randomness so every experiment is repeatable:
 from repro.workloads.generator import (
     WorkloadConfig,
     Workload,
+    ZipfSampler,
     generate_workload,
     attendee_names,
 )
@@ -21,6 +22,7 @@ from repro.workloads.traces import TraceEvent, WorkloadTrace, generate_trace
 __all__ = [
     "WorkloadConfig",
     "Workload",
+    "ZipfSampler",
     "generate_workload",
     "attendee_names",
     "TraceEvent",

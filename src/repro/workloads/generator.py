@@ -7,6 +7,7 @@ benchmark harness, whose sweeps must be comparable across runs.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -36,6 +37,47 @@ def attendee_names(count: int) -> Tuple[str, ...]:
     return tuple(names)
 
 
+class ZipfSampler:
+    """Draws ranks ``0..size-1`` with probability proportional to
+    ``1 / (rank + 1) ** exponent`` — the fan-out law of real annotation
+    traffic, where a handful of pictures receive most of the ratings.
+
+    ``exponent`` 0 degenerates to uniform; around 1 is the classic Zipf
+    shape; larger values concentrate harder on the head.  Sampling is
+    inverse-CDF over a precomputed cumulative table (O(log size) per draw),
+    so a million-fact workload costs a million bisections, not a million
+    weight recomputations.  Deterministic given its ``rng``.
+    """
+
+    __slots__ = ("size", "exponent", "rng", "_cumulative", "_total")
+
+    def __init__(self, size: int, exponent: float,
+                 rng: Optional[random.Random] = None):
+        if size < 1:
+            raise WorkloadError("ZipfSampler needs a positive population size")
+        if exponent < 0:
+            raise WorkloadError("zipf exponent must be non-negative")
+        self.size = size
+        self.exponent = exponent
+        self.rng = rng if rng is not None else random.Random(0)
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, size + 1):
+            total += 1.0 / rank ** exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self) -> int:
+        """One rank, head-biased according to the exponent."""
+        return bisect.bisect_left(self._cumulative,
+                                  self.rng.random() * self._total)
+
+    def sample_many(self, count: int) -> List[int]:
+        """``count`` independent ranks."""
+        return [self.sample() for _ in range(count)]
+
+
 @dataclass(frozen=True)
 class WorkloadConfig:
     """Parameters of a synthetic Wepic workload."""
@@ -48,6 +90,10 @@ class WorkloadConfig:
     tags_per_attendee: int = 2
     selection_fraction: float = 0.5
     facebook_authorization_fraction: float = 0.5
+    #: Skew of annotation fan-out over pictures: 0 keeps the historical
+    #: uniform choice, > 0 draws pictures from a :class:`ZipfSampler` so a
+    #: few popular pictures soak up most ratings/comments/tags.
+    popularity_exponent: float = 0.0
     seed: int = 42
 
     def __post_init__(self):
@@ -59,6 +105,8 @@ class WorkloadConfig:
             raise WorkloadError("facebook_authorization_fraction must be within [0, 1]")
         if self.picture_size < 1:
             raise WorkloadError("picture_size must be positive")
+        if self.popularity_exponent < 0:
+            raise WorkloadError("popularity_exponent must be non-negative")
 
 
 @dataclass
@@ -116,16 +164,22 @@ def generate_workload(config: WorkloadConfig) -> Workload:
     tags: List[NameTag] = []
     for attendee in attendees:
         candidates = [p for p in all_pictures if p.owner != attendee] or all_pictures
+        if config.popularity_exponent > 0:
+            sampler = ZipfSampler(len(candidates), config.popularity_exponent,
+                                  rng)
+            pick = lambda: candidates[sampler.sample()]  # noqa: E731
+        else:
+            pick = lambda: rng.choice(candidates)  # noqa: E731
         for _ in range(min(config.ratings_per_attendee, len(candidates))):
-            picture = rng.choice(candidates)
+            picture = pick()
             ratings.append(Rating(picture_id=picture.picture_id, author=attendee,
                                   value=rng.randint(MIN_RATING, MAX_RATING)))
         for index in range(min(config.comments_per_attendee, len(candidates))):
-            picture = rng.choice(candidates)
+            picture = pick()
             comments.append(Comment(picture_id=picture.picture_id, author=attendee,
                                     text=f"comment {index} by {attendee}"))
         for _ in range(min(config.tags_per_attendee, len(candidates))):
-            picture = rng.choice(candidates)
+            picture = pick()
             tagged = rng.choice(attendees)
             tags.append(NameTag(picture_id=picture.picture_id, author=attendee,
                                 attendee=tagged))

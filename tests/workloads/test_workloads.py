@@ -6,6 +6,7 @@ from repro.core.errors import WorkloadError
 from repro.wepic.scenario import build_demo_scenario
 from repro.workloads.generator import (
     WorkloadConfig,
+    ZipfSampler,
     attendee_names,
     generate_workload,
     load_workload,
@@ -144,3 +145,60 @@ class TestTraces:
         trace.append(TraceEvent("reset_rule", "Jules"))
         stats = trace.replay(scenario, run_between_events=True)
         assert stats["events"] == 3
+
+
+class TestZipfSampler:
+    def test_deterministic_for_same_rng_seed(self):
+        import random
+        a = ZipfSampler(100, 1.1, random.Random(5)).sample_many(200)
+        b = ZipfSampler(100, 1.1, random.Random(5)).sample_many(200)
+        assert a == b
+
+    def test_skew_concentrates_on_head(self):
+        import random
+        draws = ZipfSampler(1000, 1.2, random.Random(9)).sample_many(5000)
+        head = sum(1 for rank in draws if rank < 10)
+        # Under a uniform law the top-10 ranks would get ~1% of the draws;
+        # Zipf(1.2) over 1000 ranks gives them the large majority.
+        assert head > len(draws) * 0.4
+        assert all(0 <= rank < 1000 for rank in draws)
+
+    def test_exponent_zero_is_uniform(self):
+        import random
+        draws = ZipfSampler(10, 0.0, random.Random(1)).sample_many(5000)
+        counts = [draws.count(rank) for rank in range(10)]
+        assert min(counts) > 300  # every rank drawn roughly equally
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfSampler(10, -0.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(popularity_exponent=-1.0)
+
+    def test_workload_fanout_follows_exponent(self):
+        flat = generate_workload(WorkloadConfig(
+            attendees=8, pictures_per_attendee=20, ratings_per_attendee=40,
+            picture_size=1, seed=11))
+        skewed = generate_workload(WorkloadConfig(
+            attendees=8, pictures_per_attendee=20, ratings_per_attendee=40,
+            picture_size=1, popularity_exponent=1.5, seed=11))
+
+        def top_share(workload):
+            counts = {}
+            for rating in workload.ratings:
+                counts[rating.picture_id] = counts.get(rating.picture_id, 0) + 1
+            ranked = sorted(counts.values(), reverse=True)
+            top = sum(ranked[:5])
+            return top / len(workload.ratings)
+
+        assert top_share(skewed) > top_share(flat) * 1.5
+
+    def test_exponent_zero_matches_historical_stream(self):
+        """The knob is opt-in: exponent 0 reproduces the exact pre-knob
+        workload for a given seed (same rng consumption)."""
+        a = generate_workload(WorkloadConfig(attendees=4, seed=42))
+        b = generate_workload(WorkloadConfig(attendees=4, seed=42,
+                                             popularity_exponent=0.0))
+        assert a.ratings == b.ratings and a.tags == b.tags
