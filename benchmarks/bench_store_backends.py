@@ -72,13 +72,25 @@ def build_deployment(backend: str, path=None):
     return builder.peer(HUB).program(PROGRAM).done().build()
 
 
-def load(deployment, rows) -> float:
+def load(deployment, rows, batched: bool = False):
+    """Load the relation, per-fact or through the batched bulk-load path.
+
+    ``batched=True`` goes through :meth:`PeerHandle.insert_many`, which the
+    SQLite backend turns into a single ``executemany`` per table instead of
+    one statement per fact.  Returns ``(total_seconds, insert_seconds)`` —
+    the insert time isolates the storage write path from the convergence
+    cost, which is identical for both loading styles.
+    """
     start = time.perf_counter()
     hub = deployment.peer(HUB)
-    for fact in rows:
-        hub.insert(fact)
+    if batched:
+        hub.insert_many(rows)
+    else:
+        for fact in rows:
+            hub.insert(fact)
+    inserted = time.perf_counter()
     deployment.converge()
-    return time.perf_counter() - start
+    return time.perf_counter() - start, inserted - start
 
 
 def selective_queries(deployment, users: int, queries: int):
@@ -106,9 +118,17 @@ def ranking_view(deployment):
     return answer, time.perf_counter() - start
 
 
-def run_backend(backend: str, rows, users: int, queries: int, path=None):
+def run_backend(backend: str, rows, users: int, queries: int, path=None,
+                bulk_path=None):
     deployment = build_deployment(backend, path)
-    load_seconds = load(deployment, rows)
+    load_seconds, insert_seconds = load(deployment, rows)
+
+    # Batched load: the same rows through insert_many on a fresh deployment
+    # (executemany on SQLite).  Must produce the same first selective page.
+    bulk = build_deployment(backend, bulk_path)
+    bulk_load_seconds, bulk_insert_seconds = load(bulk, rows, batched=True)
+    bulk_first, _ = selective_queries(bulk, users, 1)
+    bulk.close()
     selective, selective_seconds = selective_queries(deployment, users, queries)
     ranking, ranking_seconds = ranking_view(deployment)
     counters = dict(
@@ -131,9 +151,19 @@ def run_backend(backend: str, rows, users: int, queries: int, path=None):
     cold_open_seconds = time.perf_counter() - start
     reopened.close()
 
+    if bulk_first != selective[:1]:
+        raise AssertionError(
+            f"{backend}: batched load diverged from per-fact load on the "
+            "first selective page")
+
     return {
         "backend": backend,
         "load_seconds": round(load_seconds, 4),
+        "insert_seconds": round(insert_seconds, 4),
+        "bulk_load_seconds": round(bulk_load_seconds, 4),
+        "bulk_insert_seconds": round(bulk_insert_seconds, 4),
+        "bulk_load_speedup": round(insert_seconds / bulk_insert_seconds, 3)
+        if bulk_insert_seconds else float("inf"),
         "selective_seconds": round(selective_seconds, 4),
         "ranking_seconds": round(ranking_seconds, 4),
         "cold_open_seconds": round(cold_open_seconds, 4),
@@ -149,8 +179,10 @@ def run_benchmark(facts: int, users: int, pictures: int, queries: int,
     for backend in ("memory", "sqlite"):
         path = workdir / backend
         path.mkdir(parents=True, exist_ok=True)
+        bulk_path = workdir / f"{backend}_bulk"
+        bulk_path.mkdir(parents=True, exist_ok=True)
         results[backend], selective, ranking, first = run_backend(
-            backend, rows, users, queries, path)
+            backend, rows, users, queries, path, bulk_path)
         answers[backend] = (selective, ranking, first)
 
     identical = answers["memory"] == answers["sqlite"]
@@ -175,6 +207,7 @@ def run_benchmark(facts: int, users: int, pictures: int, queries: int,
         "ranking_groups": len(answers["memory"][1]),
         "selective_ratio_sqlite_over_memory": round(ratio, 3),
         "cold_open_speedup_sqlite": round(cold_ratio, 3),
+        "bulk_load_speedup_sqlite": sql["bulk_load_speedup"],
         "compiled_statements": sql["counters"].get("compiled_statements", 0),
         "aggregate_pushdowns": sql["counters"].get("aggregate_pushdowns", 0),
     }
@@ -210,9 +243,10 @@ def main() -> None:
                                    args.queries, args.zipf, args.seed,
                                    Path(tmp))
 
-    columns = ["backend", "load (s)", "selective (s)", "ranking (s)",
-               "cold open (s)"]
+    columns = ["backend", "load (s)", "bulk load (s)", "selective (s)",
+               "ranking (s)", "cold open (s)"]
     rows = [[name, result[name]["load_seconds"],
+             result[name]["bulk_load_seconds"],
              result[name]["selective_seconds"],
              result[name]["ranking_seconds"],
              result[name]["cold_open_seconds"]]
@@ -223,6 +257,8 @@ def main() -> None:
           f"{result['selective_ratio_sqlite_over_memory']}x "
           f"(acceptance: <= 3x); cold-open speedup: "
           f"{result['cold_open_speedup_sqlite']}x; "
+          f"bulk-load speedup (sqlite): "
+          f"{result['bulk_load_speedup_sqlite']}x; "
           f"compiled statements: {result['compiled_statements']}; "
           f"answers identical: {result['answers_identical']}")
 

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.facts import Fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema
+from repro.planner import PLANNER_MODES
 from repro.runtime.inmemory import InMemoryTransport
 from repro.runtime.processes import ProcessNetwork
 from repro.runtime.scheduler import Scheduler, resolve_scheduler
@@ -94,6 +95,7 @@ class SystemBuilder:
         self._provenance = False
         self._storage: Optional[str] = None
         self._storage_options: dict = {}
+        self._planner: Optional[str] = None
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -250,6 +252,27 @@ class SystemBuilder:
         self._storage_options = dict(options)
         return self
 
+    def planner(self, mode: str) -> "SystemBuilder":
+        """Choose the cost-based query planner mode for every peer.
+
+        * ``"off"`` — evaluate rule bodies in written order (the baseline);
+        * ``"order"`` — reorder each rule's local body prefix by estimated
+          cardinality before evaluation;
+        * ``"magic"`` (default) — additionally rewrite bound-head view
+          programs with a magic-set/demand transformation so only
+          demand-reachable auxiliary facts are derived.
+
+        When this method is not called, the ``REPRO_PLANNER`` environment
+        variable picks the mode — that is how CI runs the whole suite once
+        per mode.  See ``docs/planner.md``.
+        """
+        if mode not in PLANNER_MODES:
+            raise BuildError(
+                f"unknown planner mode {mode!r}; choose from {PLANNER_MODES}"
+            )
+        self._planner = mode
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -288,6 +311,7 @@ class SystemBuilder:
             provenance=self._provenance,
             storage=self._storage,
             storage_options=dict(self._storage_options),
+            planner=self._planner,
         )
         built = System(runtime)
         for spec in self._specs:
@@ -350,6 +374,12 @@ class SystemBuilder:
                 "the processes backend manages its own scheduling (each worker "
                 "process drives its own engine); scheduler(...) requires the "
                 "in-memory backend"
+            )
+        if self._planner is not None:
+            raise BuildError(
+                "the processes backend does not support explicit planner "
+                "configuration; set REPRO_PLANNER in the worker environment "
+                "instead"
             )
         network = ProcessNetwork(provenance=self._provenance)
         try:

@@ -80,6 +80,15 @@ class PeerHandle:
         """Insert a base fact (local) or queue a remote update."""
         return self._peer.insert_fact(fact)
 
+    def insert_many(self, facts: Sequence[Union[str, Fact]]):
+        """Insert many base facts at once (bulk-load fast path).
+
+        Local facts hit the store through one batched write per relation
+        (``executemany`` on SQL backends); remote facts are queued as
+        individual updates, exactly as :meth:`insert` would.
+        """
+        return self._peer.insert_facts(facts)
+
     def delete(self, fact: Union[str, Fact]):
         """Delete a base fact (local) or queue a remote deletion."""
         return self._peer.delete_fact(fact)
@@ -402,17 +411,22 @@ class System:
     def _install_view(self, handle: PeerHandle, query: QueryLike,
                       viewer: Optional[str], name: Optional[str]) -> LiveView:
         owner = handle.name
-        compiled = compile_query(query, owner=owner,
-                                 view_name=name or self._next_view_name())
         peer = self.runtime.peer(owner)
+        compiled = compile_query(
+            query, owner=owner, view_name=name or self._next_view_name(),
+            planner_mode=getattr(peer.engine, "planner_mode", "off"))
         try:
             peer.declare(compiled.schema)
+            for schema in compiled.extra_schemas:
+                peer.declare(schema)
         except SchemaError as exc:
             raise ReproApiError(
                 f"cannot install view {compiled.view_name!r} at {owner}: {exc}"
             ) from exc
         for rule in compiled.rules:
             peer.add_rule(rule)
+        for fact in compiled.anchor_facts:
+            peer.insert_fact(fact)
         view = LiveView(self, owner, compiled.view_name, compiled=compiled,
                         viewer=viewer)
         self._views.append(view)

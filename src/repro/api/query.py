@@ -63,6 +63,19 @@ class QueryHandle:
         facts = self.facts()
         return facts[0] if facts else None
 
+    def plan(self) -> Optional[Dict[str, object]]:
+        """The query plan behind this handle, for observability.
+
+        Plain relation handles have no plan (the read is a direct relation
+        scan), so the base implementation returns ``None``.
+        :class:`~repro.api.views.LiveView` overrides this with the compiled
+        view's plan: the planner mode, the installed rules, the magic/demand
+        relations the demand transformation added, and the per-rule literal
+        orders (with estimated vs. actual cardinalities) the cost-based
+        planner chose.  See ``docs/planner.md``.
+        """
+        return None
+
     def iter_facts(self) -> Iterator[Fact]:
         """Stream the relation: yield facts while driving the system to fixpoint.
 

@@ -29,11 +29,17 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from repro.core.errors import ParseError, SafetyError
 from repro.core.facts import Fact
-from repro.core.parser import ParsedQuery, QueryAggregate, parse_query
+from repro.core.parser import (
+    ParsedQuery,
+    ParsedQueryProgram,
+    QueryAggregate,
+    parse_query_program,
+)
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema
 from repro.core.terms import Term, Variable
 from repro.datalog.aggregation import Aggregate, compute_aggregate
+from repro.planner.magic import apply_magic
 from repro.api.errors import ReproApiError
 from repro.api.query import FactCallback, QueryHandle, Subscription
 
@@ -43,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: A query as accepted by ``System.query`` / ``PeerHandle.query``: a text
 #: (relation name, rule body, or full rule), a pre-built body atom, a
 #: sequence of body atoms, a :class:`Rule`, or an already-parsed query.
-QueryLike = Union[str, Atom, Sequence[Atom], Rule, ParsedQuery]
+QueryLike = Union[str, Atom, Sequence[Atom], Rule, ParsedQuery, ParsedQueryProgram]
 
 _RELATION_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
 
@@ -57,23 +63,32 @@ def is_declarative(query: QueryLike) -> bool:
     return True
 
 
-def _as_parsed_query(query: QueryLike, owner: str) -> ParsedQuery:
-    if isinstance(query, ParsedQuery):
-        return query
-    if isinstance(query, Rule):
-        name = query.head.relation_constant()
-        return ParsedQuery(body=tuple(query.body), head_name=name or "ans",
-                           head_args=tuple(query.head.args))
-    if isinstance(query, Atom):
-        return ParsedQuery(body=(query.positive() if query.negated else query,))
+def _as_parsed_program(query: QueryLike, owner: str) -> ParsedQueryProgram:
+    """Normalise any accepted query shape into a (possibly one-clause) program.
+
+    Only query *text* can carry ``;``-separated auxiliary clauses; every
+    pre-built shape (atoms, rules, parsed queries) is a one-clause program.
+    """
     if isinstance(query, str):
         try:
-            return parse_query(query, default_peer=owner)
+            return parse_query_program(query, default_peer=owner)
         except ParseError as exc:
             raise ReproApiError(f"cannot parse query {query!r}: {exc}") from exc
+    if isinstance(query, ParsedQueryProgram):
+        return query
+    if isinstance(query, ParsedQuery):
+        return ParsedQueryProgram(clauses=(query,))
+    if isinstance(query, Rule):
+        name = query.head.relation_constant()
+        return ParsedQueryProgram(clauses=(ParsedQuery(
+            body=tuple(query.body), head_name=name or "ans",
+            head_args=tuple(query.head.args)),))
+    if isinstance(query, Atom):
+        return ParsedQueryProgram(clauses=(ParsedQuery(
+            body=(query.positive() if query.negated else query,)),))
     if isinstance(query, Sequence) and query and all(
             isinstance(item, Atom) for item in query):
-        return ParsedQuery(body=tuple(query))
+        return ParsedQueryProgram(clauses=(ParsedQuery(body=tuple(query)),))
     raise ReproApiError(
         f"cannot interpret {query!r} as a query: expected a relation name, a "
         "rule body, a 'head :- body' rule, an Atom, a sequence of Atoms or a "
@@ -124,6 +139,14 @@ class CompiledView:
     head_args: Tuple[Term, ...]
     aggregates: Tuple[QueryAggregate, ...]
     query_text: str
+    #: Schemas of view-scoped auxiliary relations (multi-clause queries) and
+    #: of planner-generated magic/demand relations; declared on install.
+    extra_schemas: Tuple[RelationSchema, ...] = ()
+    #: Demand-anchor facts inserted on install and deleted on ``close()`` —
+    #: their retraction erases every magic fact at the next fixpoint.
+    anchor_facts: Tuple[Fact, ...] = ()
+    #: Names of the magic predicates the planner installed (observability).
+    magic_relations: Tuple[str, ...] = ()
 
     def is_aggregate(self) -> bool:
         """``True`` when reads must group-and-aggregate the raw tuples."""
@@ -134,19 +157,68 @@ class CompiledView:
         return tuple(rule.rule_id for rule in self.rules)
 
 
-def compile_query(query: QueryLike, owner: str, view_name: str) -> CompiledView:
+def _scope_atom(atom: Atom, aux_map: Dict[str, str], owner: str) -> Atom:
+    """Rename references to auxiliary relations to their view-scoped names."""
+    name = atom.relation_constant()
+    if name in aux_map and atom.peer_constant() == owner:
+        return Atom(relation=aux_map[name], peer=atom.peer, args=atom.args,
+                    negated=atom.negated)
+    return atom
+
+
+def compile_query(query: QueryLike, owner: str, view_name: str,
+                  planner_mode: str = "off") -> CompiledView:
     """Compile a declarative query into a view schema plus view rules.
 
-    The compiled rule's head derives into ``view_name@owner`` (declared
-    intensional); its body is the query body verbatim, so the engine
-    evaluates it exactly like a user rule — joins and negation locally,
-    ``relation@peer`` literals through delegation, bound arguments through
-    the index probes.  Raises :class:`ReproApiError` on parse or safety
-    problems (e.g. a head variable not bound by the body).
+    The compiled answer rule's head derives into ``view_name@owner``
+    (declared intensional); its body is the query body verbatim, so the
+    engine evaluates it exactly like a user rule — joins and negation
+    locally, ``relation@peer`` literals through delegation, bound arguments
+    through the index probes.  Raises :class:`ReproApiError` on parse or
+    safety problems (e.g. a head variable not bound by the body).
+
+    A query *text* may carry several ``;``-separated clauses: every clause
+    but the last defines a **view-scoped auxiliary relation**, renamed to
+    ``{view_name}_{name}`` so concurrent views never collide, installed and
+    uninstalled together with the answer rule.  With ``planner_mode="magic"``
+    an answer clause that probes an auxiliary relation with constant
+    arguments is rewritten by :func:`repro.planner.magic.apply_magic` so only
+    demand-reachable auxiliary facts are ever derived.
     """
-    parsed = _as_parsed_query(query, owner)
+    program = _as_parsed_program(query, owner)
+    parsed = program.answer
     if not parsed.body:
         raise ReproApiError("query has an empty body")
+
+    aux_map: Dict[str, str] = {}
+    for clause in program.auxiliary:
+        aux_map.setdefault(clause.head_name, f"{view_name}_{clause.head_name}")
+
+    extra_schemas: List[RelationSchema] = []
+    aux_rules: List[Rule] = []
+    declared: set = set()
+    for clause in program.auxiliary:
+        if not clause.body:
+            raise ReproApiError("query clause has an empty body")
+        scoped = aux_map[clause.head_name]
+        rule = Rule(
+            head=Atom(relation=scoped, peer=owner, args=tuple(clause.head_args)),
+            body=tuple(_scope_atom(atom, aux_map, owner) for atom in clause.body),
+            author=owner,
+        )
+        try:
+            rule.check_safety()
+        except SafetyError as exc:
+            raise ReproApiError(f"unsafe query clause: {exc}") from exc
+        aux_rules.append(rule)
+        if scoped not in declared:
+            declared.add(scoped)
+            extra_schemas.append(RelationSchema(
+                name=scoped, peer=owner,
+                columns=_column_names(clause.head_args),
+                kind=RelationKind.INTENSIONAL, persistent=True,
+            ))
+
     if parsed.head_name is not None:
         head_args = tuple(parsed.head_args)
         aggregates = tuple(parsed.aggregates)
@@ -164,16 +236,34 @@ def compile_query(query: QueryLike, owner: str, view_name: str) -> CompiledView:
         name=view_name, peer=owner, columns=_column_names(raw_args),
         kind=RelationKind.INTENSIONAL, persistent=True,
     )
-    rule = Rule(head=Atom(relation=view_name, peer=owner, args=raw_args),
-                body=tuple(parsed.body), author=owner)
+    answer_rule = Rule(
+        head=Atom(relation=view_name, peer=owner, args=raw_args),
+        body=tuple(_scope_atom(atom, aux_map, owner) for atom in parsed.body),
+        author=owner,
+    )
     try:
-        rule.check_safety()
+        answer_rule.check_safety()
     except SafetyError as exc:
         raise ReproApiError(f"unsafe query: {exc}") from exc
+
+    rules: Tuple[Rule, ...] = tuple(aux_rules) + (answer_rule,)
+    anchor_facts: Tuple[Fact, ...] = ()
+    magic_relations: Tuple[str, ...] = ()
+    if planner_mode == "magic" and aux_rules:
+        rewrite = apply_magic(view_name, owner, answer_rule,
+                              tuple(aux_rules), set(aux_map.values()))
+        if rewrite is not None:
+            rules = rewrite.rules
+            extra_schemas.extend(rewrite.extra_schemas)
+            anchor_facts = rewrite.anchor_facts
+            magic_relations = rewrite.magic_relations
+
     return CompiledView(
-        view_name=view_name, owner=owner, schema=schema, rules=(rule,),
+        view_name=view_name, owner=owner, schema=schema, rules=rules,
         head_args=head_args, aggregates=aggregates,
-        query_text=query if isinstance(query, str) else str(rule),
+        query_text=query if isinstance(query, str) else str(answer_rule),
+        extra_schemas=tuple(extra_schemas), anchor_facts=anchor_facts,
+        magic_relations=magic_relations,
     )
 
 
@@ -278,6 +368,34 @@ class LiveView(QueryHandle):
     def facts(self) -> Tuple[Fact, ...]:
         """The current answers (ACL-filtered, aggregated where applicable)."""
         return self._read()
+
+    def plan(self) -> Optional[Dict[str, object]]:
+        """The plan behind this view: mode, rules, magic relations, orders.
+
+        ``rule_plans`` holds the cost-based planner's cached
+        :class:`~repro.planner.plans.RulePlan` for each of the view's
+        installed rules (literal order, estimated vs. actual cardinalities);
+        it is empty until a stage has evaluated the view's rules, and always
+        empty under ``REPRO_PLANNER=off``.  Relation-scan views (no compiled
+        query) return ``None`` like the base handle.
+        """
+        if self.compiled is None:
+            return None
+        engine = self._system.runtime.peer(self._owner).engine
+        planner = getattr(engine, "_planner", None)
+        rule_ids = {rule.rule_id for rule in self.compiled.rules}
+        rule_plans = []
+        if planner is not None:
+            for key in sorted(planner._cache, key=str):
+                entry = planner._cache[key]
+                if entry is not None and entry[0].rule_id in rule_ids:
+                    rule_plans.append(entry[0].as_dict())
+        return {
+            "planner_mode": getattr(engine, "planner_mode", "off"),
+            "rules": tuple(str(rule) for rule in self.compiled.rules),
+            "magic_relations": tuple(self.compiled.magic_relations),
+            "rule_plans": tuple(rule_plans),
+        }
 
     def _aggregate_pushdown(self) -> Optional[Tuple[Fact, ...]]:
         """Grouped aggregation executed inside the owner's storage backend."""
@@ -442,6 +560,10 @@ class LiveView(QueryHandle):
                 peer = None
             if peer is not None:
                 peer.remove_rules(self.compiled.rule_ids())
+                for fact in self.compiled.anchor_facts:
+                    # Retracting the demand anchor erases every magic fact at
+                    # the next fixpoint — no planner residue survives close.
+                    peer.delete_fact(fact)
                 if settle:
                     self._system.converge(max_steps=max_steps)
         self._system._forget_view(self)

@@ -28,6 +28,8 @@ from repro.core.parser import ParsedProgram, parse_fact, parse_program, parse_ru
 from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema, SchemaRegistry
 from repro.core.state import PeerState
+from repro.planner import BodyPlanner, StagePlan, StatsProvider, resolve_planner_mode
+from repro.planner.magic import MAGIC_PREFIX
 from repro.store.backend import resolve_backend
 
 #: Predicate marker for atoms whose relation or peer position is still a
@@ -191,6 +193,10 @@ class StageResult:
     #: the :mod:`repro.api` subscription machinery consumes, so observers are
     #: fed from deltas as stages complete instead of re-scanning relations.
     visible_delta: Delta = field(default_factory=Delta.empty)
+    #: The plans the stage's fixpoint executed (literal orders, estimated vs.
+    #: actual cardinalities) plus the magic predicates active in the program.
+    #: ``None`` when the planner is off or the stage evaluated nothing.
+    plan: Optional[StagePlan] = None
 
     def outgoing_fact_count(self) -> int:
         """Total number of facts shipped to remote peers this stage."""
@@ -225,7 +231,8 @@ class WebdamLogEngine:
                  strict_stage_inputs: bool = False,
                  evaluation_mode: str = "incremental",
                  use_indexes: bool = True,
-                 storage=None, storage_options: Optional[Dict] = None):
+                 storage=None, storage_options: Optional[Dict] = None,
+                 planner: Optional[str] = None):
         if evaluation_mode not in ("incremental", "naive"):
             raise ValueError(
                 f"unknown evaluation_mode {evaluation_mode!r}; "
@@ -234,6 +241,20 @@ class WebdamLogEngine:
         self.peer = peer
         backend = resolve_backend(storage, peer=peer, options=storage_options)
         self.state = PeerState(peer, schemas, backend=backend)
+        # Cost-based planner mode: ``off`` (written order), ``order`` (join
+        # ordering) or ``magic`` (ordering + demand transformation of live
+        # views).  ``None`` defers to REPRO_PLANNER / the default.  Ordering
+        # is tied to the indexes — with use_indexes=False the engine is the
+        # scan-everything seed baseline and must stay order-identical to it.
+        self.planner_mode = resolve_planner_mode(planner)
+        self._planner = (
+            BodyPlanner(peer, StatsProvider(self.state), mode=self.planner_mode)
+            if self.planner_mode != "off" and use_indexes else None)
+        # Monotonically increasing program version: bumped whenever the rule
+        # set changes (rules added/removed/replaced, delegations installed or
+        # retracted, programs loaded).  The planner's plan cache is keyed on
+        # it, so uninstalling a view's rules can never leave a stale plan.
+        self.program_version = 0
         # Strict per-stage semantics (facts received for local intensional
         # relations are visible for exactly one stage, as in the PODS model);
         # the default keeps them until the sender retracts them, which is the
@@ -294,6 +315,9 @@ class WebdamLogEngine:
             "stages_delta": 0,
             "stages_rederive": 0,
             "stages_skip": 0,
+            "plans_computed": 0,
+            "plans_cached": 0,
+            "plans_reordered": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -369,8 +393,16 @@ class WebdamLogEngine:
         return self.state.replace_rule(rule_id, new_rule)
 
     def _invalidate_program_cache(self) -> None:
-        """Drop the cached program analysis (rule set is about to change)."""
+        """Drop the cached program analysis (rule set is about to change).
+
+        Also bumps :attr:`program_version`, which keys the planner's plan
+        cache — so removing rules (e.g. a live view uninstalling its magic
+        predicates on ``close()``) can never leave a stale plan behind.
+        """
         self._analysis = None
+        self.program_version += 1
+        if self._planner is not None:
+            self._planner.sync(self.program_version)
 
     def rules(self) -> Tuple[Rule, ...]:
         """The peer's own rules."""
@@ -388,6 +420,26 @@ class WebdamLogEngine:
             return self.state.insert_fact(fact)
         self.send_fact(fact)
         return Delta.insertion([fact])
+
+    def insert_facts(self, facts: Iterable[Union[str, Fact]]) -> Delta:
+        """Insert many base facts in one batch (the bulk-load fast path).
+
+        Local facts flow through the storage backend's batched insert
+        (``executemany`` on SQLite) instead of one round trip per fact;
+        remote facts are queued individually like :meth:`insert_fact`.
+        Returns the delta of the local insertions.
+        """
+        local: List[Fact] = []
+        for fact in facts:
+            if isinstance(fact, str):
+                fact = parse_fact(fact, default_peer=self.peer)
+            if fact.peer == self.peer:
+                local.append(fact)
+            else:
+                self.send_fact(fact)
+        if not local:
+            return Delta.empty()
+        return self.state.insert_facts(local)
 
     def delete_fact(self, fact: Union[str, Fact]) -> Delta:
         """Delete a base fact.  Local facts are removed, remote deletions are queued."""
@@ -670,6 +722,11 @@ class WebdamLogEngine:
         program_changed = analysis is None or not analysis.matches(rules)
         if program_changed:
             analysis = self._analysis = _ProgramAnalysis(self.peer, rules)
+            # Identity backstop: rule mutations that bypassed the engine API
+            # still move the program version (and drop cached plans).
+            self.program_version += 1
+            if self._planner is not None:
+                self._planner.sync(self.program_version)
 
         input_delta = (self._carryover_delta
                        .merge(self.state.store.peek_delta())
@@ -708,10 +765,14 @@ class WebdamLogEngine:
             # scan-everything baseline stays a true baseline.
             pushdown=(self.state.pushdown
                       if self.use_indexes and self.provenance is None else None),
+            planner=self._planner,
         )
         if force_full:
             result.evaluation_path = "full"
-            return self._fixpoint_rederive(analysis, evaluator, result, None, None)
+            outcome = self._fixpoint_rederive(analysis, evaluator, result,
+                                              None, None)
+            self._record_stage_plan(evaluator, analysis, result)
+            return outcome
 
         # Negation makes insertions non-monotone: check the *derivation
         # closure* of the delta against the negated predicates — an insert
@@ -722,14 +783,39 @@ class WebdamLogEngine:
                 analysis.affected_closure(delta_predicates))
             if reachable is None or needs_full:
                 result.evaluation_path = "full"
-                return self._fixpoint_rederive(analysis, evaluator, result, None, None)
-            result.evaluation_path = "rederive"
-            return self._fixpoint_rederive(analysis, evaluator, result,
-                                           affected_predicates, affected_rules)
+                outcome = self._fixpoint_rederive(analysis, evaluator, result,
+                                                  None, None)
+            else:
+                result.evaluation_path = "rederive"
+                outcome = self._fixpoint_rederive(analysis, evaluator, result,
+                                                  affected_predicates,
+                                                  affected_rules)
+            self._record_stage_plan(evaluator, analysis, result)
+            return outcome
 
         result.evaluation_path = "delta"
-        return self._fixpoint_seminaive(analysis, evaluator, result,
-                                        input_delta.inserted)
+        outcome = self._fixpoint_seminaive(analysis, evaluator, result,
+                                           input_delta.inserted)
+        self._record_stage_plan(evaluator, analysis, result)
+        return outcome
+
+    def _record_stage_plan(self, evaluator: RuleEvaluator,
+                           analysis: _ProgramAnalysis,
+                           result: StageResult) -> None:
+        """Surface the executed plans (and planner counters) on the stage."""
+        planner = self._planner
+        if planner is None:
+            return
+        magic = tuple(sorted({
+            head for rule in analysis.rules
+            if (head := rule.head.relation_constant()) is not None
+            and head.startswith(MAGIC_PREFIX)}))
+        plans = tuple(evaluator.plans_used.values())
+        if plans or magic:
+            result.plan = StagePlan(rule_plans=plans, magic_relations=magic)
+        # Planner counters are lifetime totals, like the other eval counters.
+        for key, value in planner.counters.items():
+            self.eval_counters[key] = value
 
     def _fixpoint_seminaive(self, analysis: _ProgramAnalysis,
                             evaluator: RuleEvaluator, result: StageResult,

@@ -133,7 +133,8 @@ class RuleEvaluator:
                  allow_delegation: bool = True,
                  on_derivation: Optional[Callable[[Fact, Rule, Tuple[Fact, ...]], None]] = None,
                  use_indexes: bool = True,
-                 pushdown=None):
+                 pushdown=None,
+                 planner=None):
         self.peer = peer
         self.fact_source = _adapt_fact_source(fact_source)
         self.kind_resolver = kind_resolver or (lambda relation, peer_name: None)
@@ -150,22 +151,43 @@ class RuleEvaluator:
         # time SQL path cannot produce — the engine only wires the pushdown in
         # when no derivation hook is attached.
         self.pushdown = pushdown
+        # Optional cost-based body planner (repro.planner.BodyPlanner): rules
+        # are then walked in the planned literal order instead of the written
+        # one.  Only the local prefix of a body is ever permuted, so the
+        # delegation and negation semantics are order-identical; provenance
+        # support tuples are normalised back to written order on emission.
+        self.planner = planner
+        # Plans executed since construction, for StagePlan observability.
+        self.plans_used: Dict[Tuple[str, Optional[int]], object] = {}
+
+    def _plan_of(self, rule: Rule, delta_index: Optional[int] = None):
+        if self.planner is None:
+            return None
+        if delta_index is None:
+            plan = self.planner.plan_rule(rule)
+        else:
+            plan = self.planner.plan_rule_delta(rule, delta_index)
+        if plan is not None:
+            self.plans_used[plan.key()] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
 
     def evaluate_rule(self, rule: Rule) -> RuleOutcome:
         """Evaluate one rule and return everything it produces."""
         outcome = RuleOutcome()
+        plan = self._plan_of(rule)
         if (self.pushdown is not None and self.on_derivation is None
                 and self.use_indexes):
-            substitutions = self.pushdown.run(rule)
+            substitutions = self.pushdown.run(
+                rule, order=plan.order if plan is not None else None)
             if substitutions is not None:
                 outcome.compiled_sql += 1
                 outcome.substitutions_explored += len(substitutions)
                 for substitution in substitutions:
                     self._emit_head(rule, substitution, outcome, ())
                 return outcome
-        self._evaluate_from(rule, 0, {}, outcome, ())
+        self._evaluate_from(rule, 0, {}, outcome, (), plan=plan)
         return outcome
 
     def evaluate_rules(self, rules: Iterable[Rule]) -> RuleOutcome:
@@ -206,19 +228,28 @@ class RuleEvaluator:
             if not restricted:
                 continue
             self._evaluate_from(rule, 0, {}, outcome, (),
-                                restrict=(index, restricted))
+                                restrict=(index, restricted),
+                                plan=self._plan_of(rule, delta_index=index))
         return outcome
 
     # ------------------------------------------------------------------ #
 
-    def _evaluate_from(self, rule: Rule, index: int, substitution: Substitution,
-                       outcome: RuleOutcome, support: Tuple[Fact, ...],
-                       restrict: Optional[Tuple[int, Set[Fact]]] = None) -> None:
+    def _evaluate_from(self, rule: Rule, step: int, substitution: Substitution,
+                       outcome: RuleOutcome,
+                       support: Tuple[Tuple[int, Fact], ...],
+                       restrict: Optional[Tuple[int, Set[Fact]]] = None,
+                       plan=None) -> None:
         outcome.substitutions_explored += 1
-        if index == len(rule.body):
+        if step == len(rule.body):
             self._emit_head(rule, substitution, outcome, support)
             return
 
+        # ``step`` counts walked literals; ``index`` is the original body
+        # position of the literal walked at this step.  Without a plan the
+        # two coincide (written order).  Plans only permute the local prefix,
+        # so when a remote literal is reached every earlier original position
+        # is already consumed and ``rule.body[index:]`` is a valid remainder.
+        index = plan.order[step] if plan is not None else step
         literal = rule.body[index].substitute(substitution)
         peer_name = self._resolve_peer(literal, rule)
         relation_name = literal.relation_constant()
@@ -238,8 +269,8 @@ class RuleEvaluator:
 
         if literal.negated:
             if not self._has_match(literal):
-                self._evaluate_from(rule, index + 1, substitution, outcome, support,
-                                    restrict)
+                self._evaluate_from(rule, step + 1, substitution, outcome, support,
+                                    restrict, plan)
             return
 
         positive = literal.positive()
@@ -248,11 +279,14 @@ class RuleEvaluator:
         else:
             candidates = self.fact_source(relation_name, peer_name,
                                           self._bindings_of(positive))
+        track = plan.steps[step] if plan is not None else None
         for fact in candidates:
             extended = match_atom_fact(positive, fact, substitution)
             if extended is not None:
-                self._evaluate_from(rule, index + 1, extended, outcome,
-                                    support + (fact,), restrict)
+                if track is not None:
+                    track.actual += 1
+                self._evaluate_from(rule, step + 1, extended, outcome,
+                                    support + ((index, fact),), restrict, plan)
 
     def _bindings_of(self, literal: Atom) -> Optional[Dict[int, object]]:
         """Bound argument positions of an already-substituted literal."""
@@ -315,7 +349,8 @@ class RuleEvaluator:
         )
 
     def _emit_head(self, rule: Rule, substitution: Substitution,
-                   outcome: RuleOutcome, support: Tuple[Fact, ...]) -> None:
+                   outcome: RuleOutcome,
+                   support: Tuple[Tuple[int, Fact], ...]) -> None:
         head = rule.head.substitute(substitution)
         if not head.is_ground():
             raise EvaluationError(
@@ -323,7 +358,12 @@ class RuleEvaluator:
             )
         fact = head.to_fact()
         if self.on_derivation is not None:
-            self.on_derivation(fact, rule, support)
+            # Support facts are tagged with their original body position and
+            # sorted back to written order, so provenance (and explain())
+            # records identical derivations whatever order the planner chose.
+            self.on_derivation(
+                fact, rule,
+                tuple(entry[1] for entry in sorted(support, key=lambda e: e[0])))
         if fact.peer != self.peer:
             outcome.remote_facts.add(fact)
             return

@@ -24,7 +24,7 @@ from repro.core.terms import Constant, ConstantValue, Term
 from repro.store.memory import MemoryBackend, MemoryTable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Fact:
     """A ground fact ``relation@peer(values...)``.
 
@@ -32,6 +32,12 @@ class Fact:
     that facts are cheap to build from wrappers, workload generators and the
     storage layer.  Use :meth:`terms` to obtain the :class:`Constant` view
     needed by unification.
+
+    Equality and hashing are *type-strict*, matching :class:`Constant` and
+    the storage row keys: ``r@p(1)``, ``r@p(True)`` and ``r@p(1.0)`` are
+    three different facts even though the payloads compare ``==`` in Python
+    — otherwise they would collide in delta sets while the stores keep them
+    distinct.
     """
 
     relation: str
@@ -43,6 +49,17 @@ class Fact:
             raise SchemaError("fact must name a relation and a peer")
         if not isinstance(self.values, tuple):
             object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(self, "_key", (
+            self.relation, self.peer,
+            tuple((type(v), v) for v in self.values)))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
 
     @property
     def arity(self) -> int:
@@ -218,11 +235,36 @@ class FactStore:
         return Delta(frozenset(delta_inserted), frozenset(delta_deleted))
 
     def insert_many(self, facts: Iterable[Fact]) -> Delta:
-        """Insert several facts; returns the merged delta."""
-        total = Delta.empty()
+        """Insert several facts; returns the merged delta.
+
+        Facts are grouped per relation and handed to the table's batched
+        insert path when the relation has no primary key (the common bulk-load
+        shape), so SQL backends run one ``executemany`` per relation instead
+        of one statement per fact.  Keyed relations keep the per-fact path:
+        last-writer-wins replacement makes intra-batch order observable, and
+        the delta/pending bookkeeping must see each step.  Semantics are
+        identical to a sequence of :meth:`insert` calls either way.
+        """
+        inserted: Set[Fact] = set()
+        deleted: Set[Fact] = set()
+        grouped: Dict[RelationName, List[Fact]] = {}
         for fact in facts:
-            total = total.merge(self.insert(fact))
-        return total
+            grouped.setdefault(fact.relation_name, []).append(fact)
+        for key, group in grouped.items():
+            table = self._table(key.name, key.peer, group[0].arity)
+            if not table.schema.key_indexes() and hasattr(table, "insert_many"):
+                rows, _ = table.insert_many([fact.values for fact in group])
+                batch = {Fact(key.name, key.peer, row) for row in rows}
+                self._record(batch, set())
+                inserted |= batch
+                continue
+            for fact in group:
+                step = self.insert(fact)
+                inserted |= step.inserted
+                inserted -= step.deleted
+                deleted |= step.deleted
+                deleted -= step.inserted
+        return Delta(frozenset(inserted), frozenset(deleted))
 
     def delete(self, fact: Fact) -> Delta:
         """Delete ``fact``; returns the resulting delta (empty if absent)."""

@@ -159,6 +159,28 @@ class ParsedQuery:
 
 
 @dataclass
+class ParsedQueryProgram:
+    """Result of parsing a multi-clause query (see :func:`parse_query_program`).
+
+    All clauses but the last define *view-scoped auxiliary relations* (they
+    must carry explicit heads and no aggregates); the final clause is the
+    answer.  A single-clause program is exactly a :func:`parse_query` query.
+    """
+
+    clauses: Tuple[ParsedQuery, ...]
+
+    @property
+    def answer(self) -> ParsedQuery:
+        """The final clause — the one whose results the view shows."""
+        return self.clauses[-1]
+
+    @property
+    def auxiliary(self) -> Tuple[ParsedQuery, ...]:
+        """The clauses defining intermediate, view-scoped relations."""
+        return self.clauses[:-1]
+
+
+@dataclass
 class ParsedProgram:
     """Result of parsing a WebdamLog program text."""
 
@@ -540,6 +562,36 @@ def parse_query(source: str, default_peer: Optional[str] = None) -> ParsedQuery:
         raise ParseError(f"trailing input after query: {token.text!r}",
                          token.line, token.column)
     return query
+
+
+def parse_query_program(source: str, default_peer: Optional[str] = None
+                        ) -> ParsedQueryProgram:
+    """Parse a ``;``-separated sequence of query clauses.
+
+    Every clause but the last must be of the explicit-head form — its head
+    names an auxiliary relation scoped to the view being compiled — and may
+    not use aggregates.  The final clause is the answer and accepts every
+    shape :func:`parse_query` accepts.  A source without ``;``-separated
+    clauses parses to a one-clause program.
+    """
+    parser = _Parser(tokenize(source), default_peer=default_peer)
+    clauses: List[ParsedQuery] = [parser._parse_query()]
+    while parser._accept("SEMICOLON"):
+        if parser.at_end():
+            break
+        clauses.append(parser._parse_query())
+    if not parser.at_end():
+        token = parser._peek()
+        raise ParseError(f"trailing input after query: {token.text!r}",
+                         token.line, token.column)
+    for clause in clauses[:-1]:
+        if clause.head_name is None:
+            raise ParseError(
+                "every clause before the last must name an auxiliary relation "
+                "with an explicit head (name(args) :- body)")
+        if clause.aggregates:
+            raise ParseError("aggregates are only allowed in the final clause")
+    return ParsedQueryProgram(clauses=tuple(clauses))
 
 
 def parse_atom(source: str, default_peer: Optional[str] = None,

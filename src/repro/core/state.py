@@ -251,6 +251,28 @@ class PeerState:
             )
         return self.store.insert(fact)
 
+    def insert_facts(self, facts: Iterable[Fact]) -> Delta:
+        """Insert many base facts at once (bulk-load fast path).
+
+        Same validation as :meth:`insert_fact` per fact, then one batched
+        store insert, so SQL backends see a single ``executemany`` per
+        relation instead of a statement per fact.
+        """
+        validated = []
+        for fact in facts:
+            if fact.peer != self.peer:
+                raise SchemaError(
+                    f"peer {self.peer} cannot store fact {fact} of a relation located "
+                    f"at {fact.peer}; send it as an update instead"
+                )
+            if self.is_local_intensional(fact):
+                raise SchemaError(
+                    f"cannot insert base fact into intensional relation "
+                    f"{fact.qualified_relation}"
+                )
+            validated.append(fact)
+        return self.store.insert_many(validated)
+
     def delete_fact(self, fact: Fact) -> Delta:
         """Delete a base fact from the local extensional store."""
         if fact.peer != self.peer:

@@ -81,6 +81,71 @@ class IndexPool:
         self._by_predicate.clear()
 
 
+def plan_body_order(body: Tuple[DatalogAtom, ...], database: Database,
+                    delta_predicate: Optional[str] = None) -> Optional[Tuple[int, ...]]:
+    """Greedy cheap-first ordering of a rule body, as a tuple of body indexes.
+
+    The order keeps a delta-restricted occurrence first (the delta is usually
+    far smaller than its full relation), then repeatedly picks the smallest
+    remaining positive relation, interleaving each negated literal as soon as
+    every one of its variables is bound.  Relative order of occurrences of the
+    same predicate is preserved, which the delta bookkeeping of
+    :func:`repro.datalog.naive.evaluate_rule` relies on.
+
+    Returns ``None`` when the written order is already the chosen order, so
+    callers can skip rebuilding the rule.
+    """
+    total = len(body)
+    if total < 2:
+        return None
+    order: List[int] = []
+    remaining = list(range(total))
+    bound: Set[Var] = set()
+
+    def place(position: int) -> None:
+        order.append(position)
+        remaining.remove(position)
+        if not body[position].negated:
+            bound.update(body[position].variables())
+
+    if delta_predicate is not None:
+        for position in remaining:
+            literal = body[position]
+            if not literal.negated and literal.predicate == delta_predicate:
+                place(position)
+                break
+
+    def prior_occurrences_placed(position: int) -> bool:
+        predicate = body[position].predicate
+        return all(
+            body[other].predicate != predicate or body[other].negated
+            for other in remaining
+            if other < position
+        )
+
+    while remaining:
+        ready_negations = [
+            position for position in remaining
+            if body[position].negated
+            and all(var in bound for var in body[position].variables())
+        ]
+        if ready_negations:
+            place(ready_negations[0])
+            continue
+        positives = [
+            position for position in remaining
+            if not body[position].negated and prior_occurrences_placed(position)
+        ]
+        if not positives:
+            return None
+        place(min(positives, key=lambda p: (database.size(body[p].predicate), p)))
+
+    chosen = tuple(order)
+    if chosen == tuple(range(total)):
+        return None
+    return chosen
+
+
 def match_atom(atom: DatalogAtom, rows_source: Database, bindings: Bindings,
                pool: Optional[IndexPool] = None,
                rows_override: Optional[Iterable[Tuple]] = None) -> Iterator[Bindings]:

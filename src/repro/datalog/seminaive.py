@@ -16,20 +16,43 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.datalog.indexes import IndexPool
+from repro.datalog.indexes import IndexPool, plan_body_order
 from repro.datalog.naive import EvaluationStats, evaluate_rule
 from repro.datalog.program import Database, DatalogAtom, DatalogProgram, DatalogRule
 from repro.datalog.stratification import DependencyGraph, stratify
+from repro.planner import resolve_planner_mode
+
+
+def _planned_rule(rule: DatalogRule, database: Database,
+                  delta_predicate: Optional[str] = None) -> DatalogRule:
+    """``rule`` with its body reordered by :func:`plan_body_order`.
+
+    Returns the original rule unchanged when the written order already wins.
+    Safety of the reordered rule follows from the planner only emitting a
+    negation once its variables are bound by earlier positives.
+    """
+    order = plan_body_order(rule.body, database, delta_predicate=delta_predicate)
+    if order is None:
+        return rule
+    body = tuple(rule.body[position] for position in order)
+    return DatalogRule(rule.head, body, rule.head_aggregates)
 
 
 class SeminaiveEvaluator:
-    """Stratified seminaive fixpoint evaluation."""
+    """Stratified seminaive fixpoint evaluation.
 
-    def __init__(self, program: DatalogProgram):
+    ``planner`` selects body ordering: ``"off"`` evaluates bodies in written
+    order, any other mode (see :mod:`repro.planner`) reorders each body by
+    estimated cost — delta literal first, then smallest relations.  Defaults
+    to the ``REPRO_PLANNER`` environment knob.
+    """
+
+    def __init__(self, program: DatalogProgram, planner: Optional[str] = None):
         program.check_safety()
         self.program = program
         self._strata = stratify(program)
         self._idb = program.idb_predicates()
+        self._planner_mode = resolve_planner_mode(planner)
 
     def evaluate(self, database: Database) -> EvaluationStats:
         """Run the program to fixpoint, mutating ``database`` in place."""
@@ -55,12 +78,15 @@ class SeminaiveEvaluator:
         # the cached indexes) instead of being rebuilt every iteration.
         pool = IndexPool(database)
 
+        reorder = self._planner_mode != "off"
+
         # --- iteration 0: naive pass over all rules --------------------- #
         stats.iterations += 1
         delta: Dict[str, Set[Tuple]] = {}
         for r in rules:
             stats.rule_firings += 1
-            for head in evaluate_rule(r, database, pool):
+            planned = _planned_rule(r, database) if reorder else r
+            for head in evaluate_rule(planned, database, pool):
                 if database.add_atom(head):
                     stats.derived_facts += 1
                     pool.add_row(head.predicate, head.terms)
@@ -81,8 +107,12 @@ class SeminaiveEvaluator:
                     continue
                 for predicate in relevant_predicates:
                     stats.rule_firings += 1
+                    planned = (
+                        _planned_rule(r, database, delta_predicate=predicate)
+                        if reorder else r
+                    )
                     produced = evaluate_rule(
-                        r, database, pool,
+                        planned, database, pool,
                         delta_predicate=predicate,
                         delta_rows=delta[predicate],
                     )
@@ -96,7 +126,8 @@ class SeminaiveEvaluator:
 
 
 def incremental_insert(program: DatalogProgram, database: Database,
-                       new_facts: Iterable[Tuple[str, Tuple]]) -> EvaluationStats:
+                       new_facts: Iterable[Tuple[str, Tuple]],
+                       planner: Optional[str] = None) -> EvaluationStats:
     """Incrementally maintain ``database`` after inserting EDB facts.
 
     The new facts are added, then a delta-driven pass propagates their
@@ -117,6 +148,7 @@ def incremental_insert(program: DatalogProgram, database: Database,
             delta.setdefault(predicate, set()).add(tuple(row))
             stats.derived_facts += 1
 
+    reorder = resolve_planner_mode(planner) != "off"
     pool = IndexPool(database)
     while delta:
         stats.iterations += 1
@@ -129,8 +161,12 @@ def incremental_insert(program: DatalogProgram, database: Database,
             }
             for predicate in relevant:
                 stats.rule_firings += 1
+                planned = (
+                    _planned_rule(r, database, delta_predicate=predicate)
+                    if reorder else r
+                )
                 produced = evaluate_rule(
-                    r, database, pool,
+                    planned, database, pool,
                     delta_predicate=predicate,
                     delta_rows=delta[predicate],
                 )

@@ -1,0 +1,74 @@
+"""Cardinality statistics over a peer's state.
+
+The planner's cost model needs two numbers per relation: the current fact
+count (cheap — the stores maintain running counts) and, per argument
+position, an estimate of the number of distinct values (used as the
+selectivity of binding that position).  Distinct counts are computed lazily
+by one relation scan and cached; a cached entry is recomputed when the
+relation's count has drifted by more than :data:`DRIFT_FACTOR` since it was
+taken, so estimates track insert/retract churn without rescanning on every
+plan.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, Tuple
+
+#: A cached distinct-count (and a cached plan, see
+#: :class:`~repro.planner.ordering.BodyPlanner`) is considered stale when the
+#: relation count grew or shrank by more than this factor since it was taken.
+DRIFT_FACTOR = 4
+
+
+def drifted(baseline: int, current: int) -> bool:
+    """``True`` when ``current`` is more than :data:`DRIFT_FACTOR` away from
+    ``baseline`` (in either direction, with 0 treated as 1)."""
+    low = max(1, baseline)
+    high = max(1, current)
+    return high > low * DRIFT_FACTOR or low > high * DRIFT_FACTOR
+
+
+class StatsProvider:
+    """Relation counts and per-position distinct-value estimates.
+
+    Reads through a :class:`~repro.core.state.PeerState`: the visible
+    cardinality of ``relation@peer`` is the union of the extensional store,
+    the derived store and the provided facts (matching what the evaluator's
+    fact view iterates).
+    """
+
+    def __init__(self, state):
+        self.state = state
+        # {(relation, peer, position): (count when computed, distinct values)}
+        self._distinct: Dict[Tuple[str, str, int], Tuple[int, int]] = {}
+
+    def count(self, relation: str, peer: str) -> int:
+        """Current number of facts visible for ``relation@peer``."""
+        state = self.state
+        return (state.store.count(relation, peer)
+                + state.derived.count(relation, peer)
+                + state.provided_count(relation, peer))
+
+    def distinct(self, relation: str, peer: str, position: int) -> int:
+        """Estimated distinct values at ``position`` of ``relation@peer``.
+
+        Computed by one scan (stored + derived facts; the usually-small
+        provided set is ignored) and cached until the relation count drifts.
+        Always at least 1 so it can be used as a divisor.
+        """
+        count = self.count(relation, peer)
+        key = (relation, peer, position)
+        cached = self._distinct.get(key)
+        if cached is not None and not drifted(cached[0], count):
+            return cached[1]
+        values = set()
+        state = self.state
+        for fact in chain(state.store.facts(relation, peer),
+                          state.derived.facts(relation, peer)):
+            if position < len(fact.values):
+                value = fact.values[position]
+                values.add((type(value).__name__, value))
+        distinct = max(1, len(values))
+        self._distinct[key] = (count, distinct)
+        return distinct

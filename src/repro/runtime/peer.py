@@ -61,13 +61,15 @@ class Peer:
                  schemas: Optional[SchemaRegistry] = None,
                  evaluation_mode: str = "incremental",
                  provenance: bool = False,
-                 storage=None, storage_options: Optional[Dict] = None):
+                 storage=None, storage_options: Optional[Dict] = None,
+                 planner: Optional[str] = None):
         self.name = name
         self.engine = WebdamLogEngine(name, schemas=schemas,
                                       strict_stage_inputs=strict_stage_inputs,
                                       evaluation_mode=evaluation_mode,
                                       storage=storage,
-                                      storage_options=storage_options)
+                                      storage_options=storage_options,
+                                      planner=planner)
         if provenance:
             self.engine.provenance = ProvenanceTracker()
         self.controller = DelegationController(
@@ -113,6 +115,10 @@ class Peer:
     def insert_fact(self, fact: Union[str, Fact]) -> Delta:
         """Insert a base fact (local) or queue an update (remote)."""
         return self.engine.insert_fact(fact)
+
+    def insert_facts(self, facts: Iterable[Union[str, Fact]]) -> Delta:
+        """Insert many base facts at once (batched store write)."""
+        return self.engine.insert_facts(facts)
 
     def delete_fact(self, fact: Union[str, Fact]) -> Delta:
         """Delete a base fact (local) or queue a remote deletion."""

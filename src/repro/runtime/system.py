@@ -97,7 +97,8 @@ class WebdamLogSystem:
                  scheduler: Union[None, str, Scheduler] = None,
                  evaluation_mode: str = "incremental",
                  provenance: bool = False,
-                 storage=None, storage_options: Optional[Dict] = None):
+                 storage=None, storage_options: Optional[Dict] = None,
+                 planner: Optional[str] = None):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
@@ -113,6 +114,9 @@ class WebdamLogSystem:
         # resolves its own backend instance (one database file per peer).
         self.storage = storage
         self.storage_options = dict(storage_options or {})
+        # Planner mode applied to every peer ("off", "order", "magic", or
+        # None to consult REPRO_PLANNER / the default).
+        self.planner = planner
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
@@ -184,7 +188,8 @@ class WebdamLogSystem:
                     evaluation_mode=self.evaluation_mode,
                     provenance=self.provenance if provenance is None else provenance,
                     storage=self.storage,
-                    storage_options=dict(self.storage_options))
+                    storage_options=dict(self.storage_options),
+                    planner=self.planner)
         self.peers[name] = peer
         self.transport.register(name)
         if program:

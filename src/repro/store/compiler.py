@@ -80,14 +80,19 @@ class BodyPushdown:
     # whole-body pushdown
     # ------------------------------------------------------------------ #
 
-    def run(self, rule: Rule) -> Optional[List[Dict[Variable, Constant]]]:
+    def run(self, rule: Rule,
+            order: Optional[Sequence[int]] = None
+            ) -> Optional[List[Dict[Variable, Constant]]]:
         """Evaluate ``rule``'s body in the store.
 
         Returns one substitution (over the head variables) per distinct
         result row, or ``None`` when the body is not store-resident and the
-        caller must fall back to tuple-at-a-time evaluation.
+        caller must fall back to tuple-at-a-time evaluation.  ``order`` is an
+        optional planner-chosen permutation of body positions: the ``FROM``
+        list (and SQLite's join nesting, which follows it) is emitted in that
+        order.  Join conditions are symmetric, so results are identical.
         """
-        compiled = self.compile(rule)
+        compiled = self.compile(rule, order=order)
         if compiled is None:
             return None
         if compiled is _EMPTY:
@@ -96,7 +101,7 @@ class BodyPushdown:
         self.backend.counters["compiled_statements"] += 1
         return [compiled.decode(row) for row in rows]
 
-    def compile(self, rule: Rule):
+    def compile(self, rule: Rule, order: Optional[Sequence[int]] = None):
         """Compile the body of ``rule``; ``None`` means "not compilable"."""
         local_peer = self.state.peer
         for atom in rule.body:
@@ -114,8 +119,12 @@ class BodyPushdown:
         conds: List[str] = []
         var_first: Dict[Variable, Tuple[str, int]] = {}
 
-        positives = [a for a in rule.body if not a.negated]
-        negatives = [a for a in rule.body if a.negated]
+        if order is not None and len(order) == len(rule.body):
+            body = [rule.body[position] for position in order]
+        else:
+            body = list(rule.body)
+        positives = [a for a in body if not a.negated]
+        negatives = [a for a in body if a.negated]
 
         for index, atom in enumerate(positives):
             ref = self._source_ref(atom)

@@ -93,6 +93,35 @@ class MemoryTable:
         self._add(values)
         return [values], deleted
 
+    def insert_many(self, rows) -> Tuple[List[Tuple], List[Tuple]]:
+        """Batched insert.  Returns ``(inserted_rows, deleted_rows)``.
+
+        Keyed relations fall back to per-row :meth:`insert` (replacement
+        semantics make intra-batch order observable); unkeyed relations skip
+        duplicates in one pass and never delete.
+        """
+        if self.schema.key_indexes():
+            all_inserted: List[Tuple[ConstantValue, ...]] = []
+            all_deleted: List[Tuple[ConstantValue, ...]] = []
+            for row in rows:
+                inserted, deleted = self.insert(row)
+                all_inserted.extend(inserted)
+                all_deleted.extend(deleted)
+            return all_inserted, all_deleted
+        inserted = []
+        for row in rows:
+            values = tuple(row)
+            if len(values) != self.schema.arity:
+                raise SchemaError(
+                    f"arity mismatch inserting into {self.schema.qualified_name}: "
+                    f"expected {self.schema.arity}, got {len(values)}"
+                )
+            if self._row_key(values) in self._tuples:
+                continue
+            self._add(values)
+            inserted.append(values)
+        return inserted, []
+
     def delete(self, values: Tuple[ConstantValue, ...]) -> bool:
         """Delete a tuple; return ``True`` if it was present."""
         values = tuple(values)

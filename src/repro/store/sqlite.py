@@ -183,6 +183,57 @@ class SqliteTable:
         self.backend.execute(self._insert_sql, self._encode_row(values))
         return [values], deleted
 
+    def insert_many(self, rows) -> Tuple[List[Tuple], List[Tuple]]:
+        """Batched insert: one ``executemany`` instead of a statement per row.
+
+        Returns ``(inserted_rows, deleted_rows)``.  Keyed relations fall back
+        to per-row :meth:`insert` (replacement needs a key probe per row).
+        For unkeyed relations the rows are deduplicated in Python — against
+        each other and against one scan of the existing table — because
+        ``executemany`` cannot report *which* rows ``INSERT OR IGNORE``
+        skipped; only genuinely-new rows hit the database.
+        """
+        if self.schema.key_indexes():
+            all_inserted: List[Tuple[ConstantValue, ...]] = []
+            all_deleted: List[Tuple[ConstantValue, ...]] = []
+            for row in rows:
+                inserted, deleted = self.insert(row)
+                all_inserted.extend(inserted)
+                all_deleted.extend(deleted)
+            return all_inserted, all_deleted
+        staged: List[Tuple[ConstantValue, ...]] = []
+        encoded: List[Tuple] = []
+        seen: Set[Tuple] = set()
+        for row in rows:
+            values = tuple(row)
+            if len(values) != self._arity:
+                raise SchemaError(
+                    f"arity mismatch inserting into {self.schema.qualified_name}: "
+                    f"expected {self._arity}, got {len(values)}"
+                )
+            key = self._encode_row(values)
+            if key in seen:
+                continue
+            seen.add(key)
+            staged.append(values)
+            encoded.append(key)
+        if not staged:
+            return [], []
+        existing: Set[Tuple] = set()
+        if len(self):
+            cur = self.backend.execute(
+                f'SELECT {self._col_list} FROM "{self.table_name}"')
+            existing = {tuple(row) for row in cur}
+        new_rows = [(values, params)
+                    for values, params in zip(staged, encoded)
+                    if params not in existing]
+        if not new_rows:
+            return [], []
+        self.backend.begin()
+        self.backend.executemany(
+            self._insert_sql, [params for _, params in new_rows])
+        return [values for values, _ in new_rows], []
+
     def delete(self, values: Tuple[ConstantValue, ...]) -> bool:
         values = tuple(values)
         if len(values) != self._arity:
@@ -282,6 +333,10 @@ class SqliteBackend:
     def execute(self, sql: str, params=()) -> sqlite3.Cursor:
         """Execute a statement on the backend connection."""
         return self._conn.execute(sql, params)
+
+    def executemany(self, sql: str, seq_of_params) -> sqlite3.Cursor:
+        """Execute a statement once per parameter set, in one driver call."""
+        return self._conn.executemany(sql, seq_of_params)
 
     def commit(self) -> None:
         if self._closed:

@@ -261,6 +261,42 @@ class TestClose:
         assert fired == []
         assert q.query(view.name) == ()
 
+    def test_close_retracts_magic_predicates_and_anchor(self):
+        """A magic-rewritten view must close to zero: no scoped aux
+        relations, no magic/demand predicates, no demand-anchor EDB fact,
+        no rules — only the user's extensional facts survive."""
+        deployment = (system().planner("magic")
+                      .peer("q").program(Q_PROGRAM)
+                      .peer("r").program(R_PROGRAM)
+                      .build())
+        seed(deployment)
+        for src, dst in ((1, 2), (2, 3), (3, 4), (8, 9)):
+            deployment.peer("q").insert(f"score@q({src}, {dst})")
+        view = deployment.query(
+            "q",
+            "reach($x, $y) :- score@q($x, $y); "
+            "reach($x, $z) :- reach($x, $y), score@q($y, $z); "
+            "ans($y) :- reach(1, $y)")
+        deployment.converge()
+        assert view.rows() != ()
+        plan = view.plan()
+        assert plan["magic_relations"], "magic rewrite did not fire"
+        q = deployment.runtime.peer("q")
+        occupied = {relation for relation, facts
+                    in deployment.peer("q").snapshot().items() if facts}
+        assert any(relation.startswith("_magic_") for relation in occupied)
+        assert any(relation.startswith("_demand_") for relation in occupied)
+        view.close()
+        deployment.converge()
+        for relation, facts in deployment.peer("q").snapshot().items():
+            if relation.startswith(("_view", "_magic_", "_demand_")):
+                assert facts == (), f"residue in {relation}"
+        assert len(q.rules()) == 0
+        # Anchor fact is gone from persistent storage, not just derivation.
+        assert all(not relation.startswith("_demand_")
+                   for relation, facts
+                   in deployment.peer("q").snapshot().items() if facts)
+
     def test_close_is_a_context_manager_exit(self):
         deployment = build_pair()
         seed(deployment)

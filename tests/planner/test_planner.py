@@ -1,0 +1,226 @@
+"""Unit tests of the cost-based planner: mode resolution, body ordering,
+plan caching/invalidation, the multi-clause query parser, the magic-set
+rewrite's soundness bail-outs, and the builder knob."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.builder import BuildError, system
+from repro.core.engine import WebdamLogEngine
+from repro.core.errors import ParseError
+from repro.core.facts import Fact
+from repro.core.parser import parse_query_program, parse_rule
+from repro.planner import (
+    DEFAULT_PLANNER_MODE,
+    PLANNER_ENV,
+    PLANNER_MODES,
+    resolve_planner_mode,
+)
+from repro.api.views import compile_query
+
+PROGRAM = """
+collection extensional persistent big@p(x, y);
+collection extensional persistent sel@p(x);
+collection extensional persistent flag@p(x);
+collection intensional out@p(x, y);
+"""
+
+
+def make_engine(mode="order"):
+    engine = WebdamLogEngine("p", planner=mode)
+    engine.load_program(PROGRAM)
+    for index in range(100):
+        engine.insert_fact(Fact("big", "p", (index, index + 1)))
+    engine.insert_fact(Fact("sel", "p", (7,)))
+    engine.run_to_quiescence()
+    return engine
+
+
+class TestModeResolution:
+    def test_explicit_mode_wins(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV, "off")
+        assert resolve_planner_mode("magic") == "magic"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv(PLANNER_ENV, "off")
+        assert resolve_planner_mode() == "off"
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(PLANNER_ENV, raising=False)
+        assert resolve_planner_mode() == DEFAULT_PLANNER_MODE
+        assert DEFAULT_PLANNER_MODE in PLANNER_MODES
+
+    def test_normalisation_and_unknown(self):
+        assert resolve_planner_mode("  Order ") == "order"
+        with pytest.raises(ValueError):
+            resolve_planner_mode("fancy")
+
+
+class TestBodyOrdering:
+    def test_selective_literal_moves_first(self):
+        engine = make_engine()
+        plan = engine._planner.plan_rule(parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), sel@p($x);",
+            default_peer="p"))
+        assert plan is not None
+        assert plan.order == (1, 0)
+        assert plan.reordered
+
+    def test_written_order_kept_when_cheapest(self):
+        engine = make_engine()
+        plan = engine._planner.plan_rule(parse_rule(
+            "rule out@p($x, $y) :- sel@p($x), big@p($x, $y);",
+            default_peer="p"))
+        assert plan.order == (0, 1)
+        assert not plan.reordered
+
+    def test_negation_placed_once_bound(self):
+        engine = make_engine()
+        plan = engine._planner.plan_rule(parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), not flag@p($x), sel@p($x);",
+            default_peer="p"))
+        # sel first (cheapest), then the negation filters as soon as $x is
+        # bound, then the big scan.
+        assert plan.order == (2, 1, 0)
+
+    def test_remote_suffix_is_never_permuted(self):
+        engine = make_engine()
+        plan = engine._planner.plan_rule(parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), sel@p($x), "
+            "other@q($x), big@p($y, $z);",
+            default_peer="p"))
+        # Only the local prefix (the first two literals) may be permuted;
+        # everything from the first remote literal on keeps written order,
+        # because that suffix is what a delegation would ship.
+        assert plan.order == (1, 0, 2, 3)
+
+    def test_delta_literal_stays_first(self):
+        engine = make_engine()
+        rule = parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), sel@p($x);",
+            default_peer="p")
+        plan = engine._planner.plan_rule_delta(rule, 0)
+        assert plan.order[0] == 0
+        assert plan.delta_index == 0
+
+    def test_plan_is_cached_then_replanned_on_drift(self):
+        engine = make_engine()
+        rule = parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), sel@p($x);",
+            default_peer="p")
+        planner = engine._planner
+        computed = planner.counters["plans_computed"]
+        first = planner.plan_rule(rule)
+        assert planner.counters["plans_computed"] == computed + 1
+        second = planner.plan_rule(rule)
+        assert second.cached
+        assert planner.counters["plans_computed"] == computed + 1
+        # 10x churn on a prefix relation invalidates the cached plan.
+        for index in range(1000):
+            engine.insert_fact(Fact("sel", "p", (1000 + index,)))
+        engine.run_to_quiescence()
+        replanned = planner.plan_rule(rule)
+        assert not replanned.cached
+        assert planner.counters["plans_computed"] == computed + 2
+        assert first.order == second.order
+
+    def test_program_change_bumps_version_and_clears_cache(self):
+        engine = make_engine()
+        rule = parse_rule(
+            "rule out@p($x, $y) :- big@p($x, $y), sel@p($x);",
+            default_peer="p")
+        engine._planner.plan_rule(rule)
+        assert engine._planner._cache
+        version = engine.program_version
+        added = engine.add_rule(
+            "rule out@p($x, $x) :- sel@p($x);")
+        assert engine.program_version > version
+        version = engine.program_version
+        engine.remove_rules([added.rule_id])
+        assert engine.program_version > version
+        engine.run_to_quiescence()
+        engine._planner.sync(engine.program_version)
+        assert not engine._planner._cache
+
+
+class TestQueryProgramParsing:
+    def test_single_clause_program(self):
+        program = parse_query_program("ans($x) :- sel@p($x)",
+                                      default_peer="p")
+        assert len(program.clauses) == 1
+        assert program.auxiliary == ()
+        assert program.answer.head_name == "ans"
+
+    def test_multi_clause_split(self):
+        program = parse_query_program(
+            "r($x, $y) :- big@p($x, $y); "
+            "r($x, $z) :- r($x, $y), big@p($y, $z); "
+            "ans($y) :- r(1, $y)", default_peer="p")
+        assert len(program.clauses) == 3
+        assert [c.head_name for c in program.auxiliary] == ["r", "r"]
+        assert program.answer.head_name == "ans"
+
+    def test_auxiliary_clause_requires_a_head(self):
+        with pytest.raises(ParseError):
+            parse_query_program("big@p($x, $y); ans($x) :- sel@p($x)",
+                                default_peer="p")
+
+    def test_aggregates_only_in_final_clause(self):
+        with pytest.raises(ParseError):
+            parse_query_program(
+                "r($x, count($y)) :- big@p($x, $y); ans($x) :- r($x, $c)",
+                default_peer="p")
+
+
+class TestMagicBailouts:
+    def test_single_clause_query_is_not_rewritten(self):
+        compiled = compile_query("ans($x) :- sel@p($x)", owner="p",
+                                 view_name="_v", planner_mode="magic")
+        assert compiled.magic_relations == ()
+        assert compiled.anchor_facts == ()
+
+    def test_unbound_answer_is_not_rewritten(self):
+        # No constant in the aux occurrence: nothing to seed demand from.
+        compiled = compile_query(
+            "r($x, $y) :- big@p($x, $y); ans($x, $y) :- r($x, $y)",
+            owner="p", view_name="_v", planner_mode="magic")
+        assert compiled.magic_relations == ()
+
+    def test_remote_aux_body_is_not_rewritten(self):
+        # Demand propagation cannot cross peers soundly; bail out.
+        compiled = compile_query(
+            "r($x, $y) :- big@q($x, $y); ans($y) :- r(1, $y)",
+            owner="p", view_name="_v", planner_mode="magic")
+        assert compiled.magic_relations == ()
+
+    def test_bound_recursive_query_is_rewritten(self):
+        compiled = compile_query(
+            "r($x, $y) :- big@p($x, $y); "
+            "r($x, $z) :- r($x, $y), big@p($y, $z); "
+            "ans($y) :- r(1, $y)",
+            owner="p", view_name="_v", planner_mode="magic")
+        assert compiled.magic_relations
+        assert compiled.anchor_facts
+        assert any(schema.name.startswith("_magic_")
+                   for schema in compiled.extra_schemas)
+
+
+class TestBuilderKnob:
+    def test_unknown_mode_is_rejected_eagerly(self):
+        with pytest.raises(BuildError):
+            system().planner("fancy")
+
+    def test_processes_backend_rejects_planner(self):
+        with pytest.raises(BuildError):
+            (system().planner("order").backend("processes")
+             .peer("p").done().build())
+
+    def test_engine_inherits_builder_mode(self):
+        deployment = system().planner("off").peer("p").build()
+        try:
+            engine = deployment.runtime.peer("p").engine
+            assert engine.planner_mode == "off"
+            assert engine._planner is None
+        finally:
+            deployment.close()

@@ -1,0 +1,204 @@
+"""Differential equivalence of the cost-based planner.
+
+``REPRO_PLANNER=order`` may only change *how* a body is evaluated (literal
+order, index probes) and ``magic`` may additionally restrict derivation to
+demand-reachable facts of the *view's own* scoped relations — neither may
+change what any user-visible relation holds, what a view answers, what a
+stage's visible delta reports, or what ``explain()`` says about an answer.
+These tests run randomized programs under insert/retract churn with the
+planner on and off and require byte-identical observations, then check the
+planned run actually took a different execution strategy (plans reordered /
+magic predicates installed)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import system
+from repro.core.engine import WebdamLogEngine
+from repro.core.facts import Fact
+
+CHURN_PROGRAM = """
+collection extensional persistent link@p(src, dst);
+collection extensional persistent blocked@p(node);
+collection intensional tc@p(src, dst);
+collection intensional ok@p(src, dst);
+collection intensional bad@p(node);
+rule tc@p($x, $y) :- link@p($x, $y);
+rule tc@p($x, $z) :- link@p($x, $y), tc@p($y, $z);
+rule ok@p($x, $y) :- tc@p($x, $y), not blocked@p($x);
+rule bad@p($n) :- blocked@p($n), link@p($n, $y);
+"""
+
+VIEW_PROGRAM = """
+collection extensional persistent link@p(src, dst);
+collection extensional persistent mark@p(node);
+"""
+
+#: Bound-head recursive query: multi-clause, so magic mode rewrites it.
+VIEW_QUERY = (
+    "reach($x, $y) :- link@p($x, $y); "
+    "reach($x, $z) :- reach($x, $y), link@p($y, $z); "
+    "ans($y) :- reach(0, $y), not mark@p($y)"
+)
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["link+", "link-", "block+", "block-"]),
+              st.integers(min_value=0, max_value=6),
+              st.integers(min_value=0, max_value=6)),
+    max_size=25,
+)
+
+
+def _apply(engine: WebdamLogEngine, operation) -> None:
+    kind, a, b = operation
+    if kind == "link+":
+        engine.insert_fact(Fact("link", "p", (a, b)))
+    elif kind == "link-":
+        engine.delete_fact(Fact("link", "p", (a, b)))
+    elif kind == "block+":
+        engine.insert_fact(Fact("blocked", "p", (a,)))
+    else:
+        engine.delete_fact(Fact("blocked", "p", (a,)))
+
+
+class TestEngineDifferential:
+    @given(operations)
+    @settings(max_examples=25, deadline=None)
+    def test_churn_stream_matches_planner_off(self, stream):
+        """Snapshots and visible deltas agree at every quiescence point."""
+        off = WebdamLogEngine("p", planner="off")
+        on = WebdamLogEngine("p", planner="order")
+        off.load_program(CHURN_PROGRAM)
+        on.load_program(CHURN_PROGRAM)
+        off.run_to_quiescence()
+        on.run_to_quiescence()
+        for operation in stream:
+            _apply(off, operation)
+            _apply(on, operation)
+            off_deltas = [r.visible_delta for r in
+                          off.run_to_quiescence(max_stages=30)]
+            on_deltas = [r.visible_delta for r in
+                         on.run_to_quiescence(max_stages=30)]
+            assert off.snapshot() == on.snapshot()
+            assert [sorted(map(str, d.inserted)) for d in off_deltas] == \
+                   [sorted(map(str, d.inserted)) for d in on_deltas]
+            assert [sorted(map(str, d.deleted)) for d in off_deltas] == \
+                   [sorted(map(str, d.deleted)) for d in on_deltas]
+        # The equivalence must be between different strategies.
+        assert off.eval_counters.get("plans_computed", 0) == 0
+        if any(kind == "link+" for kind, _, _ in stream):
+            assert on.eval_counters["plans_computed"] > 0
+
+
+def _view_deployment(planner: str):
+    deployment = (system().planner(planner)
+                  .peer("p").program(VIEW_PROGRAM)
+                  .build())
+    view = deployment.query("p", VIEW_QUERY)
+    deployment.converge()
+    return deployment, view
+
+
+def _user_snapshot(deployment):
+    """Hub relations minus the view's private machinery (scoped aux
+    relations, magic/demand predicates), whose presence is exactly the
+    strategy difference under test."""
+    snapshot = {}
+    for relation, facts in deployment.peer("p").snapshot().items():
+        if relation.startswith(("_view", "_magic_", "_demand_")):
+            continue
+        snapshot[relation] = tuple(sorted(map(str, facts)))
+    return snapshot
+
+
+class TestViewDifferential:
+    @given(operations)
+    @settings(max_examples=10, deadline=None)
+    def test_magic_view_matches_planner_off(self, stream):
+        """A bound-head recursive view answers identically in every mode,
+        and the user-visible fixpoint is byte-identical, under churn."""
+        runs = {mode: _view_deployment(mode)
+                for mode in ("off", "order", "magic")}
+        try:
+            baseline_deployment, baseline_view = runs["off"]
+            for operation in stream:
+                kind, a, b = operation
+                if kind == "link+":
+                    fact, insert = f"link@p({a}, {b})", True
+                elif kind == "link-":
+                    fact, insert = f"link@p({a}, {b})", False
+                elif kind == "block+":
+                    fact, insert = f"mark@p({a})", True
+                else:
+                    fact, insert = f"mark@p({a})", False
+                for deployment, _ in runs.values():
+                    peer = deployment.peer("p")
+                    (peer.insert if insert else peer.delete)(fact)
+                    deployment.converge()
+                expected = sorted(baseline_view.rows())
+                for mode, (deployment, view) in runs.items():
+                    assert sorted(view.rows()) == expected, mode
+                    assert _user_snapshot(deployment) == \
+                        _user_snapshot(baseline_deployment), mode
+            # Strategy actually differed: magic predicates installed.
+            assert runs["magic"][1].plan()["magic_relations"]
+            assert not runs["off"][1].plan()["magic_relations"]
+        finally:
+            for deployment, view in runs.values():
+                view.close()
+                deployment.close()
+
+    @given(operations)
+    @settings(max_examples=10, deadline=None)
+    def test_close_leaves_no_planner_residue(self, stream):
+        """After closing a magic-rewritten view (at any churn point), no
+        scoped, magic, demand or anchor fact survives anywhere."""
+        deployment, view = _view_deployment("magic")
+        try:
+            for operation in stream[:8]:
+                kind, a, b = operation
+                peer = deployment.peer("p")
+                if kind == "link+":
+                    peer.insert(f"link@p({a}, {b})")
+                elif kind == "link-":
+                    peer.delete(f"link@p({a}, {b})")
+                elif kind == "block+":
+                    peer.insert(f"mark@p({a})")
+                else:
+                    peer.delete(f"mark@p({a})")
+            deployment.converge()
+            view.close()
+            deployment.converge()
+            for relation, facts in deployment.peer("p").snapshot().items():
+                if relation.startswith(("_view", "_magic_", "_demand_")):
+                    assert not facts, relation
+            assert not deployment.peer("p").rules()
+        finally:
+            deployment.close()
+
+
+class TestExplainDifferential:
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                    min_size=1, max_size=15))
+    @settings(max_examples=10, deadline=None)
+    def test_explain_lineage_identical(self, links):
+        """Provenance answers are planner-invariant: the planner normalises
+        derivation support back to written body order."""
+        lineages = {}
+        for mode in ("off", "order"):
+            deployment = (system().planner(mode).provenance()
+                          .peer("p").program(CHURN_PROGRAM)
+                          .build())
+            peer = deployment.peer("p")
+            peer.insert_many([f"link@p({a}, {b})" for a, b in links])
+            deployment.converge()
+            engine_peer = deployment.runtime.peer("p")
+            lineage = []
+            for relation in ("tc", "ok", "bad"):
+                for fact in sorted(engine_peer.query(relation), key=str):
+                    lineage.append(str(peer.explain(fact)))
+            lineages[mode] = lineage
+            deployment.close()
+        assert lineages["off"] == lineages["order"]
