@@ -34,6 +34,7 @@ from repro.core.facts import Fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema
 from repro.planner import PLANNER_MODES
+from repro.replication import REPLICATION_MODES
 from repro.runtime.inmemory import InMemoryTransport
 from repro.runtime.processes import ProcessNetwork
 from repro.runtime.scheduler import Scheduler, resolve_scheduler
@@ -96,6 +97,7 @@ class SystemBuilder:
         self._storage: Optional[str] = None
         self._storage_options: dict = {}
         self._planner: Optional[str] = None
+        self._replication: Optional[str] = None
         self._specs: List[_PeerSpec] = []
 
     # -- system-wide configuration ------------------------------------- #
@@ -273,6 +275,30 @@ class SystemBuilder:
         self._planner = mode
         return self
 
+    def replication(self, mode: str) -> "SystemBuilder":
+        """Choose how peer-to-peer updates are replicated.
+
+        * ``"reliable"`` (default) — raw fact/delegation messages, assuming
+          the transport delivers each exactly once and in order (true of the
+          default in-memory transport without failure injection);
+        * ``"causal"`` — dotted delta envelopes with causal contexts and
+          anti-entropy (:mod:`repro.replication`): applying an envelope is
+          an idempotent, commutative causal join, so the deployment
+          converges to the same fixpoint under message loss, duplication
+          and reordering.
+
+        When this method is not called, the ``REPRO_REPLICATION``
+        environment variable picks the mode — that is how CI runs the whole
+        suite once per mode.  See ``docs/replication.md``.
+        """
+        if mode not in REPLICATION_MODES:
+            raise BuildError(
+                f"unknown replication mode {mode!r}; choose from "
+                f"{REPLICATION_MODES}"
+            )
+        self._replication = mode
+        return self
+
     # -- peers ----------------------------------------------------------- #
 
     def peer(self, name: str) -> "PeerBuilder":
@@ -312,6 +338,7 @@ class SystemBuilder:
             storage=self._storage,
             storage_options=dict(self._storage_options),
             planner=self._planner,
+            replication=self._replication,
         )
         built = System(runtime)
         for spec in self._specs:
@@ -380,6 +407,12 @@ class SystemBuilder:
                 "the processes backend does not support explicit planner "
                 "configuration; set REPRO_PLANNER in the worker environment "
                 "instead"
+            )
+        if self._replication is not None and self._replication != "reliable":
+            raise BuildError(
+                "the processes backend runs reliable replication only (its "
+                "pipe transport delivers exactly once, in order); causal "
+                "replication requires the in-memory backend"
             )
         network = ProcessNetwork(provenance=self._provenance)
         try:

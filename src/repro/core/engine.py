@@ -508,8 +508,15 @@ class WebdamLogEngine:
     # the computation stage
     # ------------------------------------------------------------------ #
 
-    def run_stage(self) -> StageResult:
-        """Run one three-step computation stage and return its outputs."""
+    def run_stage(self, commit: bool = True) -> StageResult:
+        """Run one three-step computation stage and return its outputs.
+
+        ``commit=False`` leaves the stage-boundary transaction open: the
+        caller must invoke ``state.commit()`` itself after folding its own
+        writes into the same transaction (causal replication persists its
+        channel state this way, so the dots and the facts they delivered
+        become durable atomically).
+        """
         self.state.stage_counter += 1
         self._dirty = False
         result = StageResult(peer=self.peer, stage=self.state.stage_counter)
@@ -565,7 +572,8 @@ class WebdamLogEngine:
         # delegations — becomes durable in one transaction.  This is the
         # recovery unit: a peer that dies mid-stage reopens at the previous
         # stage boundary.
-        self.state.commit()
+        if commit:
+            self.state.commit()
         return result
 
     def _visible_delta(self, store_delta: Delta, derived_delta: Delta,
@@ -670,15 +678,22 @@ class WebdamLogEngine:
             self.state.install_delegation(delegation_id, sender, rule)
             self._invalidate_program_cache()
         for sender, delegation_id in pending.delegations_to_retract:
-            consumed += 1
-            self._invalidate_program_cache()
             installed = self.state.retract_delegation(delegation_id)
-            if installed is not None and installed.delegator != sender:
-                # Only the original delegator may retract; re-install otherwise.
+            if installed is None:
+                # Unknown (or already-retracted) delegation: a duplicated
+                # retraction delivery must be a strict no-op — in particular
+                # it must not invalidate the program cache, whose resulting
+                # recompute would touch provenance support counts twice.
+                continue
+            if installed.delegator != sender:
+                # Only the original delegator may retract; re-install (the
+                # rule set is net unchanged, so the cache stays valid too).
                 self.state.install_delegation(
                     delegation_id, installed.delegator, installed.rule
                 )
-                consumed -= 1
+                continue
+            consumed += 1
+            self._invalidate_program_cache()
         pending.clear()
         return consumed
 

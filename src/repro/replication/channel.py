@@ -1,0 +1,228 @@
+"""One replicated channel: sender-side outbox, receiver-side inbox.
+
+A **channel** is the directed pair ``origin -> target``.  The origin is the
+channel's single writer: every operation it emits gets the next contiguous
+sequence number, is appended to a retransmission log, and — for fact
+insertions — is remembered as a *live dot* of its fact.  A deletion pops the
+fact's live dots and carries them in the op (observed-remove semantics): the
+deletion removes exactly the insertions the sender had observed, never a
+concurrent re-insertion it had not.
+
+The receiver joins ops through a :class:`~repro.replication.dots.CausalContext`:
+a sequence number already contained is a duplicate and has no effect at all,
+which is what makes applying an envelope idempotent.  Visibility of a fact is
+the non-emptiness of its surviving dot set, so insertions and deletions
+commute regardless of arrival order — a deletion whose insert has not arrived
+yet leaves a tombstone that silently consumes the insert when it shows up.
+The inbox reports only **visibility transitions** (fact appeared / fact
+vanished, delegation installed / retracted) as effects, which the runtime
+feeds to the engine's ordinary input paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.facts import Fact
+from repro.core.rules import Rule
+from repro.core.schema import RelationSchema
+from repro.provenance.graph import Derivation
+from repro.replication.dots import CausalContext, Op
+
+#: Effect tuples an inbox emits, consumed by the runtime:
+#: ``("insert", fact)``, ``("delete", fact)``,
+#: ``("delegate", delegation_id, rule, schemas)``,
+#: ``("undelegate", delegation_id)``, ``("derivation", derivation, anchor)``.
+Effect = Tuple
+
+
+class ChannelOutbox:
+    """The sending half of one channel (this peer -> ``target``)."""
+
+    def __init__(self, target: str):
+        self.target = target
+        #: Highest sequence number assigned so far (the channel's frontier).
+        self.seq = 0
+        #: Retransmission log: ops not yet acknowledged by the receiver.
+        self.log: Dict[int, Op] = {}
+        #: Live insert dots per fact (popped by :meth:`delete`).
+        self.live: Dict[Fact, Set[int]] = {}
+        #: Contiguous prefix the receiver has acknowledged (log pruned to it).
+        self.acked = 0
+        #: Highest sequence number already handed out for first transmission.
+        self.last_sent = 0
+        #: Channel state changed since the last persistence snapshot.
+        self.dirty = False
+        #: The target raised a transport error (unknown peer): stop trying.
+        self.unreachable = False
+
+    # -- emitting ops --------------------------------------------------- #
+
+    def _append(self, op: Op) -> Op:
+        self.log[op.seq] = op
+        self.dirty = True
+        return op
+
+    def _next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def insert(self, fact: Fact) -> Optional[Op]:
+        """Emit an insert op, or ``None`` when ``fact`` is already live.
+
+        The suppression makes re-sends idempotent at the source: a fact the
+        channel already carries (and has not deleted) needs no new dot.
+        """
+        if fact in self.live:
+            return None
+        seq = self._next_seq()
+        self.live[fact] = {seq}
+        return self._append(Op(seq=seq, kind="insert", fact=fact))
+
+    def delete(self, fact: Fact) -> Op:
+        """Emit a delete op removing the fact's observed live dots.
+
+        With no live dots the op is an *out-of-band* deletion (empty
+        ``removed``): the receiver applies it directly, covering deletions of
+        facts that reached it through other means (e.g. its own base facts).
+        """
+        removed = tuple(sorted(self.live.pop(fact, ())))
+        return self._append(Op(seq=self._next_seq(), kind="delete",
+                               fact=fact, removed=removed))
+
+    def delegate(self, delegation_id: str, rule: Rule,
+                 schemas: Tuple[RelationSchema, ...]) -> Op:
+        """Emit a delegation-install op."""
+        return self._append(Op(seq=self._next_seq(), kind="delegate",
+                               delegation_id=delegation_id, rule=rule,
+                               schemas=tuple(schemas)))
+
+    def undelegate(self, delegation_id: str) -> Op:
+        """Emit a delegation-retract op."""
+        return self._append(Op(seq=self._next_seq(), kind="undelegate",
+                               delegation_id=delegation_id))
+
+    def derivation(self, derivation: Derivation, anchor: bool) -> Op:
+        """Emit a provenance-derivation op."""
+        return self._append(Op(seq=self._next_seq(), kind="derivation",
+                               derivation=derivation, anchor=anchor))
+
+    # -- transmission and anti-entropy ---------------------------------- #
+
+    @property
+    def frontier(self) -> int:
+        """The highest sequence number this channel has assigned."""
+        return self.seq
+
+    def take_unsent(self) -> List[Op]:
+        """Ops awaiting first transmission (advances the sent watermark)."""
+        if self.last_sent >= self.seq:
+            return []
+        ops = [self.log[s] for s in range(self.last_sent + 1, self.seq + 1)
+               if s in self.log]
+        self.last_sent = self.seq
+        return ops
+
+    def ops_for(self, want: Iterable[int]) -> List[Op]:
+        """Answer a pull: the requested ops still in the log, by sequence.
+
+        Sequence numbers the log no longer holds were acknowledged by this
+        very receiver and pruned — a stale duplicate pull — and are skipped.
+        """
+        return [self.log[s] for s in sorted(set(want)) if s in self.log]
+
+    def ack(self, acked: int) -> None:
+        """Record the receiver's contiguous frontier; prune the log to it."""
+        if acked <= self.acked:
+            return
+        self.acked = min(acked, self.seq)
+        for seq in [s for s in self.log if s <= self.acked]:
+            del self.log[seq]
+        self.dirty = True
+
+    @property
+    def unacked(self) -> bool:
+        """``True`` while the receiver has not acknowledged the frontier."""
+        return not self.unreachable and self.acked < self.seq
+
+
+class ChannelInbox:
+    """The receiving half of one channel (``origin`` -> this peer)."""
+
+    def __init__(self, origin: str):
+        self.origin = origin
+        #: Sequence numbers already joined (duplicates have no effect).
+        self.cc = CausalContext()
+        #: Surviving insert dots per visible fact.
+        self.visible: Dict[Fact, Set[int]] = {}
+        #: Dots removed by a deletion whose insert op has not arrived yet.
+        self.tombstoned: Set[int] = set()
+        #: Last-writer-wins watermark per delegation id (sender order = seq).
+        self.delegation_seq: Dict[str, int] = {}
+        #: Highest frontier the origin has advertised (envelope or digest).
+        self.advertised = 0
+        #: Contiguous frontier last acknowledged back to the origin.
+        self.acked = 0
+        #: Inbox state changed since the last persistence snapshot.
+        self.dirty = False
+
+    def apply(self, op: Op) -> List[Effect]:
+        """Join one op; returns the visibility-transition effects (if any)."""
+        if not self.cc.add(op.seq):
+            return []
+        self.dirty = True
+        if op.kind == "insert":
+            if op.seq in self.tombstoned:
+                self.tombstoned.discard(op.seq)
+                return []
+            dots = self.visible.setdefault(op.fact, set())
+            dots.add(op.seq)
+            return [("insert", op.fact)] if len(dots) == 1 else []
+        if op.kind == "delete":
+            if not op.removed:
+                # Out-of-band deletion: no dot of this channel to remove.
+                return [("delete", op.fact)]
+            dots = self.visible.get(op.fact)
+            for seq in op.removed:
+                if dots is not None and seq in dots:
+                    dots.discard(seq)
+                else:
+                    self.tombstoned.add(seq)
+            if dots is not None and not dots:
+                del self.visible[op.fact]
+                return [("delete", op.fact)]
+            return []
+        if op.kind == "delegate":
+            if op.seq > self.delegation_seq.get(op.delegation_id, 0):
+                self.delegation_seq[op.delegation_id] = op.seq
+                return [("delegate", op.delegation_id, op.rule, op.schemas)]
+            return []
+        if op.kind == "undelegate":
+            if op.seq > self.delegation_seq.get(op.delegation_id, 0):
+                self.delegation_seq[op.delegation_id] = op.seq
+                return [("undelegate", op.delegation_id)]
+            return []
+        if op.kind == "derivation":
+            return [("derivation", op.derivation, op.anchor)]
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def apply_all(self, ops: Iterable[Op]) -> List[Effect]:
+        """Join a batch in sequence order (deterministic effect order)."""
+        effects: List[Effect] = []
+        for op in sorted(ops, key=lambda o: o.seq):
+            effects.extend(self.apply(op))
+        return effects
+
+    def observe_frontier(self, frontier: int) -> None:
+        """Record the origin's advertised frontier (envelope or digest)."""
+        if frontier > self.advertised:
+            self.advertised = frontier
+            self.dirty = True
+
+    def missing(self) -> List[int]:
+        """Sequence numbers missing up to the advertised frontier."""
+        return self.cc.missing(self.advertised)
+
+    def is_complete(self) -> bool:
+        """``True`` when every advertised sequence number was joined."""
+        return self.cc.is_complete(self.advertised)

@@ -75,13 +75,37 @@ class InMemoryTransport:
         When not ``None``, each :meth:`receive` batch is returned in a
         seeded-random order instead of send order — the adversarial
         reordering knob of the confluence tests.
+    loss_probability:
+        Alias of ``drop_probability`` (the replication literature's name for
+        the same knob).  At most one of the two may be given.
+    reorder_window:
+        Bounded in-batch reordering: each :meth:`receive` batch is sorted by
+        ``index + uniform(0, reorder_window)``, so a message can be displaced
+        by at most ``reorder_window`` positions.  Unlike ``shuffle_seed``
+        (unbounded permutation) this models real-network reordering where
+        displacement is limited.  ``0`` (off) by default.
+    event_log:
+        An optional :class:`~repro.net.events.NetEventLog` (or anything with
+        its ``emit`` signature).  Every ``send``/``drop``/``dup``/``deliver``
+        and ``register``/``unregister`` decision is recorded, so a failure
+        schedule can be replayed (and audited) from the JSONL stream.
+        Timestamps are virtual (the transport round).
     """
 
     def __init__(self, latency: int = 1, drop_probability: float = 0.0,
                  seed: Optional[int] = 0,
                  duplicate_probability: float = 0.0,
                  latency_jitter: int = 0,
-                 shuffle_seed: Optional[int] = None):
+                 shuffle_seed: Optional[int] = None,
+                 loss_probability: Optional[float] = None,
+                 reorder_window: int = 0,
+                 event_log=None):
+        if loss_probability is not None:
+            if drop_probability:
+                raise ValueError(
+                    "pass drop_probability or loss_probability, not both"
+                )
+            drop_probability = loss_probability
         if latency < 0:
             raise ValueError("latency must be >= 0")
         if not 0.0 <= drop_probability <= 1.0:
@@ -90,10 +114,14 @@ class InMemoryTransport:
             raise ValueError("duplicate_probability must be within [0, 1]")
         if latency_jitter < 0:
             raise ValueError("latency_jitter must be >= 0")
+        if reorder_window < 0:
+            raise ValueError("reorder_window must be >= 0")
         self.latency = latency
         self.drop_probability = drop_probability
         self.duplicate_probability = duplicate_probability
         self.latency_jitter = latency_jitter
+        self.reorder_window = reorder_window
+        self.event_log = event_log
         self._random = random.Random(seed)
         self._shuffle = (random.Random(shuffle_seed)
                          if shuffle_seed is not None else None)
@@ -103,6 +131,10 @@ class InMemoryTransport:
         self._in_flight: Dict[str, List[Tuple[int, Message]]] = defaultdict(list)
         self.stats = NetworkStats()
 
+    def _emit(self, action: str, node: str, **fields) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(action, node, float(self._round), **fields)
+
     # ------------------------------------------------------------------ #
     # registration
     # ------------------------------------------------------------------ #
@@ -110,12 +142,14 @@ class InMemoryTransport:
     def register(self, peer: str, address: Optional[str] = None) -> None:
         """Register a peer so that messages can be addressed to it."""
         self._registered[peer] = address or peer
+        self._emit("register", peer)
 
     def unregister(self, peer: str) -> None:
         """Remove a peer; undelivered messages to it are dropped."""
         self._registered.pop(peer, None)
         dropped = self._in_flight.pop(peer, [])
         self.stats.messages_dropped += len(dropped)
+        self._emit("unregister", peer, undelivered=len(dropped))
 
     def peers(self) -> Tuple[str, ...]:
         """Registered peer names, sorted."""
@@ -156,11 +190,18 @@ class InMemoryTransport:
         self.stats.payload_items += message.payload_size()
         if self.drop_probability and self._random.random() < self.drop_probability:
             self.stats.messages_dropped += 1
+            self._emit("drop", message.sender, message_id=message.message_id,
+                       kind=message.kind(), peer=message.recipient)
             return False
         copies = 1
         if (self.duplicate_probability
                 and self._random.random() < self.duplicate_probability):
             copies = 2
+            self._emit("dup", message.sender, message_id=message.message_id,
+                       kind=message.kind(), peer=message.recipient)
+        self._emit("send", message.sender, message_id=message.message_id,
+                   kind=message.kind(), peer=message.recipient,
+                   payload=message.payload_size())
         for _ in range(copies):
             deliver_at = self._round + self.latency
             if self.latency_jitter:
@@ -184,7 +225,17 @@ class InMemoryTransport:
         self._in_flight[peer] = remaining
         if self._shuffle is not None:
             self._shuffle.shuffle(deliverable)
+        elif self.reorder_window and len(deliverable) > 1:
+            # Bounded displacement: each message drifts forward by at most
+            # ``reorder_window`` positions (stable sort on a jittered index).
+            jittered = [(i + self._random.uniform(0, self.reorder_window), m)
+                        for i, m in enumerate(deliverable)]
+            jittered.sort(key=lambda pair: pair[0])
+            deliverable = [m for _, m in jittered]
         self.stats.messages_delivered += len(deliverable)
+        for m in deliverable:
+            self._emit("deliver", peer, message_id=m.message_id,
+                       kind=m.kind(), peer_from=m.sender)
         return deliverable
 
     def advance_round(self) -> int:

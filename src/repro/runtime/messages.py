@@ -1,6 +1,6 @@
 """Messages exchanged between WebdamLog peers.
 
-Three kinds of payload travel on the network, mirroring step 3 of the
+Four kinds of payload travel on the network, mirroring step 3 of the
 computation stage described in the paper:
 
 * **fact updates** (:class:`FactMessage`) — insertions and deletions for
@@ -10,7 +10,12 @@ computation stage described in the paper:
   the recipient by a remote delegator;
 * **control messages** (:class:`PeerJoinMessage`) — used by the "Interaction
   via the Web" scenario where new peers join the system and subscribe to the
-  ``sigmod`` peer.
+  ``sigmod`` peer;
+* **replication payloads** (:class:`DeltaEnvelopeMessage`,
+  :class:`ReplicationDigestMessage`, :class:`ReplicationPullMessage`,
+  :class:`ReplicationAckMessage`) — the dotted delta ops and anti-entropy
+  control of causal replication mode (:mod:`repro.replication`), which
+  replace raw fact/delegation messages on unreliable transports.
 
 Every message can be encoded to / decoded from a JSON-compatible dictionary
 (:meth:`Message.to_wire`, :func:`message_from_wire`) so the same types flow
@@ -27,6 +32,7 @@ from repro.core.facts import Fact
 from repro.core.rules import Rule
 from repro.core.schema import RelationSchema
 from repro.provenance.graph import Derivation
+from repro.replication.dots import Op
 from repro.runtime import wire
 
 _message_counter = itertools.count(1)
@@ -140,6 +146,71 @@ class PeerJoinMessage(Message):
         return encoded
 
 
+@dataclass(frozen=True)
+class DeltaEnvelopeMessage(Message):
+    """A batch of dotted delta ops on one replication channel.
+
+    Applying an envelope is an idempotent, commutative causal join: the
+    recipient's inbox filters already-joined sequence numbers, so drops are
+    repaired by retransmission, duplicates are absorbed, and reordering is
+    resolved by the dot sets.  ``frontier`` advertises the sender's highest
+    sequence number so the recipient can detect gaps without a digest.
+    """
+
+    ops: Tuple[Op, ...] = ()
+    frontier: int = 0
+
+    def payload_size(self) -> int:
+        """Number of ops carried."""
+        return len(self.ops)
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["ops"] = [wire.encode_op(op) for op in self.ops]
+        encoded["frontier"] = self.frontier
+        return encoded
+
+
+@dataclass(frozen=True)
+class ReplicationDigestMessage(Message):
+    """Anti-entropy digest: the sender's channel frontier."""
+
+    frontier: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["frontier"] = self.frontier
+        return encoded
+
+
+@dataclass(frozen=True)
+class ReplicationPullMessage(Message):
+    """Anti-entropy pull: sequence numbers the sender's inbox is missing."""
+
+    want: Tuple[int, ...] = ()
+
+    def payload_size(self) -> int:
+        """Number of sequence numbers requested."""
+        return len(self.want)
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["want"] = list(self.want)
+        return encoded
+
+
+@dataclass(frozen=True)
+class ReplicationAckMessage(Message):
+    """Contiguous-frontier acknowledgement: the producer may prune its log."""
+
+    acked: int = 0
+
+    def to_wire(self) -> Dict[str, Any]:
+        encoded = super().to_wire()
+        encoded["acked"] = self.acked
+        return encoded
+
+
 def message_from_wire(encoded: Dict[str, Any]) -> Message:
     """Decode a message produced by :meth:`Message.to_wire`."""
     kind = encoded.get("kind")
@@ -173,6 +244,20 @@ def message_from_wire(encoded: Dict[str, Any]) -> Message:
             peer_name=encoded.get("peer_name", ""), address=encoded.get("address", ""),
             **common,
         )
+    if kind == "DeltaEnvelopeMessage":
+        return DeltaEnvelopeMessage(
+            ops=tuple(wire.decode_op(op) for op in encoded.get("ops", [])),
+            frontier=encoded.get("frontier", 0),
+            **common,
+        )
+    if kind == "ReplicationDigestMessage":
+        return ReplicationDigestMessage(frontier=encoded.get("frontier", 0), **common)
+    if kind == "ReplicationPullMessage":
+        return ReplicationPullMessage(
+            want=tuple(encoded.get("want", ())), **common,
+        )
+    if kind == "ReplicationAckMessage":
+        return ReplicationAckMessage(acked=encoded.get("acked", 0), **common)
     raise ValueError(f"unknown message kind {kind!r}")
 
 

@@ -28,12 +28,18 @@ from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationSchema, SchemaRegistry
 from repro.provenance.graph import Derivation as ProvenanceDerivation
 from repro.provenance.graph import Explanation, ProvenanceTracker
+from repro.replication import resolve_replication_mode
+from repro.replication.state import ReplicationState
 from repro.runtime.messages import (
     DelegationInstallMessage,
     DelegationRetractMessage,
+    DeltaEnvelopeMessage,
     FactMessage,
     Message,
     PeerJoinMessage,
+    ReplicationAckMessage,
+    ReplicationDigestMessage,
+    ReplicationPullMessage,
 )
 
 
@@ -62,7 +68,8 @@ class Peer:
                  evaluation_mode: str = "incremental",
                  provenance: bool = False,
                  storage=None, storage_options: Optional[Dict] = None,
-                 planner: Optional[str] = None):
+                 planner: Optional[str] = None,
+                 replication: Optional[str] = None):
         self.name = name
         self.engine = WebdamLogEngine(name, schemas=schemas,
                                       strict_stage_inputs=strict_stage_inputs,
@@ -72,6 +79,25 @@ class Peer:
                                       planner=planner)
         if provenance:
             self.engine.provenance = ProvenanceTracker()
+        # Replication mode: ``"reliable"`` ships raw fact/delegation messages
+        # (the historical behaviour, assumes exactly-once in-order delivery);
+        # ``"causal"`` ships dotted delta envelopes with anti-entropy (see
+        # repro.replication).  ``None`` defers to REPRO_REPLICATION.
+        self.replication_mode = resolve_replication_mode(replication)
+        if self.replication_mode == "causal":
+            self.replication: Optional[ReplicationState] = ReplicationState(name)
+            self.replication.restore(self.engine.state.backend)
+            # Remote-provided facts are volatile engine state: a reliable-mode
+            # restart recovers them because the restarted *sender* re-ships
+            # everything, but a causal outbox's live-set dedup suppresses that
+            # re-send.  The inbox already knows exactly which facts have been
+            # delivered, so re-inject them (idempotently) on reopen.
+            for origin, box in sorted(self.replication.inboxes.items()):
+                if box.visible:
+                    self.engine.receive_facts(
+                        origin, inserted=tuple(sorted(box.visible, key=str)))
+        else:
+            self.replication = None
         self.controller = DelegationController(
             self.engine,
             trust=trust if trust is not None else TrustStore(name),
@@ -192,7 +218,14 @@ class Peer:
         run a quiescent stage.  Peers with wrappers are never safe to skip on
         this basis alone — the wrapped external service may have changed —
         which is why schedulers also consult :attr:`wrappers`.
+
+        In causal mode, replication attention (unsent ops, unacknowledged
+        channels, queued anti-entropy control) also demands a stage: the
+        digest/pull/ack protocol must run to completion before the peer may
+        look quiescent.
         """
+        if self.replication is not None and self.replication.needs_attention():
+            return True
         return self.engine.needs_stage()
 
     def counts(self) -> Dict[str, int]:
@@ -211,7 +244,24 @@ class Peer:
 
     def deliver(self, message: Message) -> None:
         """Dispatch one incoming message to the engine / controller."""
-        if isinstance(message, FactMessage):
+        if isinstance(message, (DeltaEnvelopeMessage, ReplicationDigestMessage,
+                                ReplicationPullMessage, ReplicationAckMessage)):
+            if self.replication is None:
+                raise TypeError(
+                    f"peer {self.name!r} runs reliable replication but received "
+                    f"a {message.kind()}; every peer of a deployment must use "
+                    "the same replication mode"
+                )
+            if isinstance(message, DeltaEnvelopeMessage):
+                effects = self.replication.apply_envelope(message)
+                self._apply_replication_effects(message.sender, effects)
+            elif isinstance(message, ReplicationDigestMessage):
+                self.replication.on_digest(message.sender, message.frontier)
+            elif isinstance(message, ReplicationPullMessage):
+                self.replication.on_pull(message.sender, message.want)
+            else:
+                self.replication.on_ack(message.sender, message.acked)
+        elif isinstance(message, FactMessage):
             self.engine.receive_facts(message.sender, message.inserted, message.deleted)
             tracker = self.engine.provenance
             if message.derivations and tracker is not None \
@@ -246,15 +296,77 @@ class Peer:
             count += 1
         return count
 
+    def _apply_replication_effects(self, origin: str, effects) -> None:
+        """Feed an envelope's visibility transitions to the engine.
+
+        The effects are exactly what the reliable-mode message dispatch
+        would have done — fact updates through :meth:`receive_facts`,
+        delegations through the controller, derivations into the tracker —
+        so the engine's skip/delta/rederive input paths see no difference.
+        """
+        for effect in effects:
+            kind = effect[0]
+            if kind == "insert":
+                self.engine.receive_facts(origin, inserted=(effect[1],))
+            elif kind == "delete":
+                self.engine.receive_facts(origin, deleted=(effect[1],))
+            elif kind == "delegate":
+                _, delegation_id, rule, schemas = effect
+                for schema in schemas:
+                    try:
+                        self.engine.declare(schema)
+                    except Exception:
+                        # Conflicting schema knowledge: keep the local one.
+                        pass
+                if rule is not None:
+                    self.controller.submit(origin, delegation_id, rule,
+                                           round_number=self._round)
+            elif kind == "undelegate":
+                self.controller.submit_retraction(origin, effect[1])
+            elif kind == "derivation":
+                tracker = self.engine.provenance
+                if tracker is not None and hasattr(tracker, "record_remote"):
+                    tracker.record_remote(effect[1], anchor=effect[2])
+
+    def notify_send_failed(self, message: Message) -> None:
+        """The transport rejected a message (unknown recipient).
+
+        In causal mode the channel to that target is marked unreachable so
+        its unacknowledged ops stop demanding attention — mirroring the
+        reliable-mode behaviour, where such messages are silently lost
+        (wrapper-only pseudo-peers).
+        """
+        if self.replication is not None:
+            self.replication.mark_unreachable(message.recipient)
+
+    def drop_replication_channel(self, peer: str) -> None:
+        """Forget the replication channels shared with a removed peer."""
+        if self.replication is not None:
+            self.replication.drop_channel(peer)
+
     def run_stage(self) -> Tuple[StageResult, List[Message]]:
-        """Run one engine stage and convert its outputs into messages."""
+        """Run one engine stage and convert its outputs into messages.
+
+        In causal replication mode the stage's messages are absorbed into
+        channel ops and re-emitted as delta envelopes (plus the anti-entropy
+        control traffic); the channel state is persisted inside the same
+        transaction as the engine's stage commit, so recovery replays to the
+        same causal join.
+        """
         self._round += 1
         for wrapper in self.wrappers:
             before = getattr(wrapper, "before_stage", None)
             if before is not None:
                 before(self)
-        result = self.engine.run_stage()
-        outgoing = self._messages_from(result)
+        if self.replication is None:
+            result = self.engine.run_stage()
+            outgoing = self._messages_from(result)
+        else:
+            result = self.engine.run_stage(commit=False)
+            outgoing = self.replication.encode_outgoing(self._messages_from(result))
+            outgoing.extend(self.replication.flush())
+            self.replication.persist(self.engine.state.backend)
+            self.engine.state.commit()
         for wrapper in self.wrappers:
             after = getattr(wrapper, "after_stage", None)
             if after is not None:

@@ -37,7 +37,10 @@ def _peer_worker(name: str, command_queue: multiprocessing.Queue,
     # in spawn-based start methods.
     from repro.runtime.peer import Peer
 
-    peer = Peer(name, auto_accept_delegations=True, provenance=provenance)
+    # The pipe transport delivers exactly once, in order, so workers always
+    # run reliable replication (regardless of REPRO_REPLICATION).
+    peer = Peer(name, auto_accept_delegations=True, provenance=provenance,
+                replication="reliable")
     while True:
         command = command_queue.get()
         op = command.get("op")

@@ -187,12 +187,15 @@ def settled(system: "WebdamLogSystem", report: RoundReport) -> bool:
 
     Convergence means: every stage executed this cycle was quiescent, no
     message remains in flight on the transport (crucial for ``latency > 1``,
-    where a message can be undeliverable for several cycles), and no engine
-    holds unconsumed input.
+    where a message can be undeliverable for several cycles), no engine
+    holds unconsumed input, and no causal replication channel is awaiting
+    anti-entropy (a dropped digest leaves nothing in flight while an outbox
+    is still unacknowledged — the in-flight check alone cannot see it).
     """
     return (report.is_quiescent()
             and not system.transport.has_in_flight()
-            and not system.pending_engine_input())
+            and not system.pending_engine_input()
+            and not system.replication_attention())
 
 
 def drive(system: "WebdamLogSystem",

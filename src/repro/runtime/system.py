@@ -98,7 +98,8 @@ class WebdamLogSystem:
                  evaluation_mode: str = "incremental",
                  provenance: bool = False,
                  storage=None, storage_options: Optional[Dict] = None,
-                 planner: Optional[str] = None):
+                 planner: Optional[str] = None,
+                 replication: Optional[str] = None):
         self.transport = transport if transport is not None else InMemoryTransport(
             latency=latency, drop_probability=drop_probability, seed=seed,
         )
@@ -117,6 +118,11 @@ class WebdamLogSystem:
         # Planner mode applied to every peer ("off", "order", "magic", or
         # None to consult REPRO_PLANNER / the default).
         self.planner = planner
+        # Replication mode applied to every peer ("reliable", "causal", or
+        # None to consult REPRO_REPLICATION / the default).  Mixed-mode
+        # deployments are not supported: a reliable peer rejects replication
+        # envelopes, so the mode is a system-level choice.
+        self.replication = replication
         self._round = 0
         self.history: List[RoundReport] = []
         self._round_observers: List[Callable[[RoundReport], None]] = []
@@ -189,7 +195,12 @@ class WebdamLogSystem:
                     provenance=self.provenance if provenance is None else provenance,
                     storage=self.storage,
                     storage_options=dict(self.storage_options),
-                    planner=self.planner)
+                    planner=self.planner,
+                    replication=self.replication)
+        if peer.replication is not None:
+            # Causal joins/digests/pulls land in the same event stream as the
+            # transport's send/drop/dup records, so one JSONL replays it all.
+            peer.replication.event_log = getattr(self.transport, "event_log", None)
         self.peers[name] = peer
         self.transport.register(name)
         if program:
@@ -208,6 +219,10 @@ class WebdamLogSystem:
         peer = self.peers.pop(name, None)
         if peer is not None:
             self.transport.unregister(name)
+            for other in self.peers.values():
+                # Causal-mode peers would otherwise retransmit to the dead
+                # peer forever (its channel can never be acknowledged).
+                other.drop_replication_channel(name)
         return peer
 
     def close(self) -> None:
@@ -269,7 +284,9 @@ class WebdamLogSystem:
             except TransportError:
                 # Destination unknown to the network (e.g. a wrapper-only
                 # pseudo-peer): the message is counted but not delivered.
-                pass
+                # Causal peers mark the channel unreachable so the never-
+                # acknowledgeable ops stop demanding anti-entropy attention.
+                peer.notify_send_failed(message)
         stage_report = PeerStageReport(
             peer=name,
             stage_result=stage_result,
@@ -308,6 +325,21 @@ class WebdamLogSystem:
     def pending_engine_input(self) -> bool:
         """``True`` while any engine holds unconsumed input."""
         return any(peer.engine.has_pending_input() for peer in self.peers.values())
+
+    def replication_attention(self) -> bool:
+        """``True`` while any causal channel still has anti-entropy work.
+
+        An adversarial transport can drop a digest, leaving nothing in
+        flight while an outbox is still unacknowledged; the in-flight check
+        alone would then let ``converge()`` settle during the digest backoff
+        window with the loss unrepaired.  Folding this into
+        :func:`repro.runtime.scheduler.settled` is what makes the state
+        module's contract hold: a causal system refuses to settle while any
+        channel has unacknowledged ops.
+        """
+        return any(peer.replication is not None
+                   and peer.replication.needs_attention()
+                   for peer in self.peers.values())
 
     # ------------------------------------------------------------------ #
     # execution

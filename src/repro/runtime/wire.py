@@ -19,6 +19,7 @@ from repro.core.rules import Atom, Rule
 from repro.core.schema import RelationKind, RelationSchema
 from repro.core.terms import Constant, Term, Variable
 from repro.provenance.graph import Derivation
+from repro.replication.dots import CausalContext, Op
 
 
 # --------------------------------------------------------------------------- #
@@ -192,6 +193,62 @@ def decode_derivation(encoded: Dict[str, Any]) -> Derivation:
         support=tuple(decode_fact(f) for f in encoded.get("support", [])),
         author=encoded.get("author"),
     )
+
+
+# --------------------------------------------------------------------------- #
+# replication payloads (dotted delta ops and causal contexts)
+# --------------------------------------------------------------------------- #
+
+def encode_op(op: Op) -> Dict[str, Any]:
+    """Encode a replicated :class:`~repro.replication.dots.Op`.
+
+    Only the fields meaningful for the op's kind are emitted, so envelopes
+    stay compact on the wire (an insert op is a sequence number plus one
+    fact; a delete op adds the removed dot numbers).
+    """
+    encoded: Dict[str, Any] = {"seq": op.seq, "kind": op.kind}
+    if op.fact is not None:
+        encoded["fact"] = encode_fact(op.fact)
+    if op.removed:
+        encoded["removed"] = list(op.removed)
+    if op.delegation_id:
+        encoded["delegation_id"] = op.delegation_id
+    if op.rule is not None:
+        encoded["rule"] = encode_rule(op.rule)
+    if op.schemas:
+        encoded["schemas"] = [encode_schema(s) for s in op.schemas]
+    if op.derivation is not None:
+        encoded["derivation"] = encode_derivation(op.derivation)
+        encoded["anchor"] = op.anchor
+    return encoded
+
+
+def decode_op(encoded: Dict[str, Any]) -> Op:
+    """Inverse of :func:`encode_op`."""
+    fact = encoded.get("fact")
+    rule = encoded.get("rule")
+    derivation = encoded.get("derivation")
+    return Op(
+        seq=encoded["seq"],
+        kind=encoded["kind"],
+        fact=decode_fact(fact) if fact is not None else None,
+        removed=tuple(encoded.get("removed", ())),
+        delegation_id=encoded.get("delegation_id", ""),
+        rule=decode_rule(rule) if rule is not None else None,
+        schemas=tuple(decode_schema(s) for s in encoded.get("schemas", [])),
+        derivation=decode_derivation(derivation) if derivation is not None else None,
+        anchor=encoded.get("anchor", True),
+    )
+
+
+def encode_causal_context(context: CausalContext) -> Dict[str, Any]:
+    """Encode a compact causal context (contiguous base + extras)."""
+    return context.encode()
+
+
+def decode_causal_context(encoded: Dict[str, Any]) -> CausalContext:
+    """Inverse of :func:`encode_causal_context`."""
+    return CausalContext.decode(encoded)
 
 
 def encode_grant(grant: Grant) -> Dict[str, Any]:

@@ -9,7 +9,12 @@ from repro.wepic.scenario import build_demo_scenario
 
 
 def attendee_view_system(drop_probability=0.0, seed=0, latency=1):
-    system = WebdamLogSystem(drop_probability=drop_probability, seed=seed, latency=latency)
+    # Pinned to reliable replication: these tests document the reliable
+    # mode's eventual-consistency model, where lost messages stay lost
+    # (causal mode repairs loss — see tests/properties/
+    # test_confluence_replication.py).
+    system = WebdamLogSystem(drop_probability=drop_probability, seed=seed,
+                             latency=latency, replication="reliable")
     jules = system.add_peer("Jules")
     emilien = system.add_peer("Emilien")
     jules.declare(RelationSchema("attendeePictures", "Jules", ("id",),

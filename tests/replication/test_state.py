@@ -1,0 +1,210 @@
+"""Unit tests of ReplicationState: anti-entropy, persistence, event logging.
+
+Two :class:`ReplicationState` instances are driven directly (no engine, no
+transport) so every protocol exchange — envelope, digest, pull, ack — is
+visible and individually droppable.
+"""
+
+from repro.core.facts import Fact
+from repro.net.events import NetEventLog
+from repro.replication.state import ReplicationState
+from repro.runtime.messages import (
+    DeltaEnvelopeMessage,
+    FactMessage,
+    ReplicationAckMessage,
+    ReplicationDigestMessage,
+    ReplicationPullMessage,
+)
+from repro.store.memory import MemoryBackend
+
+F1 = Fact("r", "bob", (1,))
+F2 = Fact("r", "bob", (2,))
+F3 = Fact("r", "bob", (3,))
+
+
+def fact_message(*inserted, deleted=()):
+    return FactMessage(sender="alice", recipient="bob",
+                       inserted=frozenset(inserted), deleted=frozenset(deleted))
+
+
+def exchange(sender, receiver, messages):
+    """Deliver protocol messages to their handler; returns engine effects."""
+    effects = []
+    for message in messages:
+        if isinstance(message, DeltaEnvelopeMessage):
+            target = receiver if message.recipient == receiver.peer else sender
+            effects.extend(target.apply_envelope(message))
+        elif isinstance(message, ReplicationDigestMessage):
+            receiver.on_digest(message.sender, message.frontier)
+        elif isinstance(message, ReplicationPullMessage):
+            sender.on_pull(message.sender, message.want)
+        elif isinstance(message, ReplicationAckMessage):
+            sender.on_ack(message.sender, message.acked)
+    return effects
+
+
+class TestCleanPath:
+    def test_envelope_then_ack_reaches_quiescence(self):
+        alice = ReplicationState("alice")
+        bob = ReplicationState("bob")
+        assert alice.encode_outgoing([fact_message(F1, F2)]) == []
+        out = alice.flush()
+        assert len(out) == 1 and isinstance(out[0], DeltaEnvelopeMessage)
+        effects = exchange(alice, bob, out)
+        assert set(effects) == {("insert", F1), ("insert", F2)}
+        # bob queued an ack; his flush ships it; alice prunes
+        exchange(alice, bob, bob.flush())
+        assert not alice.needs_attention()
+        assert not bob.needs_attention()
+        assert alice.outbox("bob").log == {}
+
+    def test_passthrough_for_unmanaged_messages(self):
+        from repro.runtime.messages import PeerJoinMessage
+        alice = ReplicationState("alice")
+        join = PeerJoinMessage(sender="alice", recipient="bob", peer_name="x")
+        assert alice.encode_outgoing([join]) == [join]
+
+
+class TestLossRepair:
+    def test_lost_envelope_recovered_by_digest_and_pull(self):
+        alice = ReplicationState("alice", digest_interval=2)
+        bob = ReplicationState("bob")
+        alice.encode_outgoing([fact_message(F1)])
+        lost = alice.flush()  # envelope DROPPED by the adversary
+        assert len(lost) == 1
+        assert alice.needs_attention()  # unacked channel keeps alice awake
+        # ticks pass; a digest eventually fires
+        digests = []
+        while not digests:
+            digests = alice.flush()
+        assert isinstance(digests[0], ReplicationDigestMessage)
+        exchange(alice, bob, digests)
+        pulls = bob.flush()
+        assert isinstance(pulls[0], ReplicationPullMessage)
+        assert pulls[0].want == (1,)
+        exchange(alice, bob, pulls)
+        repair = alice.flush()
+        assert exchange(alice, bob, repair) == [("insert", F1)]
+        exchange(alice, bob, bob.flush())
+        assert not alice.needs_attention() and not bob.needs_attention()
+
+    def test_lost_ack_recovered_by_digest_reack(self):
+        alice = ReplicationState("alice", digest_interval=2)
+        bob = ReplicationState("bob")
+        alice.encode_outgoing([fact_message(F1)])
+        exchange(alice, bob, alice.flush())
+        bob.flush()  # ack DROPPED
+        digests = []
+        while not digests:
+            digests = alice.flush()
+        exchange(alice, bob, digests)  # digest of a complete channel: re-ack
+        exchange(alice, bob, bob.flush())
+        assert alice.outbox("bob").acked == 1
+        assert not alice.needs_attention()
+
+    def test_duplicated_envelope_is_noop(self):
+        alice = ReplicationState("alice")
+        bob = ReplicationState("bob")
+        alice.encode_outgoing([fact_message(F1)])
+        envelope = alice.flush()[0]
+        assert bob.apply_envelope(envelope) == [("insert", F1)]
+        assert bob.apply_envelope(envelope) == []
+        assert bob.counters["envelopes_applied"] == 2
+        assert len(bob.inbox("alice").visible) == 1
+
+    def test_reordered_envelopes_converge(self):
+        alice = ReplicationState("alice")
+        bob = ReplicationState("bob")
+        alice.encode_outgoing([fact_message(F1)])
+        first = alice.flush()[0]
+        alice.encode_outgoing([fact_message(F3, deleted=(F1,))])
+        second = alice.flush()[0]
+        # the adversary delivers the later envelope first
+        bob.apply_envelope(second)
+        bob.apply_envelope(first)
+        assert bob.inbox("alice").visible == {F3: {2}}
+
+
+class TestChannelLifecycle:
+    def test_mark_unreachable_silences_channel(self):
+        alice = ReplicationState("alice")
+        alice.encode_outgoing([fact_message(F1)])
+        alice.mark_unreachable("bob")
+        assert alice.flush() == []
+        assert not alice.needs_attention()
+
+    def test_drop_channel_forgets_both_halves(self):
+        alice = ReplicationState("alice")
+        alice.encode_outgoing([fact_message(F1)])
+        alice.inbox("bob")
+        alice.drop_channel("bob")
+        assert alice.outboxes == {} and alice.inboxes == {}
+        assert not alice.needs_attention()
+
+
+class TestPersistence:
+    def test_persist_restore_roundtrip(self):
+        backend = MemoryBackend()
+        alice = ReplicationState("alice")
+        alice.encode_outgoing([fact_message(F1, F2)])
+        envelope = alice.flush()[0]
+        alice.on_ack("bob", 1)
+        alice.persist(backend)
+
+        bob = ReplicationState("bob")
+        bob.apply_envelope(envelope)
+        bob.persist(backend)
+
+        alice2 = ReplicationState("alice")
+        alice2.restore(backend)
+        box = alice2.outbox("bob")
+        assert box.seq == 2 and box.acked == 1
+        # in-flight unacked ops retransmit after a crash
+        assert box.last_sent == 1
+        assert [op.seq for op in box.take_unsent()] == [2]
+        assert sorted(box.live, key=str) == sorted((F1, F2), key=str)
+
+        bob2 = ReplicationState("bob")
+        bob2.restore(backend)
+        inbox = bob2.inbox("alice")
+        assert inbox.cc.base == 2
+        assert inbox.visible == {F1: {1}, F2: {2}} or len(inbox.visible) == 2
+        # the retransmitted duplicate is absorbed
+        assert bob2.apply_envelope(envelope) == []
+
+    def test_dropped_channel_removed_from_backend(self):
+        backend = MemoryBackend()
+        alice = ReplicationState("alice")
+        alice.encode_outgoing([fact_message(F1)])
+        alice.flush()
+        alice.persist(backend)
+        assert backend.load_meta("replication")
+        alice.drop_channel("bob")
+        alice.persist(backend)
+        assert backend.load_meta("replication") == []
+
+    def test_persist_skips_clean_channels(self):
+        backend = MemoryBackend()
+        alice = ReplicationState("alice")
+        alice.encode_outgoing([fact_message(F1)])
+        alice.flush()
+        alice.persist(backend)
+        records = dict(backend.load_meta("replication"))
+        backend.save_meta("replication", "out:bob", "SENTINEL")
+        alice.persist(backend)  # nothing dirty: must not overwrite
+        assert dict(backend.load_meta("replication"))["out:bob"] == "SENTINEL"
+        assert records  # sanity: the first persist did write
+
+
+class TestEventLog:
+    def test_joins_digests_and_pulls_are_recorded(self):
+        log = NetEventLog()
+        alice = ReplicationState("alice", digest_interval=1, event_log=log)
+        bob = ReplicationState("bob", event_log=log)
+        alice.encode_outgoing([fact_message(F1)])
+        alice.flush()  # envelope dropped
+        exchange(alice, bob, alice.flush())  # digest arrives
+        exchange(alice, bob, bob.flush())    # pull
+        exchange(alice, bob, alice.flush())  # repair envelope
+        actions = {event["action"] for event in log.events()}
+        assert {"digest", "pull", "join"} <= actions

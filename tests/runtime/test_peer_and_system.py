@@ -16,6 +16,13 @@ from repro.runtime.system import WebdamLogSystem
 
 
 class TestPeerMessageDispatch:
+    @pytest.fixture(autouse=True)
+    def _reliable_mode(self, monkeypatch):
+        # These tests pin the reliable wire format (raw fact/delegation
+        # messages); under causal replication stage outputs travel as delta
+        # envelopes instead (covered by tests/replication).
+        monkeypatch.setenv("REPRO_REPLICATION", "reliable")
+
     def test_fact_message_reaches_engine(self):
         peer = Peer("alice")
         peer.deliver(FactMessage(sender="bob", recipient="alice",
